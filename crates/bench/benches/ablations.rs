@@ -1,0 +1,162 @@
+//! Ablation benches for the design choices called out in DESIGN.md §3.
+//!
+//! Criterion times each variant; since the scientifically interesting
+//! metric is the *query count*, each group also prints the mean query
+//! counts (computed once, deterministically) to stderr before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::baselines::{csma_collect, CsmaConfig};
+use tcast::{Abns, CaptureModel, CollisionModel, ExpIncrease, InitialEstimate, ProbAbns};
+use tcast_bench::{mean_queries, run_once};
+
+const N: usize = 128;
+const T: usize = 16;
+const RUNS: usize = 400;
+
+/// DESIGN.md §3.4 — capture-probability model in the abstract 2+ channel.
+fn ablation_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_capture");
+    for alpha in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let model = if alpha == 0.0 {
+            CollisionModel::TwoPlus(CaptureModel::Never)
+        } else {
+            CollisionModel::TwoPlus(CaptureModel::Geometric { alpha })
+        };
+        let x = T - 1; // the regime where captures help most
+        let q = mean_queries(&tcast::TwoTBins, N, x, T, model, RUNS, 77);
+        eprintln!("[ablation_capture] alpha={alpha:.2} x={x}: mean queries = {q:.2}");
+        g.bench_with_input(
+            BenchmarkId::new("2tBins_x15", format!("alpha{alpha:.2}")),
+            &model,
+            |b, &model| {
+                let mut rng = SmallRng::seed_from_u64(21);
+                b.iter(|| black_box(run_once(&tcast::TwoTBins, N, x, T, model, &mut rng)));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// DESIGN.md §3.5 — CSMA quiet-window length (verdict reliability vs cost).
+fn ablation_quiet_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_quiet_window");
+    for quiet in [8u32, 16, 33, 64] {
+        let cfg = CsmaConfig {
+            quiet_window: quiet,
+            ..CsmaConfig::default()
+        };
+        // Measure both cost and verdict accuracy at x just below t.
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut wrong = 0;
+        let mut slots = 0u64;
+        for _ in 0..RUNS {
+            let r = csma_collect(T - 1, T, &cfg, &mut rng);
+            if r.answer {
+                wrong += 1;
+            }
+            slots += r.slots;
+        }
+        eprintln!(
+            "[ablation_quiet_window] quiet={quiet}: mean slots = {:.1}, wrong verdicts = {wrong}/{RUNS}",
+            slots as f64 / RUNS as f64
+        );
+        g.bench_with_input(BenchmarkId::new("csma_x15", quiet), &cfg, |b, cfg| {
+            let mut rng = SmallRng::seed_from_u64(32);
+            b.iter(|| black_box(csma_collect(T - 1, T, cfg, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+/// ABNS initial estimate p0 (Figure 5's two variants plus extremes).
+fn ablation_p0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_p0");
+    for (label, p0) in [
+        ("quarter_t", InitialEstimate::FactorOfT(0.25)),
+        ("t", InitialEstimate::FactorOfT(1.0)),
+        ("2t", InitialEstimate::FactorOfT(2.0)),
+        ("4t", InitialEstimate::FactorOfT(4.0)),
+    ] {
+        let alg = Abns::with_p0(p0);
+        for x in [2usize, 32] {
+            let q = mean_queries(&alg, N, x, T, CollisionModel::OnePlus, RUNS, 55);
+            eprintln!("[ablation_p0] p0={label} x={x}: mean queries = {q:.2}");
+        }
+        g.bench_with_input(BenchmarkId::new("abns_x2", label), &alg, |b, alg| {
+            let mut rng = SmallRng::seed_from_u64(41);
+            b.iter(|| black_box(run_once(alg, N, 2, T, CollisionModel::OnePlus, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+/// The Exponential-Increase variants the paper tried and dropped
+/// (Section IV-B).
+fn ablation_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_variants");
+    let variants: Vec<(&str, ExpIncrease)> = vec![
+        ("double", ExpIncrease::standard()),
+        ("pause_40pct", ExpIncrease::pause_and_continue(0.4)),
+        ("four_fold", ExpIncrease::four_fold()),
+    ];
+    for (label, alg) in &variants {
+        for x in [1usize, 16, 96] {
+            let q = mean_queries(alg, N, x, T, CollisionModel::OnePlus, RUNS, 66);
+            eprintln!("[ablation_variants] {label} x={x}: mean queries = {q:.2}");
+        }
+        g.bench_with_input(BenchmarkId::new("expinc_x16", *label), alg, |b, alg| {
+            let mut rng = SmallRng::seed_from_u64(51);
+            b.iter(|| black_box(run_once(alg, N, 16, T, CollisionModel::OnePlus, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+/// Probabilistic-ABNS probe behaviour (DESIGN.md §3.6): sampling
+/// probability and whether a silent probe eliminates its members.
+fn ablation_sampling_prob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling_prob");
+    let configs: Vec<(&str, ProbAbns)> = vec![
+        ("paper_2_over_t", ProbAbns::standard()),
+        (
+            "1_over_t",
+            ProbAbns {
+                sampling_prob: Some(1.0 / T as f64),
+                eliminate_probe: false,
+            },
+        ),
+        (
+            "eliminating_probe",
+            ProbAbns {
+                sampling_prob: None,
+                eliminate_probe: true,
+            },
+        ),
+    ];
+    for (label, alg) in &configs {
+        for x in [2usize, 32] {
+            let q = mean_queries(alg, N, x, T, CollisionModel::OnePlus, RUNS, 88);
+            eprintln!("[ablation_sampling_prob] {label} x={x}: mean queries = {q:.2}");
+        }
+        g.bench_with_input(BenchmarkId::new("prob_abns_x2", *label), alg, |b, alg| {
+            let mut rng = SmallRng::seed_from_u64(61);
+            b.iter(|| black_box(run_once(alg, N, 2, T, CollisionModel::OnePlus, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_capture,
+    ablation_quiet_window,
+    ablation_p0,
+    ablation_variants,
+    ablation_sampling_prob
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! One criterion bench per paper figure/table: times the regeneration of
+//! each artifact at a reduced (but shape-preserving) scale. The full-scale
+//! numbers are produced by the `tcast-experiments` binary; these benches
+//! keep the regeneration cost visible and guard against performance
+//! regressions in the sweep machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tcast_experiments::figures::{
+    fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
+};
+use tcast_experiments::SweepSpec;
+use tcast_motes::TestbedConfig;
+use tcast_rcd::{Primitive, RcdConfig};
+
+fn bench_spec() -> SweepSpec {
+    SweepSpec {
+        n: 64,
+        t: 8,
+        runs: 30,
+        seed: 42,
+    }
+}
+
+fn prob_spec() -> fig9::ProbSpec {
+    fig9::ProbSpec {
+        n: 128,
+        sigma: 4.0,
+        runs: 60,
+        seed: 42,
+    }
+}
+
+fn testbed_cfg() -> TestbedConfig {
+    TestbedConfig {
+        participants: 12,
+        thresholds: vec![2, 4, 6],
+        runs_per_config: 5,
+        rcd: RcdConfig::testbed(),
+        primitive: Primitive::Backcast,
+    }
+}
+
+fn figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_oneplus", |b| {
+        b.iter(|| black_box(fig1::build(bench_spec())))
+    });
+    g.bench_function("fig2_twoplus", |b| {
+        b.iter(|| black_box(fig2::build(bench_spec())))
+    });
+    g.bench_function("fig3_threshold_sweep", |b| {
+        b.iter(|| black_box(fig3::build(bench_spec())))
+    });
+    g.bench_function("fig4_motes", |b| {
+        b.iter(|| black_box(fig4::build(&testbed_cfg(), 42)))
+    });
+    g.bench_function("table_error_rates", |b| {
+        b.iter(|| black_box(tcast_motes::run_testbed(&testbed_cfg(), 43).errors))
+    });
+    g.bench_function("fig5_abns", |b| {
+        b.iter(|| black_box(fig5::build(bench_spec())))
+    });
+    g.bench_function("fig6_prob_abns", |b| {
+        b.iter(|| black_box(fig6::build(bench_spec())))
+    });
+    g.bench_function("fig7_vs_csma", |b| {
+        b.iter(|| black_box(fig7::build(fig7::paper_spec(42, 30))))
+    });
+    g.bench_function("fig8_gap_table", |b| {
+        b.iter(|| black_box(fig8::build(128, 4.0)))
+    });
+    g.bench_function("fig9_accuracy", |b| {
+        b.iter(|| black_box(fig9::accuracy(&prob_spec(), 24.0, 5)))
+    });
+    g.bench_function("fig10_repeats", |b| {
+        b.iter(|| black_box(fig10::measured_repeats(&prob_spec(), 32.0, 0.9)))
+    });
+    g.bench_function("fig11_histograms", |b| {
+        b.iter(|| black_box(fig11::build(128, 4.0, 5_000, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Micro-benchmarks for the building blocks: one algorithm session per
+//! strategy, channel queries, the frame codec, medium completion, and the
+//! baselines. These are the units that the figure sweeps execute millions
+//! of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::baselines::{csma_collect, sequential_collect_random, CsmaConfig};
+use tcast::{
+    population, Abns, CollisionModel, ExpIncrease, GroupQueryChannel, IdealChannel, ProbAbns,
+    ThresholdQuerier, TwoTBins,
+};
+use tcast_bench::run_once;
+use tcast_radio::{Frame, ShortAddr};
+use tcast_rcd::{RcdConfig, RcdStack};
+
+fn algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm_session");
+    let n = 128;
+    let t = 16;
+    let algs: Vec<(&str, Box<dyn ThresholdQuerier>)> = vec![
+        ("2tBins", Box::new(TwoTBins)),
+        ("ExpIncrease", Box::new(ExpIncrease::standard())),
+        ("ABNS_p0_2t", Box::new(Abns::p0_2t())),
+        ("ProbABNS", Box::new(ProbAbns::standard())),
+    ];
+    for x in [2usize, 16, 64] {
+        for (name, alg) in &algs {
+            g.bench_with_input(BenchmarkId::new(*name, x), &x, |b, &x| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                b.iter(|| {
+                    black_box(run_once(
+                        alg.as_ref(),
+                        n,
+                        x,
+                        t,
+                        CollisionModel::OnePlus,
+                        &mut rng,
+                    ))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn channels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut ch = IdealChannel::with_random_positives(128, 16, CollisionModel::OnePlus, 3, &mut rng);
+    let nodes = population(128);
+    g.bench_function("ideal_query_128", |b| {
+        b.iter(|| black_box(ch.query(&nodes)))
+    });
+    g.finish();
+}
+
+fn frames(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame");
+    let frame = Frame::data_with_ack_request(ShortAddr(1), ShortAddr(2), 7, vec![0xAB; 16]);
+    let bytes = frame.encode();
+    g.bench_function("encode", |b| b.iter(|| black_box(frame.encode())));
+    g.bench_function("decode", |b| b.iter(|| black_box(Frame::decode(&bytes))));
+    g.finish();
+}
+
+fn rcd_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcd");
+    g.bench_function("backcast_12motes", |b| {
+        let mut stack = RcdStack::new(12, RcdConfig::lossless(), 5);
+        let mut pred = vec![false; 12];
+        pred[3] = true;
+        pred[7] = true;
+        stack.set_predicate(&pred);
+        let group: Vec<usize> = (0..12).collect();
+        b.iter(|| black_box(stack.backcast(&group)));
+    });
+    g.bench_function("pollcast_12motes", |b| {
+        let mut stack = RcdStack::new(12, RcdConfig::lossless(), 6);
+        let mut pred = vec![false; 12];
+        pred[3] = true;
+        stack.set_predicate(&pred);
+        let group: Vec<usize> = (0..12).collect();
+        b.iter(|| black_box(stack.pollcast(&group)));
+    });
+    g.finish();
+}
+
+fn paired_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcd_paired");
+    // Single vs paired backcast: same two groups, one exchange vs two.
+    g.bench_function("two_single_backcasts", |b| {
+        let mut stack = RcdStack::new(12, RcdConfig::lossless(), 7);
+        let mut pred = vec![false; 12];
+        pred[2] = true;
+        pred[8] = true;
+        stack.set_predicate(&pred);
+        b.iter(|| {
+            black_box(stack.backcast(&[0, 1, 2]));
+            black_box(stack.backcast(&[7, 8, 9]));
+        });
+    });
+    g.bench_function("one_paired_backcast", |b| {
+        let mut stack = RcdStack::new(12, RcdConfig::lossless(), 7);
+        let mut pred = vec![false; 12];
+        pred[2] = true;
+        pred[8] = true;
+        stack.set_predicate(&pred);
+        b.iter(|| black_box(stack.backcast_pair(&[0, 1, 2], &[7, 8, 9])));
+    });
+    g.finish();
+}
+
+fn baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline");
+    let cfg = CsmaConfig::default();
+    for x in [8usize, 64] {
+        g.bench_with_input(BenchmarkId::new("csma_collect", x), &x, |b, &x| {
+            let mut rng = SmallRng::seed_from_u64(11);
+            b.iter(|| black_box(csma_collect(x, 16, &cfg, &mut rng)));
+        });
+    }
+    g.bench_function("sequential_collect_128", |b| {
+        let mut rng = SmallRng::seed_from_u64(13);
+        b.iter(|| black_box(sequential_collect_random(128, 16, 16, &mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    algorithms,
+    channels,
+    frames,
+    rcd_exchange,
+    paired_exchange,
+    baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Shared helpers for the criterion benches (see `benches/`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tcast::{population, CollisionModel, IdealChannel, ThresholdQuerier};
+
+/// Runs one algorithm session on a fresh ideal channel; returns the query
+/// count. Mirrors the experiment harness's per-run procedure so bench
+/// timings reflect real sweep cost.
+pub fn run_once(
+    alg: &dyn ThresholdQuerier,
+    n: usize,
+    x: usize,
+    t: usize,
+    model: CollisionModel,
+    rng: &mut SmallRng,
+) -> u64 {
+    let ch_seed = rng.random();
+    let mut ch = IdealChannel::with_random_positives(n, x, model, ch_seed, rng);
+    alg.run(&population(n), t, &mut ch, rng).queries
+}
+
+/// Mean query count over `runs` sessions (used by the ablation benches to
+/// report the *quality* metric next to criterion's time metric).
+pub fn mean_queries(
+    alg: &dyn ThresholdQuerier,
+    n: usize,
+    x: usize,
+    t: usize,
+    model: CollisionModel,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let total: u64 = (0..runs)
+        .map(|_| run_once(alg, n, x, t, model, &mut rng))
+        .sum();
+    total as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcast::TwoTBins;
+
+    #[test]
+    fn run_once_returns_query_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let q = run_once(&TwoTBins, 64, 8, 8, CollisionModel::OnePlus, &mut rng);
+        assert!(q > 0);
+    }
+
+    #[test]
+    fn mean_queries_is_deterministic() {
+        let a = mean_queries(&TwoTBins, 64, 8, 8, CollisionModel::OnePlus, 50, 7);
+        let b = mean_queries(&TwoTBins, 64, 8, 8, CollisionModel::OnePlus, 50, 7);
+        assert_eq!(a, b);
+    }
+}

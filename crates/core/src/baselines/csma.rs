@@ -1,0 +1,228 @@
+//! Slotted CSMA collection with binary exponential backoff.
+//!
+//! Every predicate-positive node contends to deliver one reply. Per slot,
+//! all contenders whose backoff expired transmit: a lone transmitter
+//! succeeds, two or more collide and re-draw backoffs from a doubled
+//! window. The initiator stops as soon as it has `t` replies (threshold
+//! met) or after a quiet window long enough to prove no contender is still
+//! backing off (collection finished with fewer than `t`).
+//!
+//! This reproduces the paper's qualitative claims: cost grows
+//! super-linearly in the number of positives `x` (the `O(x log x)` regime)
+//! and is insensitive to the network size `n`.
+
+use rand::{Rng, RngCore};
+
+use super::BaselineReport;
+
+/// CSMA parameters (802.15.4-flavoured defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsmaConfig {
+    /// Initial backoff exponent: first draws come from `[0, 2^min_be)`.
+    pub min_be: u8,
+    /// Maximum backoff exponent.
+    pub max_be: u8,
+    /// Consecutive silent slots after which the initiator declares the
+    /// collection finished. Must exceed `2^max_be - 1` for the verdict to
+    /// be reliable (otherwise a backing-off contender can outlast it).
+    pub quiet_window: u32,
+    /// Hard safety cap on simulated slots.
+    pub max_slots: u64,
+}
+
+impl Default for CsmaConfig {
+    fn default() -> Self {
+        Self {
+            min_be: 3,
+            max_be: 5,
+            quiet_window: 33, // 2^5 - 1 = 31 max backoff, +2 margin
+            max_slots: 1_000_000,
+        }
+    }
+}
+
+/// Runs one CSMA collection with `x` positive repliers and threshold `t`.
+pub fn csma_collect(x: usize, t: usize, cfg: &CsmaConfig, rng: &mut dyn RngCore) -> BaselineReport {
+    assert!(cfg.min_be <= cfg.max_be, "min_be > max_be");
+    if t == 0 {
+        return BaselineReport {
+            answer: true,
+            slots: 0,
+            received: 0,
+            collisions: 0,
+        };
+    }
+    // Backoff counters (slots until transmission) per pending contender.
+    let mut pending: Vec<(u64, u8)> = (0..x)
+        .map(|_| (rng.random_range(0..(1u64 << cfg.min_be)), cfg.min_be))
+        .collect();
+    let mut slot = 0u64;
+    let mut received = 0u32;
+    let mut collisions = 0u64;
+    let mut quiet = 0u32;
+
+    while slot < cfg.max_slots {
+        slot += 1;
+        let transmitters = pending.iter().filter(|(c, _)| *c == 0).count();
+        match transmitters {
+            0 => {
+                quiet += 1;
+                if quiet >= cfg.quiet_window {
+                    // Long enough silence: every contender would have fired.
+                    return BaselineReport {
+                        answer: received as usize >= t,
+                        slots: slot,
+                        received,
+                        collisions,
+                    };
+                }
+            }
+            1 => {
+                quiet = 0;
+                received += 1;
+                pending.retain(|(c, _)| *c != 0);
+                if received as usize >= t {
+                    return BaselineReport {
+                        answer: true,
+                        slots: slot,
+                        received,
+                        collisions,
+                    };
+                }
+            }
+            _ => {
+                quiet = 0;
+                collisions += 1;
+                for entry in pending.iter_mut() {
+                    if entry.0 == 0 {
+                        entry.1 = (entry.1 + 1).min(cfg.max_be);
+                        entry.0 = rng.random_range(0..(1u64 << entry.1));
+                    }
+                }
+            }
+        }
+        for entry in pending.iter_mut() {
+            if entry.0 > 0 {
+                entry.0 -= 1;
+            }
+        }
+    }
+    BaselineReport {
+        answer: received as usize >= t,
+        slots: slot,
+        received,
+        collisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run(x: usize, t: usize, seed: u64) -> BaselineReport {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        csma_collect(x, t, &CsmaConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn verdict_is_correct_with_safe_quiet_window() {
+        for seed in 0..30 {
+            for &(x, t) in &[(0usize, 4usize), (3, 4), (4, 4), (10, 4), (40, 8), (7, 8)] {
+                let r = run(x, t, seed);
+                assert_eq!(r.answer, x >= t, "x={x} t={t} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_is_free() {
+        let r = run(10, 0, 1);
+        assert!(r.answer);
+        assert_eq!(r.slots, 0);
+    }
+
+    #[test]
+    fn empty_network_costs_the_quiet_window() {
+        let r = run(0, 4, 2);
+        assert!(!r.answer);
+        assert_eq!(r.slots, CsmaConfig::default().quiet_window as u64);
+    }
+
+    #[test]
+    fn all_replies_collected_when_below_threshold() {
+        for seed in 0..20 {
+            let r = run(5, 10, seed);
+            assert_eq!(r.received, 5, "all 5 replies must eventually arrive");
+            assert!(!r.answer);
+        }
+    }
+
+    #[test]
+    fn cost_grows_superlinearly_in_x() {
+        let avg = |x: usize| -> f64 {
+            (0..100)
+                .map(|s| run(x, usize::MAX >> 1, s).slots)
+                .sum::<u64>() as f64
+                / 100.0
+        };
+        let c8 = avg(8);
+        let c64 = avg(64);
+        assert!(
+            c64 > 6.0 * c8,
+            "64 contenders ({c64}) should cost much more than 8 ({c8})"
+        );
+    }
+
+    #[test]
+    fn early_termination_at_threshold() {
+        // x = 64, t = 4: stops long before draining all contenders.
+        let full = run(64, usize::MAX >> 1, 3).slots;
+        let early = run(64, 4, 3).slots;
+        assert!(early < full / 2, "early {early} vs full {full}");
+    }
+
+    #[test]
+    fn collisions_happen_under_contention() {
+        let r = run(64, usize::MAX >> 1, 4);
+        assert!(r.collisions > 0);
+    }
+
+    #[test]
+    fn short_quiet_window_can_misjudge() {
+        // A quiet window shorter than the maximum backoff can fire while
+        // contenders are still backing off — the certainty problem the
+        // paper raises. With enough trials some run must terminate before
+        // collecting every reply.
+        let cfg = CsmaConfig {
+            quiet_window: 4,
+            ..CsmaConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut undercounted = false;
+        for _ in 0..300 {
+            let r = csma_collect(20, 50, &cfg, &mut rng);
+            if r.received < 20 {
+                undercounted = true;
+                break;
+            }
+        }
+        assert!(
+            undercounted,
+            "a 4-slot quiet window should sometimes fire early"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_be")]
+    fn invalid_backoff_config_panics() {
+        let cfg = CsmaConfig {
+            min_be: 6,
+            max_be: 5,
+            ..CsmaConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = csma_collect(1, 1, &cfg, &mut rng);
+    }
+}

@@ -1,0 +1,172 @@
+//! Sequential (TDMA) ordering baseline.
+//!
+//! The initiator broadcasts a schedule assigning every participant a
+//! dedicated reply slot, then listens slot by slot. Like the paper we use
+//! the time-synchronized variant (the schedule broadcast and clock sync are
+//! not charged), which *favours* the baseline. Early termination applies in
+//! both directions: stop at the `t`-th positive reply, or as soon as the
+//! positives seen plus all remaining slots cannot reach `t`.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use super::BaselineReport;
+
+/// Runs one sequential collection over `positive` (index = node id,
+/// value = predicate holds) with threshold `t`. The schedule order is a
+/// uniformly random permutation drawn by the initiator.
+pub fn sequential_collect(positive: &[bool], t: usize, rng: &mut dyn RngCore) -> BaselineReport {
+    let n = positive.len();
+    if t == 0 {
+        return BaselineReport {
+            answer: true,
+            slots: 0,
+            received: 0,
+            collisions: 0,
+        };
+    }
+    if n < t {
+        return BaselineReport {
+            answer: false,
+            slots: 0,
+            received: 0,
+            collisions: 0,
+        };
+    }
+    let mut schedule: Vec<usize> = (0..n).collect();
+    schedule.shuffle(rng);
+
+    let mut seen = 0usize;
+    for (slot, &node) in schedule.iter().enumerate() {
+        if positive[node] {
+            seen += 1;
+            if seen >= t {
+                return BaselineReport {
+                    answer: true,
+                    slots: slot as u64 + 1,
+                    received: seen as u32,
+                    collisions: 0,
+                };
+            }
+        }
+        let remaining = n - slot - 1;
+        if seen + remaining < t {
+            return BaselineReport {
+                answer: false,
+                slots: slot as u64 + 1,
+                received: seen as u32,
+                collisions: 0,
+            };
+        }
+    }
+    // Unreachable: one of the two conditions must fire by the last slot,
+    // but keep a defensive return for clarity.
+    BaselineReport {
+        answer: seen >= t,
+        slots: n as u64,
+        received: seen as u32,
+        collisions: 0,
+    }
+}
+
+/// Convenience: builds the ground-truth vector with `x` random positives
+/// among `n` nodes and runs [`sequential_collect`].
+pub fn sequential_collect_random(
+    n: usize,
+    x: usize,
+    t: usize,
+    rng: &mut dyn RngCore,
+) -> BaselineReport {
+    assert!(x <= n, "x={x} exceeds n={n}");
+    let mut positive = vec![false; n];
+    for p in positive.iter_mut().take(x) {
+        *p = true;
+    }
+    positive.shuffle(rng);
+    sequential_collect(&positive, t, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn truth(n: usize, x: usize, seed: u64) -> (Vec<bool>, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut v = vec![false; n];
+        for p in v.iter_mut().take(x) {
+            *p = true;
+        }
+        v.shuffle(&mut rng);
+        (v, rng)
+    }
+
+    #[test]
+    fn verdict_is_always_exact() {
+        for seed in 0..30 {
+            for &(n, x, t) in &[
+                (32usize, 0usize, 4usize),
+                (32, 3, 4),
+                (32, 4, 4),
+                (32, 32, 4),
+                (128, 100, 16),
+                (128, 15, 16),
+            ] {
+                let (v, mut rng) = truth(n, x, seed);
+                let r = sequential_collect(&v, t, &mut rng);
+                assert_eq!(r.answer, x >= t, "n={n} x={x} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_network_costs_n_minus_t_plus_one() {
+        let (v, mut rng) = truth(128, 0, 1);
+        let r = sequential_collect(&v, 16, &mut rng);
+        assert!(!r.answer);
+        // seen=0: impossible once remaining < t, i.e. at slot n-t+1.
+        assert_eq!(r.slots, 128 - 16 + 1);
+    }
+
+    #[test]
+    fn saturated_network_costs_t_slots() {
+        let (v, mut rng) = truth(64, 64, 2);
+        let r = sequential_collect(&v, 8, &mut rng);
+        assert!(r.answer);
+        assert_eq!(r.slots, 8);
+    }
+
+    #[test]
+    fn trivial_threshold_is_free() {
+        let (v, mut rng) = truth(16, 4, 3);
+        let r = sequential_collect(&v, 0, &mut rng);
+        assert!(r.answer);
+        assert_eq!(r.slots, 0);
+    }
+
+    #[test]
+    fn oversized_threshold_is_free() {
+        let (v, mut rng) = truth(4, 4, 3);
+        let r = sequential_collect(&v, 5, &mut rng);
+        assert!(!r.answer);
+        assert_eq!(r.slots, 0);
+    }
+
+    #[test]
+    fn slots_never_exceed_n() {
+        for seed in 0..50 {
+            let (v, mut rng) = truth(40, 20, seed);
+            let r = sequential_collect(&v, 20, &mut rng);
+            assert!(r.slots <= 40);
+            assert!(r.answer);
+        }
+    }
+
+    #[test]
+    fn random_helper_matches_truth_semantics() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let r = sequential_collect_random(64, 10, 4, &mut rng);
+        assert!(r.answer);
+    }
+}

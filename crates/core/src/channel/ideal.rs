@@ -1,0 +1,231 @@
+//! The ideal (error-free) channel — the paper's simulation model.
+
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+use super::{ChannelStats, GroupQueryChannel};
+use crate::types::{CollisionModel, NodeId, Observation};
+
+/// Error-free group-query channel over a fixed ground-truth assignment of
+/// positives.
+///
+/// * 1+ model: any positive member ⇒ [`Observation::Activity`].
+/// * 2+ model: a lone positive is always decoded; `k >= 2` positives are
+///   decoded with the configured capture probability (one of them chosen
+///   uniformly), otherwise observed as undecodable activity.
+#[derive(Debug, Clone)]
+pub struct IdealChannel {
+    positive: Vec<bool>,
+    model: CollisionModel,
+    rng: SmallRng,
+    stats: ChannelStats,
+}
+
+impl IdealChannel {
+    /// Creates a channel over `n` nodes (ids `0..n`), none positive yet.
+    pub fn new(n: usize, model: CollisionModel, seed: u64) -> Self {
+        Self {
+            positive: vec![false; n],
+            model,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Marks exactly the given nodes positive (all others negative).
+    pub fn set_positives(&mut self, positives: &[NodeId]) {
+        self.positive.fill(false);
+        for id in positives {
+            self.positive[id.index()] = true;
+        }
+    }
+
+    /// Creates a channel with `x` positives drawn uniformly without
+    /// replacement — the sampling used for every per-`x` sweep point.
+    pub fn with_random_positives<R: Rng + ?Sized>(
+        n: usize,
+        x: usize,
+        model: CollisionModel,
+        seed: u64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(x <= n, "cannot place {x} positives among {n} nodes");
+        let mut ch = Self::new(n, model, seed);
+        // Floyd's algorithm: uniform x-subset of 0..n without an O(n) shuffle.
+        for j in (n - x)..n {
+            let k = rng.random_range(0..=j);
+            if ch.positive[k] {
+                ch.positive[j] = true;
+            } else {
+                ch.positive[k] = true;
+            }
+        }
+        debug_assert_eq!(ch.positive.iter().filter(|&&p| p).count(), x);
+        ch
+    }
+
+    /// Ground-truth check (used by the oracle algorithm and by tests).
+    pub fn is_positive(&self, id: NodeId) -> bool {
+        self.positive[id.index()]
+    }
+
+    /// Ground-truth positive count among an arbitrary node set.
+    pub fn count_positives(&self, members: &[NodeId]) -> usize {
+        members
+            .iter()
+            .filter(|id| self.positive[id.index()])
+            .count()
+    }
+
+    /// Clones the ground-truth bitmap (for constructing a matching oracle).
+    pub fn positives_bitmap(&self) -> Vec<bool> {
+        self.positive.clone()
+    }
+}
+
+impl GroupQueryChannel for IdealChannel {
+    fn query(&mut self, members: &[NodeId]) -> Observation {
+        self.stats.queries += 1;
+        let repliers: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|id| self.positive[id.index()])
+            .collect();
+        observe(&repliers, self.model, &mut self.rng)
+    }
+
+    fn model(&self) -> CollisionModel {
+        self.model
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.stats.queries
+    }
+}
+
+/// Maps a set of simultaneous repliers to an observation under a collision
+/// model. Shared with [`super::LossyChannel`].
+pub(crate) fn observe(
+    repliers: &[NodeId],
+    model: CollisionModel,
+    rng: &mut dyn RngCore,
+) -> Observation {
+    let k = repliers.len();
+    if k == 0 {
+        return Observation::Silent;
+    }
+    match model {
+        CollisionModel::OnePlus => Observation::Activity,
+        CollisionModel::TwoPlus(capture) => {
+            let p = capture.capture_probability(k);
+            if p >= 1.0 || (p > 0.0 && rng.random_bool(p)) {
+                Observation::Captured(*repliers.choose(rng).expect("k >= 1"))
+            } else {
+                Observation::Activity
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{population, CaptureModel};
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn silent_when_no_positive_member() {
+        let mut ch = IdealChannel::new(8, CollisionModel::OnePlus, 1);
+        ch.set_positives(&ids(&[5]));
+        assert_eq!(ch.query(&ids(&[0, 1, 2])), Observation::Silent);
+        assert_eq!(ch.query(&ids(&[4, 5])), Observation::Activity);
+        assert_eq!(ch.queries_issued(), 2);
+    }
+
+    #[test]
+    fn empty_group_is_silent() {
+        let mut ch = IdealChannel::new(4, CollisionModel::two_plus_default(), 1);
+        ch.set_positives(&ids(&[0, 1, 2, 3]));
+        assert_eq!(ch.query(&[]), Observation::Silent);
+    }
+
+    #[test]
+    fn two_plus_decodes_lone_reply() {
+        let mut ch = IdealChannel::new(8, CollisionModel::two_plus_default(), 2);
+        ch.set_positives(&ids(&[3]));
+        assert_eq!(ch.query(&ids(&[1, 2, 3])), Observation::Captured(NodeId(3)));
+    }
+
+    #[test]
+    fn two_plus_without_capture_reports_activity_on_collision() {
+        let mut ch = IdealChannel::new(8, CollisionModel::TwoPlus(CaptureModel::Never), 3);
+        ch.set_positives(&ids(&[1, 2]));
+        for _ in 0..50 {
+            assert_eq!(ch.query(&ids(&[1, 2])), Observation::Activity);
+        }
+    }
+
+    #[test]
+    fn capture_frequency_tracks_alpha() {
+        let mut ch = IdealChannel::new(
+            8,
+            CollisionModel::TwoPlus(CaptureModel::Geometric { alpha: 0.5 }),
+            4,
+        );
+        ch.set_positives(&ids(&[1, 2])); // k = 2 -> capture prob 0.5
+        let runs = 20_000;
+        let captured = (0..runs)
+            .filter(|_| matches!(ch.query(&ids(&[1, 2])), Observation::Captured(_)))
+            .count();
+        let frac = captured as f64 / runs as f64;
+        assert!((frac - 0.5).abs() < 0.02, "capture fraction {frac}");
+    }
+
+    #[test]
+    fn captured_node_is_a_real_positive() {
+        let mut ch = IdealChannel::new(
+            16,
+            CollisionModel::TwoPlus(CaptureModel::Geometric { alpha: 0.9 }),
+            5,
+        );
+        ch.set_positives(&ids(&[2, 7, 9]));
+        let members = population(16);
+        for _ in 0..200 {
+            if let Observation::Captured(id) = ch.query(&members) {
+                assert!(ch.is_positive(id));
+            }
+        }
+    }
+
+    #[test]
+    fn random_positives_places_exactly_x() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for x in [0, 1, 17, 64, 128] {
+            let ch =
+                IdealChannel::with_random_positives(128, x, CollisionModel::OnePlus, 0, &mut rng);
+            assert_eq!(ch.count_positives(&population(128)), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positives")]
+    fn too_many_positives_panics() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _ = IdealChannel::with_random_positives(4, 5, CollisionModel::OnePlus, 0, &mut rng);
+    }
+
+    #[test]
+    fn one_plus_never_yields_capture() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut ch =
+            IdealChannel::with_random_positives(32, 16, CollisionModel::OnePlus, 7, &mut rng);
+        let members = population(32);
+        for _ in 0..100 {
+            assert!(!matches!(ch.query(&members), Observation::Captured(_)));
+        }
+    }
+}

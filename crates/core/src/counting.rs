@@ -1,0 +1,228 @@
+//! Exact positive counting ("countcast") — an extension beyond the paper.
+//!
+//! The paper's intro motivates classifying an intruder by *counting* the
+//! detections in the neighborhood; threshold queries answer `x >= t`, but
+//! some applications want `x` itself. This module counts exactly using the
+//! same RCD group-query primitive, via adaptive binary splitting (classic
+//! generalized group testing):
+//!
+//! * a silent group is all-negative — discarded at one query;
+//! * under 1+, a non-empty group is split in half and both halves are
+//!   pursued; a non-empty singleton is a confirmed positive;
+//! * under 2+, a captured reply confirms one positive immediately and only
+//!   the remainder of the group is pursued; an undecodable collision
+//!   proves >= 2 positives, sharpening the split.
+//!
+//! Query cost is `O(x log(n/x))` — and a side-by-side with tcast (see the
+//! `counting` experiment) shows why the paper's threshold primitive
+//! matters: when only the threshold question is needed, counting is
+//! strictly more expensive.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::channel::GroupQueryChannel;
+use crate::types::{NodeId, Observation};
+
+/// Result of an exact count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountReport {
+    /// The number of positive nodes found.
+    pub count: usize,
+    /// The identified positive nodes (always `count` of them).
+    pub positives: Vec<NodeId>,
+    /// Group queries spent.
+    pub queries: u64,
+}
+
+/// Exact positive counting over a group-query channel.
+///
+/// The initial shuffle randomizes the split tree so worst-case adversarial
+/// placements do not exist; all subsequent splits are deterministic halves.
+pub fn count_positives(
+    nodes: &[NodeId],
+    channel: &mut dyn GroupQueryChannel,
+    rng: &mut dyn RngCore,
+) -> CountReport {
+    let mut order: Vec<NodeId> = nodes.to_vec();
+    order.shuffle(rng);
+
+    let mut queries = 0u64;
+    let mut positives = Vec::new();
+    // Work stack of unresolved segments (ranges into `order`).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    if !order.is_empty() {
+        stack.push((0, order.len()));
+    }
+
+    while let Some((lo, hi)) = stack.pop() {
+        let segment = &order[lo..hi];
+        if segment.is_empty() {
+            continue;
+        }
+        queries += 1;
+        match channel.query(segment) {
+            Observation::Silent => {
+                // All negative: drop the whole segment.
+            }
+            Observation::Captured(id) => {
+                // One positive identified by the radio; the rest of the
+                // segment is still unknown (capture effect) and must be
+                // pursued without the captured node.
+                positives.push(id);
+                if segment.len() > 1 {
+                    // Compact the segment in place: move the captured node
+                    // to the front and recurse on the remainder.
+                    let pos = order[lo..hi]
+                        .iter()
+                        .position(|&n| n == id)
+                        .expect("captured node is a segment member");
+                    order.swap(lo, lo + pos);
+                    stack.push((lo + 1, hi));
+                }
+            }
+            Observation::Activity => {
+                if segment.len() == 1 {
+                    // A lone responder under 1+: confirmed positive.
+                    positives.push(segment[0]);
+                } else {
+                    let mid = lo + (hi - lo) / 2;
+                    stack.push((mid, hi));
+                    stack.push((lo, mid));
+                }
+            }
+        }
+    }
+
+    positives.sort_unstable();
+    positives.dedup();
+    CountReport {
+        count: positives.len(),
+        positives,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::IdealChannel;
+    use crate::types::{population, CaptureModel, CollisionModel};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn count_case(n: usize, x: usize, model: CollisionModel, seed: u64) -> CountReport {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ch_seed = rng.random();
+        let mut ch = IdealChannel::with_random_positives(n, x, model, ch_seed, &mut rng);
+        let report = count_positives(&population(n), &mut ch, &mut rng);
+        // Every reported positive must be a true positive.
+        for id in &report.positives {
+            assert!(ch.is_positive(*id), "{id} falsely counted");
+        }
+        report
+    }
+
+    #[test]
+    fn exact_count_one_plus() {
+        for seed in 0..10 {
+            for &(n, x) in &[
+                (1usize, 0usize),
+                (1, 1),
+                (32, 0),
+                (32, 1),
+                (32, 7),
+                (64, 64),
+            ] {
+                let r = count_case(n, x, CollisionModel::OnePlus, seed);
+                assert_eq!(r.count, x, "n={n} x={x} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_two_plus_all_capture_models() {
+        for model in [
+            CollisionModel::TwoPlus(CaptureModel::Never),
+            CollisionModel::TwoPlus(CaptureModel::Geometric { alpha: 0.5 }),
+            CollisionModel::TwoPlus(CaptureModel::Geometric { alpha: 1.0 }),
+        ] {
+            for seed in 0..10 {
+                let r = count_case(48, 13, model, seed);
+                assert_eq!(r.count, 13, "{model:?} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_network_costs_one_query() {
+        let r = count_case(64, 0, CollisionModel::OnePlus, 1);
+        assert_eq!(r.queries, 1, "one spanning silent query settles x=0");
+    }
+
+    #[test]
+    fn empty_population_costs_nothing() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ch = IdealChannel::new(4, CollisionModel::OnePlus, 3);
+        let r = count_positives(&[], &mut ch, &mut rng);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.queries, 0);
+    }
+
+    #[test]
+    fn cost_scales_with_x_not_n() {
+        // Sparse positives: cost ~ x log(n/x), far below n.
+        let r = count_case(1024, 4, CollisionModel::OnePlus, 3);
+        assert!(
+            r.queries < 80,
+            "4 positives in 1024 nodes took {} queries",
+            r.queries
+        );
+        // Info-theoretic floor: must at least bisect down to each positive.
+        assert!(r.queries >= 4);
+    }
+
+    #[test]
+    fn capture_reduces_cost() {
+        let runs = 60;
+        let total = |model: CollisionModel| -> u64 {
+            (0..runs)
+                .map(|s| count_case(128, 16, model, s).queries)
+                .sum()
+        };
+        let one_plus = total(CollisionModel::OnePlus);
+        let capture = total(CollisionModel::TwoPlus(CaptureModel::Geometric {
+            alpha: 0.9,
+        }));
+        assert!(
+            capture < one_plus,
+            "captures should cheapen counting: 2+ {capture} vs 1+ {one_plus}"
+        );
+    }
+
+    #[test]
+    fn counting_costs_more_than_threshold_query() {
+        use crate::querier::ThresholdQuerier;
+        use crate::twotbins::TwoTBins;
+        let (n, x, t) = (128, 32, 16);
+        let mut count_total = 0u64;
+        let mut tcast_total = 0u64;
+        for seed in 0..50 {
+            count_total += count_case(n, x, CollisionModel::OnePlus, seed).queries;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ch_seed = rng.random();
+            let mut ch = IdealChannel::with_random_positives(
+                n,
+                x,
+                CollisionModel::OnePlus,
+                ch_seed,
+                &mut rng,
+            );
+            tcast_total += TwoTBins.run(&population(n), t, &mut ch, &mut rng).queries;
+        }
+        assert!(
+            tcast_total * 2 < count_total,
+            "threshold query ({tcast_total}) should be far cheaper than counting ({count_total})"
+        );
+    }
+}

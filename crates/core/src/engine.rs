@@ -1,0 +1,683 @@
+//! The shared round machinery behind every tcast algorithm.
+//!
+//! All algorithms in the paper (2tBins, Exponential Increase, ABNS and its
+//! variants, the oracle) iterate the same inner loop and differ *only* in
+//! how many bins they request per round:
+//!
+//! 1. randomly partition the candidate set `n` into `b` equal-sized bins;
+//! 2. query bins one by one; a silent bin eliminates its members;
+//! 3. terminate **true** as soon as the accumulated evidence (non-empty
+//!    bins, plus nodes identified by 2+ captures) reaches `t`;
+//! 4. terminate **false** as soon as even an all-positive remainder could
+//!    not reach `t`.
+//!
+//! Bins that received zero member nodes during partitioning (possible when
+//! `|n| < b`) are skipped at no query cost — the paper's "empty bins are
+//! arranged at the end and never occupy a time slot" accounting (see
+//! DESIGN.md §3.3).
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::channel::{GroupQueryChannel, PairedGroupQueryChannel};
+use crate::types::{CollisionModel, NodeId, Observation, QueryReport, RoundTrace};
+
+/// Mutable state of one threshold-querying session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Candidate nodes whose status is still unknown.
+    remaining: Vec<NodeId>,
+    /// Positives identified by name (2+ captures), removed from `remaining`.
+    confirmed: usize,
+    /// The threshold being tested.
+    t: usize,
+    /// Queries issued so far.
+    queries: u64,
+    /// Rounds started so far.
+    rounds: u32,
+    trace: Vec<RoundTrace>,
+    /// Scratch buffer reused across rounds to avoid per-round allocation.
+    scratch: Vec<NodeId>,
+}
+
+/// Result of executing one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// The threshold question was answered during the round.
+    Decided(bool),
+    /// The round completed without an answer; statistics for adaptive bin
+    /// selection.
+    Undecided(RoundStats),
+}
+
+/// Per-round statistics surfaced to adaptive algorithms (ABNS Eq. (6) needs
+/// the number of empty bins among those queried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Bins that contained members and were actually queried.
+    pub queried_bins: usize,
+    /// Queried bins observed silent.
+    pub silent_bins: usize,
+    /// Members eliminated via silent bins.
+    pub eliminated: usize,
+    /// Positives identified by capture.
+    pub captured: usize,
+}
+
+impl Session {
+    /// Starts a session over `nodes` with threshold `t`.
+    pub fn new(nodes: &[NodeId], t: usize) -> Self {
+        Self {
+            remaining: nodes.to_vec(),
+            confirmed: 0,
+            t,
+            queries: 0,
+            rounds: 0,
+            trace: Vec::new(),
+            scratch: Vec::with_capacity(nodes.len()),
+        }
+    }
+
+    /// Answers decidable without any query: `t == 0` is trivially satisfied
+    /// and `t > N` is trivially unsatisfiable.
+    pub fn precheck(&self) -> Option<bool> {
+        if self.t == 0 {
+            Some(true)
+        } else if self.confirmed + self.remaining.len() < self.t {
+            Some(false)
+        } else if self.confirmed >= self.t {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Candidate nodes still in play.
+    pub fn remaining(&self) -> &[NodeId] {
+        &self.remaining
+    }
+
+    /// Number of candidates still in play.
+    pub fn remaining_len(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Positives identified by capture so far.
+    pub fn confirmed(&self) -> usize {
+        self.confirmed
+    }
+
+    /// The session threshold.
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// Queries issued so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Rounds started so far.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Finalizes the session into a report.
+    pub fn into_report(self, answer: bool) -> QueryReport {
+        QueryReport {
+            answer,
+            queries: self.queries,
+            rounds: self.rounds,
+            confirmed_positives: self.confirmed,
+            trace: self.trace,
+        }
+    }
+
+    /// Executes one round with `bins` bins. `bins` is clamped to
+    /// `[1, |remaining|]`; requesting more bins than nodes merely produces
+    /// free zero-member bins, so the clamp is behaviourally neutral.
+    pub fn run_round(
+        &mut self,
+        bins: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+    ) -> RoundOutcome {
+        debug_assert!(
+            self.precheck().is_none(),
+            "round started on a decided session"
+        );
+        let n = self.remaining.len();
+        let bins = bins.clamp(1, n.max(1));
+        self.rounds += 1;
+
+        // Random equal partition: shuffle, then cut into `bins` contiguous
+        // chunks; the first `n % bins` chunks take one extra node.
+        self.remaining.shuffle(rng);
+        let base = n / bins;
+        let extra = n % bins;
+
+        let model = channel.model();
+        let mut kept = std::mem::take(&mut self.scratch);
+        kept.clear();
+
+        let mut stats = RoundStats {
+            queried_bins: 0,
+            silent_bins: 0,
+            eliminated: 0,
+            captured: 0,
+        };
+        // Evidence of distinct positives observed *this round* in bins that
+        // were not resolved by capture.
+        let mut evidence = 0usize;
+        let mut offset = 0usize;
+        let mut decided = None;
+
+        for bin_idx in 0..bins {
+            let size = base + usize::from(bin_idx < extra);
+            if size == 0 {
+                continue; // zero-member bin: free, per the paper's accounting
+            }
+            let members = &self.remaining[offset..offset + size];
+            offset += size;
+
+            self.queries += 1;
+            stats.queried_bins += 1;
+            let obs = channel.query(members);
+            debug_assert!(crate::channel::observation_valid(model, obs));
+
+            absorb_bin(
+                members,
+                obs,
+                model,
+                &mut kept,
+                &mut self.confirmed,
+                &mut evidence,
+                &mut stats,
+            );
+
+            // Line 11 analogue: enough evidence of distinct positives.
+            if self.confirmed + evidence >= self.t {
+                decided = Some(true);
+                break;
+            }
+            // Line 14 analogue: even an all-positive remainder cannot reach
+            // t. Unprocessed bins are still candidates.
+            let unprocessed = n - offset;
+            if self.confirmed + kept.len() + unprocessed < self.t {
+                decided = Some(false);
+                break;
+            }
+        }
+
+        // Unprocessed nodes (early termination) stay candidates.
+        kept.extend_from_slice(&self.remaining[offset..]);
+        self.remaining.clear();
+        std::mem::swap(&mut self.remaining, &mut kept);
+        self.scratch = kept;
+
+        self.trace.push(RoundTrace {
+            bins,
+            queried_bins: stats.queried_bins,
+            silent_bins: stats.silent_bins,
+            eliminated: stats.eliminated,
+            captured: stats.captured,
+            remaining: self.remaining.len(),
+        });
+
+        match decided {
+            Some(answer) => RoundOutcome::Decided(answer),
+            None => RoundOutcome::Undecided(stats),
+        }
+    }
+
+    /// Executes one round over a paired channel, querying bins two at a
+    /// time (the CC2420 dual-address backcast, Section IV-D).
+    ///
+    /// Query-count accounting is identical to [`Session::run_round`];
+    /// exchanges just take less airtime on a full-stack channel. The one
+    /// behavioural difference: termination is checked per *pair*, so a
+    /// session may spend up to one extra query compared to the sequential
+    /// executor (the second half of a pair whose first half already
+    /// decided).
+    pub fn run_round_paired(
+        &mut self,
+        bins: usize,
+        channel: &mut dyn PairedGroupQueryChannel,
+        rng: &mut dyn RngCore,
+    ) -> RoundOutcome {
+        debug_assert!(
+            self.precheck().is_none(),
+            "round started on a decided session"
+        );
+        let n = self.remaining.len();
+        let bins = bins.clamp(1, n.max(1));
+        self.rounds += 1;
+
+        self.remaining.shuffle(rng);
+        let base = n / bins;
+        let extra = n % bins;
+        // Contiguous non-empty chunk boundaries.
+        let mut ranges = Vec::with_capacity(bins.min(n));
+        let mut offset = 0usize;
+        for bin_idx in 0..bins {
+            let size = base + usize::from(bin_idx < extra);
+            if size > 0 {
+                ranges.push((offset, offset + size));
+                offset += size;
+            }
+        }
+
+        let model = channel.model();
+        let mut kept = std::mem::take(&mut self.scratch);
+        kept.clear();
+        let mut stats = RoundStats {
+            queried_bins: 0,
+            silent_bins: 0,
+            eliminated: 0,
+            captured: 0,
+        };
+        let mut evidence = 0usize;
+        let mut decided = None;
+        let mut absorbed_hi = 0usize;
+
+        let mut idx = 0;
+        while idx < ranges.len() && decided.is_none() {
+            let pair_obs: [(usize, usize, Observation); 2];
+            let pair_len;
+            if idx + 1 < ranges.len() {
+                let (a_lo, a_hi) = ranges[idx];
+                let (b_lo, b_hi) = ranges[idx + 1];
+                self.queries += 2;
+                stats.queried_bins += 2;
+                let (oa, ob) =
+                    channel.query_pair(&self.remaining[a_lo..a_hi], &self.remaining[b_lo..b_hi]);
+                debug_assert!(crate::channel::observation_valid(model, oa));
+                debug_assert!(crate::channel::observation_valid(model, ob));
+                pair_obs = [(a_lo, a_hi, oa), (b_lo, b_hi, ob)];
+                pair_len = 2;
+            } else {
+                let (lo, hi) = ranges[idx];
+                self.queries += 1;
+                stats.queried_bins += 1;
+                let obs = channel.query(&self.remaining[lo..hi]);
+                debug_assert!(crate::channel::observation_valid(model, obs));
+                pair_obs = [(lo, hi, obs), (0, 0, Observation::Silent)];
+                pair_len = 1;
+            }
+            for &(lo, hi, obs) in pair_obs.iter().take(pair_len) {
+                if decided.is_some() {
+                    // The pair's first half already decided: the second
+                    // query was spent, but its outcome no longer matters;
+                    // keep its members so the candidate set stays a
+                    // superset of the positives.
+                    kept.extend_from_slice(&self.remaining[lo..hi]);
+                    absorbed_hi = hi;
+                    continue;
+                }
+                let members = &self.remaining[lo..hi];
+                absorb_bin(
+                    members,
+                    obs,
+                    model,
+                    &mut kept,
+                    &mut self.confirmed,
+                    &mut evidence,
+                    &mut stats,
+                );
+                absorbed_hi = hi;
+                if self.confirmed + evidence >= self.t {
+                    decided = Some(true);
+                } else if self.confirmed + kept.len() + (n - absorbed_hi) < self.t {
+                    decided = Some(false);
+                }
+            }
+            idx += 2;
+        }
+
+        kept.extend_from_slice(&self.remaining[absorbed_hi..]);
+        self.remaining.clear();
+        std::mem::swap(&mut self.remaining, &mut kept);
+        self.scratch = kept;
+
+        self.trace.push(RoundTrace {
+            bins,
+            queried_bins: stats.queried_bins,
+            silent_bins: stats.silent_bins,
+            eliminated: stats.eliminated,
+            captured: stats.captured,
+            remaining: self.remaining.len(),
+        });
+
+        match decided {
+            Some(answer) => RoundOutcome::Decided(answer),
+            None => RoundOutcome::Undecided(stats),
+        }
+    }
+}
+
+/// Folds one bin's observation into the round state. Shared by the
+/// sequential and paired round executors.
+#[allow(clippy::too_many_arguments)]
+fn absorb_bin(
+    members: &[NodeId],
+    obs: Observation,
+    model: CollisionModel,
+    kept: &mut Vec<NodeId>,
+    confirmed: &mut usize,
+    evidence: &mut usize,
+    stats: &mut RoundStats,
+) {
+    match obs {
+        Observation::Silent => {
+            stats.silent_bins += 1;
+            stats.eliminated += members.len();
+            // Members are negative: drop them.
+        }
+        Observation::Activity => {
+            *evidence += model.activity_lower_bound();
+            kept.extend_from_slice(members);
+        }
+        Observation::Captured(id) => {
+            debug_assert!(
+                members.contains(&id),
+                "captured node {id} not a member of the queried bin"
+            );
+            stats.captured += 1;
+            *confirmed += 1;
+            // The captured node is a known positive; the rest of the bin
+            // stays unknown (capture effect, Section III-A).
+            kept.extend(members.iter().copied().filter(|&m| m != id));
+        }
+    }
+}
+
+/// Drives a session to completion with a per-round bin-count policy.
+///
+/// This is the generic skeleton instantiated by every algorithm: the policy
+/// receives the session state and the previous round's statistics and
+/// returns the next round's bin count.
+pub fn run_with_policy(
+    nodes: &[NodeId],
+    t: usize,
+    channel: &mut dyn GroupQueryChannel,
+    rng: &mut dyn RngCore,
+    mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> QueryReport {
+    let mut session = Session::new(nodes, t);
+    let mut last_stats: Option<RoundStats> = None;
+    loop {
+        if let Some(answer) = session.precheck() {
+            return session.into_report(answer);
+        }
+        let bins = policy(&session, last_stats.as_ref());
+        match session.run_round(bins, channel, rng) {
+            RoundOutcome::Decided(answer) => return session.into_report(answer),
+            RoundOutcome::Undecided(stats) => last_stats = Some(stats),
+        }
+    }
+}
+
+/// Paired variant of [`run_with_policy`]: same control flow, but rounds
+/// execute over a [`PairedGroupQueryChannel`].
+pub fn run_with_policy_paired(
+    nodes: &[NodeId],
+    t: usize,
+    channel: &mut dyn PairedGroupQueryChannel,
+    rng: &mut dyn RngCore,
+    mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> QueryReport {
+    let mut session = Session::new(nodes, t);
+    let mut last_stats: Option<RoundStats> = None;
+    loop {
+        if let Some(answer) = session.precheck() {
+            return session.into_report(answer);
+        }
+        let bins = policy(&session, last_stats.as_ref());
+        match session.run_round_paired(bins, channel, rng) {
+            RoundOutcome::Decided(answer) => return session.into_report(answer),
+            RoundOutcome::Undecided(stats) => last_stats = Some(stats),
+        }
+    }
+}
+
+/// Returns `true` when `model` can ever produce captures (used by tests).
+pub fn model_captures(model: CollisionModel) -> bool {
+    matches!(model, CollisionModel::TwoPlus(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::IdealChannel;
+    use crate::types::{population, CaptureModel, CollisionModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ideal(n: usize, positives: &[u32], model: CollisionModel) -> IdealChannel {
+        let mut ch = IdealChannel::new(n, model, 99);
+        let ids: Vec<NodeId> = positives.iter().copied().map(NodeId).collect();
+        ch.set_positives(&ids);
+        ch
+    }
+
+    #[test]
+    fn precheck_trivial_cases() {
+        let nodes = population(8);
+        assert_eq!(Session::new(&nodes, 0).precheck(), Some(true));
+        assert_eq!(Session::new(&nodes, 9).precheck(), Some(false));
+        assert_eq!(Session::new(&nodes, 8).precheck(), None);
+        assert_eq!(Session::new(&[], 1).precheck(), Some(false));
+    }
+
+    #[test]
+    fn silent_round_eliminates_everyone() {
+        let nodes = population(16);
+        let mut ch = ideal(16, &[], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = Session::new(&nodes, 4);
+        // One bin spanning everything: silent, so everyone is eliminated and
+        // the round decides false.
+        let out = s.run_round(1, &mut ch, &mut rng);
+        assert_eq!(out, RoundOutcome::Decided(false));
+        assert_eq!(s.remaining_len(), 0);
+        assert_eq!(s.queries(), 1);
+    }
+
+    #[test]
+    fn true_decision_counts_nonempty_bins() {
+        let nodes = population(8);
+        // Everyone positive, t = 3: with 8 singleton bins the third query
+        // must already decide true.
+        let mut ch = ideal(8, &[0, 1, 2, 3, 4, 5, 6, 7], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = Session::new(&nodes, 3);
+        let out = s.run_round(8, &mut ch, &mut rng);
+        assert_eq!(out, RoundOutcome::Decided(true));
+        assert_eq!(s.queries(), 3);
+    }
+
+    #[test]
+    fn two_plus_activity_counts_double() {
+        // Two positives in one bin, t = 2, capture disabled: a single
+        // Activity observation under 2+ proves two positives.
+        let nodes = population(4);
+        let mut ch = ideal(4, &[0, 1], CollisionModel::TwoPlus(CaptureModel::Never));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut s = Session::new(&nodes, 2);
+        // Single bin spanning everything.
+        let out = s.run_round(1, &mut ch, &mut rng);
+        assert_eq!(out, RoundOutcome::Decided(true));
+        assert_eq!(s.queries(), 1);
+    }
+
+    #[test]
+    fn capture_confirms_and_removes_only_the_captured_node() {
+        let nodes = population(6);
+        let mut ch = ideal(6, &[2], CollisionModel::two_plus_default());
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut s = Session::new(&nodes, 2);
+        let out = s.run_round(1, &mut ch, &mut rng);
+        // One capture: evidence 1 < t=2, round undecided.
+        assert_eq!(
+            out,
+            RoundOutcome::Undecided(RoundStats {
+                queried_bins: 1,
+                silent_bins: 0,
+                eliminated: 0,
+                captured: 1,
+            })
+        );
+        assert_eq!(s.confirmed(), 1);
+        assert_eq!(s.remaining_len(), 5);
+        assert!(!s.remaining().contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn confirmed_positives_persist_across_rounds() {
+        let nodes = population(4);
+        let mut ch = ideal(4, &[0, 1], CollisionModel::two_plus_default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut s = Session::new(&nodes, 2);
+        // Singleton bins: both positives get captured; after the second
+        // capture the session decides true.
+        let mut decided = None;
+        for _ in 0..10 {
+            if let Some(a) = s.precheck() {
+                decided = Some(a);
+                break;
+            }
+            if let RoundOutcome::Decided(a) = s.run_round(4, &mut ch, &mut rng) {
+                decided = Some(a);
+                break;
+            }
+        }
+        assert_eq!(decided, Some(true));
+    }
+
+    #[test]
+    fn zero_member_bins_cost_nothing() {
+        let nodes = population(3);
+        let mut ch = ideal(3, &[], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut s = Session::new(&nodes, 1);
+        // Ask for 10 bins over 3 nodes: only 3 are queried.
+        let out = s.run_round(10, &mut ch, &mut rng);
+        assert_eq!(out, RoundOutcome::Decided(false));
+        assert!(s.queries() <= 3);
+    }
+
+    #[test]
+    fn policy_driver_reaches_a_verdict() {
+        let nodes = population(32);
+        for x in [0usize, 1, 8, 16, 32] {
+            let positives: Vec<u32> = (0..x as u32).collect();
+            let mut ch = ideal(32, &positives, CollisionModel::OnePlus);
+            let mut rng = SmallRng::seed_from_u64(7 + x as u64);
+            let report = run_with_policy(&nodes, 8, &mut ch, &mut rng, |s, _| 2 * s.threshold());
+            assert_eq!(report.answer, x >= 8, "x={x}");
+        }
+    }
+
+    #[test]
+    fn paired_round_matches_sequential_verdicts() {
+        for seed in 0..30u64 {
+            for &(n, x, t) in &[
+                (32usize, 0usize, 4usize),
+                (32, 4, 4),
+                (32, 20, 4),
+                (17, 3, 5),
+            ] {
+                let positives: Vec<u32> = (0..x as u32).collect();
+                let mut ch = ideal(n, &positives, CollisionModel::OnePlus);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let report =
+                    run_with_policy_paired(&population(n), t, &mut ch, &mut rng, |s, _| {
+                        2 * s.threshold()
+                    });
+                assert_eq!(report.answer, x >= t, "n={n} x={x} t={t} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn paired_round_costs_at_most_one_extra_query() {
+        // Everyone positive, t = 3: sequential decides at query 3; paired
+        // may spend the 4th (its pair partner).
+        let nodes = population(8);
+        let mut ch = ideal(8, &[0, 1, 2, 3, 4, 5, 6, 7], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = Session::new(&nodes, 3);
+        let out = s.run_round_paired(8, &mut ch, &mut rng);
+        assert_eq!(out, RoundOutcome::Decided(true));
+        assert_eq!(s.queries(), 4, "pair granularity: 3 needed, 4 spent");
+    }
+
+    #[test]
+    fn paired_round_with_odd_bin_count_queries_all() {
+        let nodes = population(9);
+        let mut ch = ideal(9, &[], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut s = Session::new(&nodes, 1);
+        let out = s.run_round_paired(3, &mut ch, &mut rng);
+        assert_eq!(out, RoundOutcome::Decided(false));
+        assert_eq!(s.queries(), 3, "two pairs: (2) + (1 single)");
+        assert_eq!(s.remaining_len(), 0);
+    }
+
+    #[test]
+    fn paired_round_handles_captures() {
+        // 2+ model through the paired path: a capture confirms and removes
+        // exactly the captured node.
+        let nodes = population(6);
+        let mut ch = ideal(6, &[2], CollisionModel::two_plus_default());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut s = Session::new(&nodes, 2);
+        let out = s.run_round_paired(2, &mut ch, &mut rng);
+        assert!(matches!(out, RoundOutcome::Undecided(_)));
+        assert_eq!(s.confirmed(), 1);
+        assert!(!s.remaining().contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn paired_round_full_coverage_matches_sequential_eliminations() {
+        // A round that stays undecided (x=1 < t=2, plenty of survivors):
+        // the paired and sequential executors must end with identical
+        // candidate sets and costs for identical seeds.
+        let nodes = population(24);
+        let positives = [9u32];
+        for seed in 0..10u64 {
+            let mut ch1 = ideal(24, &positives, CollisionModel::OnePlus);
+            let mut rng1 = SmallRng::seed_from_u64(seed);
+            let mut s1 = Session::new(&nodes, 2);
+            let o1 = s1.run_round(6, &mut ch1, &mut rng1);
+
+            let mut ch2 = ideal(24, &positives, CollisionModel::OnePlus);
+            let mut rng2 = SmallRng::seed_from_u64(seed);
+            let mut s2 = Session::new(&nodes, 2);
+            let o2 = s2.run_round_paired(6, &mut ch2, &mut rng2);
+            assert!(matches!(o1, RoundOutcome::Undecided(_)), "seed={seed}");
+
+            assert_eq!(o1, o2, "seed={seed}");
+            let mut r1: Vec<_> = s1.remaining().to_vec();
+            let mut r2: Vec<_> = s2.remaining().to_vec();
+            r1.sort_unstable();
+            r2.sort_unstable();
+            assert_eq!(r1, r2, "seed={seed}");
+            assert_eq!(s1.queries(), s2.queries(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn early_termination_keeps_unqueried_nodes() {
+        // Everyone positive, t=1: first query decides true; the other nodes
+        // must remain candidates (not silently dropped).
+        let nodes = population(8);
+        let mut ch = ideal(8, &[0, 1, 2, 3, 4, 5, 6, 7], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut s = Session::new(&nodes, 1);
+        let out = s.run_round(8, &mut ch, &mut rng);
+        assert_eq!(out, RoundOutcome::Decided(true));
+        assert_eq!(s.queries(), 1);
+        assert_eq!(s.remaining_len(), 8, "7 unqueried + 1 active bin kept");
+    }
+}

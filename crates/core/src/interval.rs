@@ -1,0 +1,230 @@
+//! Interval queries and classification — an extension beyond the paper.
+//!
+//! The paper's introduction motivates *classifying* an intruder ("say as a
+//! soldier, car, or tank") by the number of detections in the
+//! neighborhood. Class boundaries partition `0..=N` into bands, and the
+//! initiator needs to know which band `x` falls in — a small number of
+//! threshold queries arranged as a binary search, not an exact count.
+//!
+//! * [`interval_query`] decides `x < lo` / `lo <= x < hi` / `x >= hi` with
+//!   at most two threshold sessions (one when the upper test already
+//!   resolves the question).
+//! * [`classify`] locates `x`'s band among arbitrary ascending boundaries
+//!   with `ceil(log2(bands))` threshold sessions.
+//!
+//! Both work with *any* [`ThresholdQuerier`], so the underlying sessions
+//! enjoy whatever adaptivity the chosen algorithm provides.
+
+use rand::RngCore;
+
+use crate::channel::GroupQueryChannel;
+use crate::querier::ThresholdQuerier;
+use crate::types::NodeId;
+
+/// Verdict of an interval query over the half-open band `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalVerdict {
+    /// `x < lo`.
+    Below,
+    /// `lo <= x < hi`.
+    Within,
+    /// `x >= hi`.
+    AtOrAbove,
+}
+
+/// Result of an interval query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalReport {
+    /// Where `x` fell.
+    pub verdict: IntervalVerdict,
+    /// Total group queries across the underlying threshold sessions.
+    pub queries: u64,
+    /// Threshold sessions executed (1 or 2).
+    pub sessions: u32,
+}
+
+/// Decides where `x` stands relative to the band `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi`.
+pub fn interval_query(
+    nodes: &[NodeId],
+    lo: usize,
+    hi: usize,
+    alg: &dyn ThresholdQuerier,
+    channel: &mut dyn GroupQueryChannel,
+    rng: &mut dyn RngCore,
+) -> IntervalReport {
+    assert!(lo < hi, "empty interval [{lo}, {hi})");
+    let upper = alg.run(nodes, hi, channel, rng);
+    if upper.answer {
+        return IntervalReport {
+            verdict: IntervalVerdict::AtOrAbove,
+            queries: upper.queries,
+            sessions: 1,
+        };
+    }
+    let lower = alg.run(nodes, lo, channel, rng);
+    IntervalReport {
+        verdict: if lower.answer {
+            IntervalVerdict::Within
+        } else {
+            IntervalVerdict::Below
+        },
+        queries: upper.queries + lower.queries,
+        sessions: 2,
+    }
+}
+
+/// Result of a classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Band index: `0` means `x < boundaries[0]`, `i` means
+    /// `boundaries[i-1] <= x < boundaries[i]`, and `boundaries.len()`
+    /// means `x >= boundaries.last()`.
+    pub class: usize,
+    /// Total group queries.
+    pub queries: u64,
+    /// Threshold sessions executed (`<= ceil(log2(bands))`).
+    pub sessions: u32,
+}
+
+/// Binary-searches `x`'s band among strictly ascending `boundaries`.
+///
+/// # Panics
+///
+/// Panics if `boundaries` is empty or not strictly ascending.
+pub fn classify(
+    nodes: &[NodeId],
+    boundaries: &[usize],
+    alg: &dyn ThresholdQuerier,
+    channel: &mut dyn GroupQueryChannel,
+    rng: &mut dyn RngCore,
+) -> ClassReport {
+    assert!(!boundaries.is_empty(), "need at least one class boundary");
+    assert!(
+        boundaries.windows(2).all(|w| w[0] < w[1]),
+        "boundaries must be strictly ascending"
+    );
+    let mut queries = 0u64;
+    let mut sessions = 0u32;
+    // Invariant: the answer band index lies in lo..=hi.
+    let mut lo = 0usize;
+    let mut hi = boundaries.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let report = alg.run(nodes, boundaries[mid], channel, rng);
+        queries += report.queries;
+        sessions += 1;
+        if report.answer {
+            // x >= boundaries[mid]: band index is at least mid + 1.
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    ClassReport {
+        class: lo,
+        queries,
+        sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::IdealChannel;
+    use crate::twotbins::TwoTBins;
+    use crate::types::{population, CollisionModel};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn channel(n: usize, x: usize, seed: u64, rng: &mut SmallRng) -> IdealChannel {
+        let s = rng.random();
+        let _ = seed;
+        IdealChannel::with_random_positives(n, x, CollisionModel::OnePlus, s, rng)
+    }
+
+    #[test]
+    fn interval_verdicts_are_exact() {
+        let nodes = population(64);
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for &(x, lo, hi, expect) in &[
+                (2usize, 8usize, 24usize, IntervalVerdict::Below),
+                (8, 8, 24, IntervalVerdict::Within),
+                (16, 8, 24, IntervalVerdict::Within),
+                (23, 8, 24, IntervalVerdict::Within),
+                (24, 8, 24, IntervalVerdict::AtOrAbove),
+                (60, 8, 24, IntervalVerdict::AtOrAbove),
+                (0, 1, 2, IntervalVerdict::Below),
+                (64, 8, 64, IntervalVerdict::AtOrAbove),
+            ] {
+                let mut ch = channel(64, x, seed, &mut rng);
+                let r = interval_query(&nodes, lo, hi, &TwoTBins, &mut ch, &mut rng);
+                assert_eq!(r.verdict, expect, "x={x} band=[{lo},{hi}) seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_or_above_needs_one_session() {
+        let nodes = population(64);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ch = channel(64, 60, 1, &mut rng);
+        let r = interval_query(&nodes, 8, 24, &TwoTBins, &mut ch, &mut rng);
+        assert_eq!(r.sessions, 1);
+        assert_eq!(r.verdict, IntervalVerdict::AtOrAbove);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn inverted_interval_panics() {
+        let nodes = population(8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ch = channel(8, 2, 2, &mut rng);
+        let _ = interval_query(&nodes, 5, 5, &TwoTBins, &mut ch, &mut rng);
+    }
+
+    #[test]
+    fn classification_finds_the_right_band() {
+        // Soldier (< 8), car (8..32), tank (>= 32).
+        let boundaries = [8usize, 32];
+        let nodes = population(128);
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for &(x, expect) in &[(0usize, 0usize), (7, 0), (8, 1), (31, 1), (32, 2), (128, 2)] {
+                let mut ch = channel(128, x, seed, &mut rng);
+                let r = classify(&nodes, &boundaries, &TwoTBins, &mut ch, &mut rng);
+                assert_eq!(r.class, expect, "x={x} seed={seed}");
+                assert!(r.sessions <= 2, "log2(3 bands) rounds up to 2");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_session_bound_is_logarithmic() {
+        // 7 boundaries -> 8 bands -> exactly 3 sessions.
+        let boundaries = [4usize, 8, 16, 32, 48, 64, 96];
+        let nodes = population(128);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for x in [0usize, 5, 20, 50, 100, 128] {
+            let mut ch = channel(128, x, 3, &mut rng);
+            let r = classify(&nodes, &boundaries, &TwoTBins, &mut ch, &mut rng);
+            assert_eq!(r.sessions, 3, "x={x}");
+            // Verify the band is correct.
+            let expect = boundaries.iter().filter(|&&b| x >= b).count();
+            assert_eq!(r.class, expect, "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_boundaries_panic() {
+        let nodes = population(8);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ch = channel(8, 2, 4, &mut rng);
+        let _ = classify(&nodes, &[5, 3], &TwoTBins, &mut ch, &mut rng);
+    }
+}

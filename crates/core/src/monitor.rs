@@ -1,0 +1,223 @@
+//! Continuous threshold monitoring — an extension beyond the paper.
+//!
+//! Section V-C observes that "given historical data about previous x
+//! values, we can make an inference about the real x value and use it in
+//! the selection of p0 in the first tcast round". This module closes that
+//! loop: a [`ThresholdMonitor`] answers a *sequence* of threshold queries
+//! (one per sensing epoch), warm-starting each ABNS session with an
+//! exponentially-smoothed estimate of `x` recovered from the previous
+//! session's own round statistics. Physical processes change slowly, so
+//! consecutive epochs have correlated `x` — and the warm start converts
+//! that correlation into queries saved.
+
+use rand::RngCore;
+
+use crate::abns::{estimate_p, Abns, InitialEstimate};
+use crate::channel::GroupQueryChannel;
+use crate::querier::ThresholdQuerier;
+use crate::types::{NodeId, QueryReport};
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Smoothing factor for the running `x` estimate in `(0, 1]`:
+    /// 1 = trust only the latest epoch.
+    pub smoothing: f64,
+    /// Initial estimate before any epoch has run (falls back to the
+    /// ABNS default `2t` when `None`).
+    pub initial_estimate: Option<f64>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            smoothing: 0.7,
+            initial_estimate: None,
+        }
+    }
+}
+
+/// Epoch-to-epoch threshold monitor.
+#[derive(Debug, Clone)]
+pub struct ThresholdMonitor {
+    config: MonitorConfig,
+    estimate: Option<f64>,
+    epochs: u64,
+    total_queries: u64,
+}
+
+impl ThresholdMonitor {
+    /// A fresh monitor.
+    pub fn new(config: MonitorConfig) -> Self {
+        assert!(
+            config.smoothing > 0.0 && config.smoothing <= 1.0,
+            "smoothing must be in (0, 1], got {}",
+            config.smoothing
+        );
+        Self {
+            config,
+            estimate: config.initial_estimate,
+            epochs: 0,
+            total_queries: 0,
+        }
+    }
+
+    /// The current smoothed `x` estimate, if any epoch has run.
+    pub fn estimate(&self) -> Option<f64> {
+        self.estimate
+    }
+
+    /// Epochs processed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Total queries across all epochs.
+    pub fn total_queries(&self) -> u64 {
+        self.total_queries
+    }
+
+    /// Runs one epoch's threshold query, warm-started from history.
+    pub fn epoch(
+        &mut self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+    ) -> QueryReport {
+        let alg = match self.estimate {
+            Some(p) => Abns::with_p0(InitialEstimate::Fixed(p)),
+            None => Abns::p0_2t(),
+        };
+        let report = alg.run(nodes, t, channel, rng);
+        self.absorb(nodes.len(), &report);
+        report
+    }
+
+    /// Folds one session's evidence into the running estimate.
+    fn absorb(&mut self, n: usize, report: &QueryReport) {
+        self.epochs += 1;
+        self.total_queries += report.queries;
+        let observed = Self::recover_estimate(n, report);
+        if let Some(obs) = observed {
+            let a = self.config.smoothing;
+            self.estimate = Some(match self.estimate {
+                Some(prev) => a * obs + (1.0 - a) * prev,
+                None => obs,
+            });
+        }
+    }
+
+    /// Recovers an `x` estimate from a finished session's trace: the first
+    /// *complete* round's empty-bin ratio fed through the ABNS estimator
+    /// (Eq. (6)), plus any capture-confirmed positives.
+    fn recover_estimate(n: usize, report: &QueryReport) -> Option<f64> {
+        let round = report.trace.iter().find(|r| r.queried_bins > 0)?;
+        let p = estimate_p(round.silent_bins, round.queried_bins, n);
+        Some(p + report.confirmed_positives as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::IdealChannel;
+    use crate::types::{population, CollisionModel};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_epochs(
+        monitor: &mut ThresholdMonitor,
+        xs: &[usize],
+        n: usize,
+        t: usize,
+        seed: u64,
+    ) -> u64 {
+        let nodes = population(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut total = 0;
+        for &x in xs {
+            let ch_seed = rng.random();
+            let mut ch = IdealChannel::with_random_positives(
+                n,
+                x,
+                CollisionModel::OnePlus,
+                ch_seed,
+                &mut rng,
+            );
+            let report = monitor.epoch(&nodes, t, &mut ch, &mut rng);
+            assert_eq!(report.answer, x >= t, "epoch with x={x}");
+            total += report.queries;
+        }
+        total
+    }
+
+    #[test]
+    fn verdicts_stay_exact_across_epochs() {
+        let mut m = ThresholdMonitor::new(MonitorConfig::default());
+        run_epochs(&mut m, &[0, 3, 9, 16, 40, 128, 2, 0], 128, 16, 1);
+        assert_eq!(m.epochs(), 8);
+        assert!(m.total_queries() > 0);
+    }
+
+    #[test]
+    fn estimate_tracks_a_stable_process() {
+        let mut m = ThresholdMonitor::new(MonitorConfig::default());
+        run_epochs(&mut m, &[24; 12], 128, 16, 2);
+        let est = m.estimate().expect("estimate after epochs");
+        assert!(
+            (est - 24.0).abs() < 12.0,
+            "estimate {est} should approach the true x=24"
+        );
+    }
+
+    #[test]
+    fn warm_start_beats_cold_start_on_quiet_process() {
+        // A quiet field (x ~ 2 every epoch, t = 16): the cold start pays
+        // 2t-sized first rounds forever, the monitor learns x is small.
+        let n = 128;
+        let t = 16;
+        let xs = [2usize; 30];
+
+        let mut monitor = ThresholdMonitor::new(MonitorConfig::default());
+        let warm = run_epochs(&mut monitor, &xs, n, t, 3);
+
+        // Cold baseline: fresh ABNS(p0=2t) every epoch.
+        let nodes = population(n);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut cold = 0;
+        for &x in &xs {
+            let ch_seed = rng.random();
+            let mut ch = IdealChannel::with_random_positives(
+                n,
+                x,
+                CollisionModel::OnePlus,
+                ch_seed,
+                &mut rng,
+            );
+            cold += Abns::p0_2t().run(&nodes, t, &mut ch, &mut rng).queries;
+        }
+        assert!(
+            warm < cold,
+            "warm-started monitor ({warm}) should beat cold starts ({cold})"
+        );
+    }
+
+    #[test]
+    fn initial_estimate_is_respected() {
+        let m = ThresholdMonitor::new(MonitorConfig {
+            initial_estimate: Some(5.0),
+            ..MonitorConfig::default()
+        });
+        assert_eq!(m.estimate(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing")]
+    fn invalid_smoothing_panics() {
+        let _ = ThresholdMonitor::new(MonitorConfig {
+            smoothing: 0.0,
+            ..MonitorConfig::default()
+        });
+    }
+}

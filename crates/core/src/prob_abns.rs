@@ -1,0 +1,211 @@
+//! Probabilistic ABNS (Section V-D).
+//!
+//! A single probabilistic probe decides which regime we are in before any
+//! bin-number commitment: each node enters a probe bin independently with
+//! probability `2/t`. If the probe bin is silent, most likely `x < t/2`, a
+//! regime where ABNS with a small initial estimate shines (`p0 = t/4`);
+//! otherwise `x > t/2`, where plain 2tBins is already near-oracle, so the
+//! algorithm simply switches to it.
+
+use rand::{Rng, RngCore};
+
+use crate::abns::{Abns, InitialEstimate};
+use crate::channel::GroupQueryChannel;
+use crate::querier::ThresholdQuerier;
+use crate::twotbins::TwoTBins;
+use crate::types::{NodeId, Observation, QueryReport, RoundTrace};
+
+/// Probabilistic ABNS.
+#[derive(Debug, Clone, Default)]
+pub struct ProbAbns {
+    /// Probe inclusion probability; `None` uses the paper's `2/t`.
+    pub sampling_prob: Option<f64>,
+    /// Whether a silent probe also eliminates the sampled nodes. The paper
+    /// uses the probe purely as a hint; elimination is sound (silent ⇒ all
+    /// sampled nodes negative) and is exposed for the ablation bench.
+    pub eliminate_probe: bool,
+}
+
+impl ProbAbns {
+    /// The configuration evaluated in the paper.
+    pub fn standard() -> Self {
+        Self::default()
+    }
+
+    fn probe_probability(&self, t: usize) -> f64 {
+        match self.sampling_prob {
+            Some(q) => q.clamp(0.0, 1.0),
+            None => (2.0 / t.max(1) as f64).min(1.0),
+        }
+    }
+}
+
+impl ThresholdQuerier for ProbAbns {
+    fn name(&self) -> &str {
+        "ProbABNS"
+    }
+
+    fn run(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+    ) -> QueryReport {
+        // Degenerate thresholds are decided without probing.
+        if t == 0 {
+            return QueryReport::trivial(true);
+        }
+        if nodes.len() < t {
+            return QueryReport::trivial(false);
+        }
+
+        let q = self.probe_probability(t);
+        let probe: Vec<NodeId> = nodes
+            .iter()
+            .copied()
+            .filter(|_| rng.random_bool(q))
+            .collect();
+
+        let (probe_cost, probe_silent) = if probe.is_empty() {
+            // Zero-member bin: free, trivially silent.
+            (0u64, true)
+        } else {
+            (1u64, channel.query(&probe) == Observation::Silent)
+        };
+
+        let (inner_nodes, survivors): (Vec<NodeId>, usize);
+        if probe_silent && self.eliminate_probe && probe_cost > 0 {
+            // Sound elimination: a silent probe proves every sampled node
+            // negative.
+            let keep: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|id| !probe.contains(id))
+                .collect();
+            survivors = keep.len();
+            inner_nodes = keep;
+        } else {
+            survivors = nodes.len();
+            inner_nodes = nodes.to_vec();
+        }
+
+        let mut report = if probe_silent {
+            // Likely x < t/2: ABNS seeded with p0 = t/4.
+            Abns::with_p0(InitialEstimate::Fixed(t as f64 / 4.0)).run(&inner_nodes, t, channel, rng)
+        } else {
+            // Likely x > t/2: 2tBins is near-oracle in this regime.
+            TwoTBins.run(&inner_nodes, t, channel, rng)
+        };
+
+        report.queries += probe_cost;
+        report.rounds += probe_cost as u32;
+        report.trace.insert(
+            0,
+            RoundTrace {
+                bins: 1,
+                queried_bins: probe_cost as usize,
+                silent_bins: usize::from(probe_silent && probe_cost > 0),
+                eliminated: nodes.len() - survivors,
+                captured: 0,
+                remaining: survivors,
+            },
+        );
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::IdealChannel;
+    use crate::types::{population, CollisionModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run_case(alg: &ProbAbns, n: usize, x: usize, t: usize, seed: u64) -> QueryReport {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ch_seed = rng.random();
+        let mut ch =
+            IdealChannel::with_random_positives(n, x, CollisionModel::OnePlus, ch_seed, &mut rng);
+        alg.run(&population(n), t, &mut ch, &mut rng)
+    }
+
+    #[test]
+    fn verdict_is_exact_on_ideal_channel() {
+        for eliminate in [false, true] {
+            let alg = ProbAbns {
+                eliminate_probe: eliminate,
+                ..ProbAbns::standard()
+            };
+            for seed in 0..25 {
+                for &(n, x, t) in &[
+                    (32usize, 0usize, 8usize),
+                    (32, 7, 8),
+                    (32, 8, 8),
+                    (32, 30, 8),
+                    (128, 4, 16),
+                    (128, 16, 16),
+                    (128, 120, 16),
+                ] {
+                    let r = run_case(&alg, n, x, t, seed);
+                    assert_eq!(r.answer, x >= t, "x={x} t={t} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_cases_cost_nothing() {
+        let r = run_case(&ProbAbns::standard(), 16, 4, 0, 1);
+        assert!(r.answer);
+        assert_eq!(r.queries, 0);
+        let r = run_case(&ProbAbns::standard(), 4, 4, 8, 1);
+        assert!(!r.answer);
+        assert_eq!(r.queries, 0);
+    }
+
+    #[test]
+    fn probe_is_recorded_in_the_trace() {
+        let r = run_case(&ProbAbns::standard(), 128, 64, 16, 2);
+        assert_eq!(r.trace[0].bins, 1);
+        assert!(r.queries >= 1);
+    }
+
+    #[test]
+    fn silent_probe_routes_to_small_p0_abns() {
+        // x = 0: the probe is silent, so the inner algorithm starts with
+        // p0 = t/4 => b = t/4 + 1 bins.
+        let t = 16;
+        let r = run_case(&ProbAbns::standard(), 128, 0, t, 3);
+        assert!(!r.answer);
+        assert!(r.trace.len() >= 2);
+        assert_eq!(r.trace[1].bins, t / 4 + 1, "trace {:?}", r.trace);
+    }
+
+    #[test]
+    fn active_probe_routes_to_twotbins() {
+        // x = n: the probe (expected 2n/t members) is virtually surely
+        // non-empty; the inner algorithm uses 2t bins.
+        let t = 16;
+        let r = run_case(&ProbAbns::standard(), 128, 128, t, 4);
+        assert!(r.answer);
+        assert_eq!(r.trace[1].bins, 2 * t, "trace {:?}", r.trace);
+    }
+
+    #[test]
+    fn probe_elimination_shrinks_candidates() {
+        let alg = ProbAbns {
+            eliminate_probe: true,
+            ..ProbAbns::standard()
+        };
+        // x = 0 with a big q: probe silent, members eliminated.
+        let alg = ProbAbns {
+            sampling_prob: Some(0.5),
+            ..alg
+        };
+        let r = run_case(&alg, 128, 0, 16, 5);
+        assert!(!r.answer);
+        assert!(r.trace[0].eliminated > 30, "trace {:?}", r.trace[0]);
+    }
+}

@@ -1,0 +1,43 @@
+//! The [`ThresholdQuerier`] trait unifying all tcast algorithms.
+
+use rand::RngCore;
+
+use crate::channel::GroupQueryChannel;
+use crate::types::{NodeId, QueryReport};
+
+/// A threshold-querying strategy: decides whether at least `t` of `nodes`
+/// satisfy the predicate, using only group queries on `channel`.
+///
+/// Implementations are stateless configuration objects; all per-session
+/// state lives inside `run`, so a single instance can be reused across the
+/// thousands of runs of a parameter sweep (including concurrently, from the
+/// parallel sweep driver).
+pub trait ThresholdQuerier: Sync {
+    /// Short identifier used in experiment output (e.g. `"2tBins"`).
+    fn name(&self) -> &str;
+
+    /// Runs one complete threshold-querying session.
+    fn run(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+    ) -> QueryReport;
+}
+
+impl<T: ThresholdQuerier + ?Sized> ThresholdQuerier for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn run(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+    ) -> QueryReport {
+        (**self).run(nodes, t, channel, rng)
+    }
+}

@@ -1,0 +1,92 @@
+//! Human-readable rendering of session traces (used by examples and the
+//! experiment harness's `--trace` debugging).
+
+use crate::types::QueryReport;
+
+/// Renders a [`QueryReport`] as a small ASCII panel: verdict, totals, and
+/// one line per round showing how the candidate set shrank.
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use tcast::{population, CollisionModel, IdealChannel, ThresholdQuerier, TwoTBins};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut ch = IdealChannel::with_random_positives(
+///     32, 4, CollisionModel::OnePlus, 2, &mut rng);
+/// let report = TwoTBins.run(&population(32), 8, &mut ch, &mut rng);
+/// let text = tcast::render::render_report(&report);
+/// assert!(text.contains("verdict"));
+/// ```
+pub fn render_report(report: &QueryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "verdict: {} | {} queries | {} rounds | {} captured\n",
+        if report.answer {
+            "threshold reached"
+        } else {
+            "threshold unreachable"
+        },
+        report.queries,
+        report.rounds,
+        report.confirmed_positives,
+    ));
+    for (i, r) in report.trace.iter().enumerate() {
+        out.push_str(&format!(
+            "  round {:>2}: bins={:<4} queried={:<4} silent={:<4} captured={:<3} \
+             eliminated={:<4} remaining={:<4} {}\n",
+            i + 1,
+            r.bins,
+            r.queried_bins,
+            r.silent_bins,
+            r.captured,
+            r.eliminated,
+            r.remaining,
+            bar(r.remaining, 40),
+        ));
+    }
+    out
+}
+
+/// A proportional ASCII bar (`remaining` scaled against the first round's
+/// population is up to the caller; this just caps width).
+fn bar(value: usize, max_width: usize) -> String {
+    "#".repeat(value.min(max_width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::IdealChannel;
+    use crate::querier::ThresholdQuerier;
+    use crate::twotbins::TwoTBins;
+    use crate::types::{population, CollisionModel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn renders_verdict_and_rounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ch =
+            IdealChannel::with_random_positives(64, 20, CollisionModel::OnePlus, 2, &mut rng);
+        let report = TwoTBins.run(&population(64), 8, &mut ch, &mut rng);
+        let text = render_report(&report);
+        assert!(text.contains("threshold reached"));
+        assert!(text.contains("round  1"));
+        assert_eq!(text.lines().count(), 1 + report.trace.len());
+    }
+
+    #[test]
+    fn renders_trivial_report() {
+        let text = render_report(&QueryReport::trivial(false));
+        assert!(text.contains("threshold unreachable"));
+        assert!(text.contains("0 queries"));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn bar_is_capped() {
+        assert_eq!(bar(3, 40), "###");
+        assert_eq!(bar(100, 5).len(), 5);
+    }
+}

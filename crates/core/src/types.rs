@@ -1,0 +1,190 @@
+//! Shared vocabulary types for the threshold-querying problem.
+
+/// Identifier of a participant node. Dense small integers: experiment
+/// populations index nodes `0..N`, and channel implementations exploit this
+/// for O(1) membership bitmaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Convenience accessor as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Builds the dense population `0..n` used throughout the experiments.
+pub fn population(n: usize) -> Vec<NodeId> {
+    (0..n as u32).map(NodeId).collect()
+}
+
+/// What the initiator observes when it queries one group (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observation {
+    /// No positive member responded: under an ideal channel the whole group
+    /// is negative.
+    Silent,
+    /// Channel activity that could not be decoded. Under the 1+ model this
+    /// means >= 1 positive member; under the 2+ model it means >= 2 (a
+    /// single reply would have been decoded).
+    Activity,
+    /// 2+ model only: the radio locked onto and decoded exactly one reply,
+    /// identifying one positive node. Due to the capture effect this does
+    /// *not* imply the rest of the group is negative.
+    Captured(NodeId),
+}
+
+/// How capture probability scales with the number of simultaneous repliers
+/// `k >= 2` in the abstract 2+ channel (the full PHY uses SINR instead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CaptureModel {
+    /// Collisions are never resolved: `P(capture | k >= 2) = 0`.
+    Never,
+    /// `P(capture | k) = alpha^(k-1)`: monotonically decreasing in the
+    /// number of colliding messages, as described in Section III-A.
+    Geometric {
+        /// Per-extra-replier survival factor in `[0, 1]`.
+        alpha: f64,
+    },
+}
+
+impl CaptureModel {
+    /// Probability that one message is decoded when `k` positives reply
+    /// simultaneously.
+    pub fn capture_probability(&self, k: usize) -> f64 {
+        match (self, k) {
+            (_, 0) => 0.0,
+            (_, 1) => 1.0,
+            (CaptureModel::Never, _) => 0.0,
+            (CaptureModel::Geometric { alpha }, k) => alpha.powi(k as i32 - 1),
+        }
+    }
+}
+
+impl Default for CaptureModel {
+    fn default() -> Self {
+        CaptureModel::Geometric { alpha: 0.5 }
+    }
+}
+
+/// The radio capability model (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollisionModel {
+    /// Silence vs. activity only (CCA / RSSI / HACK energy detection).
+    OnePlus,
+    /// The radio can decode a lone reply (and occasionally one of several,
+    /// per the capture effect), yielding node identities.
+    TwoPlus(CaptureModel),
+}
+
+impl CollisionModel {
+    /// The 2+ model with the default capture behaviour.
+    pub fn two_plus_default() -> Self {
+        CollisionModel::TwoPlus(CaptureModel::default())
+    }
+
+    /// Minimum number of positive repliers implied by an undecodable
+    /// `Activity` observation under this model.
+    pub fn activity_lower_bound(&self) -> usize {
+        match self {
+            CollisionModel::OnePlus => 1,
+            CollisionModel::TwoPlus(_) => 2,
+        }
+    }
+}
+
+/// Per-round trace entry kept in [`QueryReport`] for debugging, tests and
+/// the experiment harness's `--trace` mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Number of bins the round was configured with.
+    pub bins: usize,
+    /// Bins that actually contained member nodes and were queried.
+    pub queried_bins: usize,
+    /// Queried bins observed silent.
+    pub silent_bins: usize,
+    /// Nodes eliminated (silent-bin members) this round.
+    pub eliminated: usize,
+    /// Positives identified by capture this round.
+    pub captured: usize,
+    /// Candidate-set size after the round.
+    pub remaining: usize,
+}
+
+/// Result of one threshold-querying session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReport {
+    /// The verdict: `true` iff the algorithm concluded `x >= t`.
+    pub answer: bool,
+    /// Total group queries issued (the paper's cost metric).
+    pub queries: u64,
+    /// Number of (possibly partial) rounds executed.
+    pub rounds: u32,
+    /// Positives identified by name (2+ captures).
+    pub confirmed_positives: usize,
+    /// Per-round execution trace.
+    pub trace: Vec<RoundTrace>,
+}
+
+impl QueryReport {
+    /// A report for the degenerate cases decided without any query
+    /// (`t == 0`, or `t > N`).
+    pub fn trivial(answer: bool) -> Self {
+        Self {
+            answer,
+            queries: 0,
+            rounds: 0,
+            confirmed_positives: 0,
+            trace: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_dense() {
+        let p = population(5);
+        assert_eq!(
+            p,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert!(population(0).is_empty());
+    }
+
+    #[test]
+    fn capture_probability_geometric() {
+        let m = CaptureModel::Geometric { alpha: 0.5 };
+        assert_eq!(m.capture_probability(0), 0.0);
+        assert_eq!(m.capture_probability(1), 1.0);
+        assert_eq!(m.capture_probability(2), 0.5);
+        assert_eq!(m.capture_probability(3), 0.25);
+    }
+
+    #[test]
+    fn capture_probability_never() {
+        let m = CaptureModel::Never;
+        assert_eq!(m.capture_probability(1), 1.0, "a lone reply always decodes");
+        assert_eq!(m.capture_probability(2), 0.0);
+    }
+
+    #[test]
+    fn activity_lower_bounds_match_models() {
+        assert_eq!(CollisionModel::OnePlus.activity_lower_bound(), 1);
+        assert_eq!(CollisionModel::two_plus_default().activity_lower_bound(), 2);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

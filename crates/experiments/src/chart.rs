@@ -1,0 +1,159 @@
+//! Terminal (ASCII) chart rendering for figures.
+//!
+//! The markdown/CSV emitters are the canonical outputs; this renderer
+//! exists so curve *shapes* — the actual reproduction target — can be
+//! eyeballed straight from a terminal: `tcast-experiments fig1 --ascii`.
+
+use crate::output::Figure;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders the figure as a `width x height` character plot with a legend.
+/// Series points are scattered on a shared linear scale; overlapping
+/// points keep the glyph of the earlier series.
+pub fn render_chart(fig: &Figure, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+
+    let points: Vec<(usize, f64, f64)> = fig
+        .series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.points.iter().map(move |(x, sum)| (si, *x, sum.mean())))
+        .collect();
+    if points.is_empty() {
+        return format!("{} — {} (no data)\n", fig.id, fig.title);
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Ground the y axis at zero when everything is positive: query-count
+    // curves read better against their absolute scale.
+    if y_min > 0.0 {
+        y_min = 0.0;
+    }
+    let x_span = (x_max - x_min).max(1e-9);
+    let y_span = (y_max - y_min).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for &(si, x, y) in &points {
+        let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+        let row_from_bottom = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - row_from_bottom;
+        if grid[row][col] == ' ' {
+            grid[row][col] = GLYPHS[si % GLYPHS.len()];
+        }
+    }
+
+    let mut out = format!("{} — {}\n", fig.id, fig.title);
+    let label_w = format!("{y_max:.0}").len().max(format!("{y_min:.0}").len());
+    for (r, line) in grid.iter().enumerate() {
+        let y_here = y_max - (r as f64 / (height - 1) as f64) * y_span;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{y_here:>label_w$.0}")
+        } else {
+            " ".repeat(label_w)
+        };
+        out.push_str(&format!("{label} |{}\n", line.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "{} +{}\n",
+        " ".repeat(label_w),
+        "-".repeat(width)
+    ));
+    out.push_str(&format!(
+        "{}  {:<10} … {:.0} ({})\n",
+        " ".repeat(label_w),
+        format!("{x_min:.0}"),
+        x_max,
+        fig.xlabel
+    ));
+    for (si, s) in fig.series.iter().enumerate() {
+        out.push_str(&format!(
+            "{}  {} {}\n",
+            " ".repeat(label_w),
+            GLYPHS[si % GLYPHS.len()],
+            s.name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::Series;
+    use tcast_stats::Summary;
+
+    fn figure() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "chart test".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![
+                Series {
+                    name: "rising".into(),
+                    points: (0..=10)
+                        .map(|x| (x as f64, Summary::of(&[x as f64 * 2.0])))
+                        .collect(),
+                },
+                Series {
+                    name: "flat".into(),
+                    points: (0..=10).map(|x| (x as f64, Summary::of(&[5.0]))).collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chart_contains_both_series_glyphs_and_legend() {
+        let chart = render_chart(&figure(), 40, 12);
+        assert!(chart.contains('*'), "first series glyph");
+        assert!(chart.contains('o'), "second series glyph");
+        assert!(chart.contains("rising"));
+        assert!(chart.contains("flat"));
+        assert!(chart.contains("(x)"));
+    }
+
+    #[test]
+    fn rising_series_touches_top_right() {
+        let chart = render_chart(&figure(), 40, 12);
+        let plot_rows: Vec<&str> = chart
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        // The maximum (x=10, y=20) lands on the top plot row, rightmost col.
+        let top = plot_rows.first().unwrap();
+        assert_eq!(top.chars().last(), Some('*'), "top row: {top:?}");
+    }
+
+    #[test]
+    fn empty_figure_degrades_gracefully() {
+        let f = Figure {
+            id: "fig0".into(),
+            title: "empty".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        assert!(render_chart(&f, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn dimensions_are_respected() {
+        let chart = render_chart(&figure(), 30, 8);
+        let plot_rows = chart.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(plot_rows, 8);
+        for line in chart.lines().filter(|l| l.contains('|')) {
+            let body = line.split('|').nth(1).unwrap();
+            assert!(body.len() <= 30);
+        }
+    }
+}

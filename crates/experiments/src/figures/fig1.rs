@@ -1,0 +1,107 @@
+//! Figure 1 — "Performance of tcast in 1+ scenario".
+//!
+//! Query/slot cost vs the number of positive nodes `x` for 2tBins and
+//! Exponential Increase (over an ideal 1+ channel) against the CSMA and
+//! sequential-ordering baselines. Expected shape (paper, Section IV-C):
+//! tcast curves peak around `x ≈ t` and are cheap at both extremes; CSMA
+//! grows with `x` and crosses tcast near the threshold; sequential starts
+//! near `n - t` and only becomes competitive for `x >> t`.
+
+use tcast::baselines::{csma_collect, sequential_collect_random, CsmaConfig};
+use tcast::{CollisionModel, ExpIncrease, TwoTBins};
+
+use crate::output::Figure;
+use crate::runner::{sweep, x_grid, SweepSpec};
+
+use super::run_alg_once;
+
+/// Builds the figure.
+pub fn build(spec: SweepSpec) -> Figure {
+    let xs = x_grid(spec.n, spec.t);
+    let model = CollisionModel::OnePlus;
+
+    let twotbins = sweep("2tBins", &xs, spec, |x, rng| {
+        run_alg_once(&TwoTBins, spec.n, x, spec.t, model, rng)
+    });
+    let expinc = sweep("ExpIncrease", &xs, spec, |x, rng| {
+        run_alg_once(&ExpIncrease::standard(), spec.n, x, spec.t, model, rng)
+    });
+    let csma_cfg = CsmaConfig::default();
+    let csma = sweep("CSMA", &xs, spec, |x, rng| {
+        csma_collect(x, spec.t, &csma_cfg, rng).slots as f64
+    });
+    let sequential = sweep("Sequential", &xs, spec, |x, rng| {
+        sequential_collect_random(spec.n, x, spec.t, rng).slots as f64
+    });
+
+    Figure {
+        id: "fig1".into(),
+        title: format!(
+            "Performance of tcast in 1+ scenario (N={}, t={}, {} runs/point)",
+            spec.n, spec.t, spec.runs
+        ),
+        xlabel: "x (positive nodes)".into(),
+        ylabel: "queries / slots".into(),
+        series: vec![twotbins, expinc, csma, sequential],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            n: 64,
+            t: 8,
+            runs: 120,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn tcast_peaks_near_threshold() {
+        let fig = build(small_spec());
+        let s = fig.series("2tBins").unwrap();
+        let (peak_x, _) = s.peak().unwrap();
+        assert!(
+            (peak_x - 8.0).abs() <= 6.0,
+            "2tBins peak at x={peak_x}, expected near t=8"
+        );
+        // Cheap at the extremes relative to the peak.
+        let peak = s.peak().unwrap().1;
+        assert!(s.mean_at(0.0).unwrap() < peak / 2.0);
+        assert!(s.mean_at(64.0).unwrap() < peak / 2.0);
+    }
+
+    #[test]
+    fn exp_increase_beats_twotbins_at_tiny_x_and_loses_at_large_x() {
+        let fig = build(small_spec());
+        let exp = fig.series("ExpIncrease").unwrap();
+        let ttb = fig.series("2tBins").unwrap();
+        assert!(exp.mean_at(0.0).unwrap() < ttb.mean_at(0.0).unwrap());
+        assert!(exp.mean_at(64.0).unwrap() > ttb.mean_at(64.0).unwrap());
+    }
+
+    #[test]
+    fn csma_crosses_tcast_as_x_grows() {
+        let fig = build(small_spec());
+        let csma = fig.series("CSMA").unwrap();
+        let ttb = fig.series("2tBins").unwrap();
+        // Small x: CSMA respectable relative to its own large-x cost.
+        assert!(csma.mean_at(1.0).unwrap() < csma.mean_at(64.0).unwrap() / 1.5);
+        // Large x: tcast wins clearly.
+        assert!(ttb.mean_at(64.0).unwrap() < csma.mean_at(64.0).unwrap());
+    }
+
+    #[test]
+    fn sequential_starts_near_n() {
+        let fig = build(small_spec());
+        let seq = fig.series("Sequential").unwrap();
+        let at0 = seq.mean_at(0.0).unwrap();
+        assert!(
+            (at0 - (64.0 - 8.0 + 1.0)).abs() < 1.0,
+            "sequential at x=0 is ~n-t, got {at0}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 10 — "Estimated number of repeats for 95% success rate".
+//!
+//! For each mode half-distance `d`, the smallest `r` whose measured
+//! accuracy reaches 95%, next to the theoretical repeat counts from the
+//! paper's Eq. (10) and from the Hoeffding bound. Expected shape: the
+//! required repeats drop steeply as the modes separate and flatten to 1-3
+//! once separation is total (d > 16 for sigma = 4).
+
+use tcast_stats::{repeats_hoeffding, repeats_paper_eq10, BimodalSpec, Summary};
+
+use crate::output::{Figure, Series};
+use crate::runner::parallel_map;
+
+use super::fig9::{accuracy, config_for, ProbSpec};
+
+/// Candidate repeat counts searched, in order.
+const CANDIDATES: [u32; 12] = [1, 3, 5, 7, 9, 11, 15, 19, 25, 33, 45, 61];
+
+/// Smallest candidate `r` reaching the target accuracy, or the largest
+/// candidate when none does (the d ≈ sigma regime never converges).
+pub fn measured_repeats(spec: &ProbSpec, d: f64, target: f64) -> u32 {
+    for &r in &CANDIDATES {
+        if accuracy(spec, d, r).mean() >= target {
+            return r;
+        }
+    }
+    *CANDIDATES.last().expect("non-empty candidates")
+}
+
+/// Builds the figure (measured + two theory curves).
+pub fn build(spec: ProbSpec) -> Figure {
+    let ds: Vec<usize> = (2..=(spec.n / 2 / 4)).map(|i| i * 4).collect();
+
+    let measured = Series {
+        name: "measured (95%)".into(),
+        points: parallel_map(&ds, |_, &d| {
+            let r = measured_repeats(&spec, d as f64, 0.95);
+            (d as f64, Summary::of(&[f64::from(r)]))
+        }),
+    };
+    let theory = |name: &str, f: fn(f64, f64) -> u32| Series {
+        name: name.to_string(),
+        points: ds
+            .iter()
+            .map(|&d| {
+                let bimodal = BimodalSpec::symmetric(spec.n, d as f64, spec.sigma);
+                let eps = config_for(&bimodal, 1).eps().max(0.01);
+                (d as f64, Summary::of(&[f64::from(f(eps, 0.05))]))
+            })
+            .collect(),
+    };
+
+    Figure {
+        id: "fig10".into(),
+        title: format!(
+            "Repeats needed for 95% success (n={}, sigma={})",
+            spec.n, spec.sigma
+        ),
+        xlabel: "d (mode half-distance)".into(),
+        ylabel: "repeats r".into(),
+        series: vec![
+            measured,
+            theory("eq10 (delta=5%)", repeats_paper_eq10),
+            theory("Hoeffding (delta=5%)", repeats_hoeffding),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ProbSpec {
+        ProbSpec {
+            n: 128,
+            sigma: 4.0,
+            runs: 250,
+            seed: 10,
+        }
+    }
+
+    #[test]
+    fn required_repeats_decrease_with_separation() {
+        let spec = small_spec();
+        let hard = measured_repeats(&spec, 12.0, 0.95);
+        let easy = measured_repeats(&spec, 48.0, 0.95);
+        assert!(easy <= hard, "d=48 needs {easy} repeats, d=12 needs {hard}");
+    }
+
+    #[test]
+    fn total_separation_needs_few_repeats() {
+        let spec = small_spec();
+        // 250-trial accuracy estimates carry ~1.4% standard error around
+        // the 95% target, so the smallest passing r is noisy by one or two
+        // candidate steps.
+        let r = measured_repeats(&spec, 48.0, 0.95);
+        assert!(r <= 9, "well-separated modes need few repeats, got {r}");
+    }
+
+    #[test]
+    fn figure_has_measured_and_theory_series() {
+        let fig = build(ProbSpec {
+            runs: 80,
+            ..small_spec()
+        });
+        assert_eq!(fig.series.len(), 3);
+        assert!(fig.series("measured (95%)").is_some());
+        assert!(fig.series("eq10 (delta=5%)").is_some());
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 11 — "The distribution of x is the combination of two normal
+//! distributions with separation 2d".
+//!
+//! Histograms of the bimodal positive-count distribution at d = 8
+//! (overlapping modes) and d = 16 (separated), plus the analytic density,
+//! over 100k draws each.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast_stats::{BimodalSpec, Histogram};
+
+use crate::output::Table;
+
+/// Builds the histogram table for `n`, `sigma` with the paper's two d
+/// values.
+pub fn build(n: usize, sigma: f64, draws: usize, seed: u64) -> Table {
+    let bins = 32;
+    let specs = [
+        BimodalSpec::symmetric(n, 8.0, sigma),
+        BimodalSpec::symmetric(n, 16.0, sigma),
+    ];
+    let mut hists: Vec<Histogram> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let mut h = Histogram::new(0.0, n as f64 + 1.0, bins);
+        let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64 + 1));
+        for _ in 0..draws {
+            let (x, _) = spec.sample(&mut rng);
+            h.record(x as f64);
+        }
+        hists.push(h);
+    }
+
+    let mut table = Table::new(
+        "fig11",
+        &format!("Bimodal x distribution (n={n}, sigma={sigma}, {draws} draws)"),
+        &["x", "freq d=8", "freq d=16", "density d=8", "density d=16"],
+    );
+    for b in 0..bins {
+        let center = hists[0].bin_center(b);
+        table.push_row(vec![
+            format!("{center:.0}"),
+            format!("{:.4}", hists[0].frequency(b)),
+            format!("{:.4}", hists[1].frequency(b)),
+            format!("{:.4}", specs[0].density(center)),
+            format!("{:.4}", specs[1].density(center)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d16_is_bimodal_d8_overlaps() {
+        let table = build(128, 4.0, 20_000, 11);
+        // Parse the frequency columns back.
+        let freq = |col: usize| -> Vec<f64> {
+            table.rows.iter().map(|r| r[col].parse().unwrap()).collect()
+        };
+        let f8 = freq(1);
+        let f16 = freq(2);
+        let center_idx = f8.len() / 2;
+        // d=16: a visible valley between two peaks.
+        let valley = f16[center_idx];
+        let peak = f16.iter().copied().fold(0.0, f64::max);
+        assert!(peak > 3.0 * valley, "d=16 valley {valley} vs peak {peak}");
+        // d=8: much shallower valley (modes blend).
+        let valley8 = f8[center_idx];
+        let peak8 = f8.iter().copied().fold(0.0, f64::max);
+        assert!(peak8 < 4.0 * valley8 + 0.05, "d=8 should overlap");
+    }
+
+    #[test]
+    fn histogram_matches_analytic_density() {
+        let table = build(128, 4.0, 50_000, 12);
+        for row in &table.rows {
+            let freq: f64 = row[2].parse().unwrap();
+            let density: f64 = row[4].parse().unwrap();
+            // bin width = 129/32 ~ 4.0; mass ~ density * width.
+            let expected = density * (129.0 / 32.0);
+            assert!(
+                (freq - expected).abs() < 0.02,
+                "x={} freq {freq} vs expected {expected}",
+                row[0]
+            );
+        }
+    }
+}

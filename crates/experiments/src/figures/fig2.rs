@@ -1,0 +1,92 @@
+//! Figure 2 — "Performance of tcast in 2+ scenario".
+//!
+//! The same sweep as Figure 1 restricted to the tcast algorithms, run
+//! under both collision models. Expected shape: 2+ never loses to 1+, with
+//! the largest advantage around `x ≈ t - 1` for 2tBins (most bins hold
+//! exactly one positive there, so captures identify and remove positives).
+
+use tcast::{CollisionModel, ExpIncrease, TwoTBins};
+
+use crate::output::Figure;
+use crate::runner::{sweep, x_grid, SweepSpec};
+
+use super::run_alg_once;
+
+/// Builds the figure.
+pub fn build(spec: SweepSpec) -> Figure {
+    let xs = x_grid(spec.n, spec.t);
+    let one = CollisionModel::OnePlus;
+    let two = CollisionModel::two_plus_default();
+
+    let series = vec![
+        sweep("2tBins 1+", &xs, spec, |x, rng| {
+            run_alg_once(&TwoTBins, spec.n, x, spec.t, one, rng)
+        }),
+        sweep("2tBins 2+", &xs, spec, |x, rng| {
+            run_alg_once(&TwoTBins, spec.n, x, spec.t, two, rng)
+        }),
+        sweep("ExpIncrease 1+", &xs, spec, |x, rng| {
+            run_alg_once(&ExpIncrease::standard(), spec.n, x, spec.t, one, rng)
+        }),
+        sweep("ExpIncrease 2+", &xs, spec, |x, rng| {
+            run_alg_once(&ExpIncrease::standard(), spec.n, x, spec.t, two, rng)
+        }),
+    ];
+
+    Figure {
+        id: "fig2".into(),
+        title: format!(
+            "Performance of tcast in 2+ scenario (N={}, t={}, {} runs/point)",
+            spec.n, spec.t, spec.runs
+        ),
+        xlabel: "x (positive nodes)".into(),
+        ylabel: "queries".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            n: 64,
+            t: 8,
+            runs: 150,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn two_plus_no_worse_than_one_plus_on_average() {
+        let fig = build(small_spec());
+        let one = fig.series("2tBins 1+").unwrap();
+        let two = fig.series("2tBins 2+").unwrap();
+        let mut wins = 0;
+        let mut comparisons = 0;
+        for (x, s1) in &one.points {
+            let m2 = two.mean_at(*x).unwrap();
+            comparisons += 1;
+            // Allow noise at points where both are tiny.
+            if m2 <= s1.mean() + 1.0 {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins * 10 >= comparisons * 9,
+            "2+ should be <= 1+ almost everywhere ({wins}/{comparisons})"
+        );
+    }
+
+    #[test]
+    fn two_plus_advantage_peaks_below_threshold() {
+        let fig = build(small_spec());
+        let one = fig.series("2tBins 1+").unwrap();
+        let two = fig.series("2tBins 2+").unwrap();
+        // Around x = t - 1 the paper highlights the largest gain.
+        let x = 7.0;
+        let gain = one.mean_at(x).unwrap() - two.mean_at(x).unwrap();
+        assert!(gain > 0.0, "2+ should win at x=t-1, gain={gain}");
+    }
+}

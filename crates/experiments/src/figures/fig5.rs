@@ -1,0 +1,105 @@
+//! Figure 5 — "Performance of Adaptive Bin Number Selection (ABNS)".
+//!
+//! 2tBins, ABNS with `p0 = t` and `p0 = 2t`, and the oracle lower bound
+//! over the per-`x` sweep. Expected shape (Section V-C): 2tBins tracks the
+//! oracle closely for `x > t/2`; below `t/2` the oracle pulls away and
+//! ABNS(p0 = t) closes most of that gap at the cost of some overhead for
+//! `x >> t`.
+
+use tcast::{Abns, CollisionModel, TwoTBins};
+
+use crate::output::Figure;
+use crate::runner::{sweep, x_grid, SweepSpec};
+
+use super::{run_alg_once, run_oracle_once};
+
+/// Builds the figure.
+pub fn build(spec: SweepSpec) -> Figure {
+    let xs = x_grid(spec.n, spec.t);
+    let model = CollisionModel::OnePlus;
+
+    let series = vec![
+        sweep("2tBins", &xs, spec, |x, rng| {
+            run_alg_once(&TwoTBins, spec.n, x, spec.t, model, rng)
+        }),
+        sweep("ABNS(p0=t)", &xs, spec, |x, rng| {
+            run_alg_once(&Abns::p0_t(), spec.n, x, spec.t, model, rng)
+        }),
+        sweep("ABNS(p0=2t)", &xs, spec, |x, rng| {
+            run_alg_once(&Abns::p0_2t(), spec.n, x, spec.t, model, rng)
+        }),
+        sweep("Oracle", &xs, spec, |x, rng| {
+            run_oracle_once(spec.n, x, spec.t, model, rng)
+        }),
+    ];
+
+    Figure {
+        id: "fig5".into(),
+        title: format!(
+            "Performance of ABNS (N={}, t={}, {} runs/point)",
+            spec.n, spec.t, spec.runs
+        ),
+        xlabel: "x (positive nodes)".into(),
+        ylabel: "queries".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            n: 64,
+            t: 8,
+            runs: 200,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn oracle_lower_bounds_everyone_at_small_x() {
+        let fig = build(small_spec());
+        let oracle = fig.series("Oracle").unwrap();
+        let ttb = fig.series("2tBins").unwrap();
+        for x in [0.0, 1.0, 2.0] {
+            assert!(
+                oracle.mean_at(x).unwrap() <= ttb.mean_at(x).unwrap() + 0.5,
+                "oracle must not lose to 2tBins at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn abns_p0_t_beats_twotbins_below_half_t() {
+        let fig = build(small_spec());
+        let abns = fig.series("ABNS(p0=t)").unwrap();
+        let ttb = fig.series("2tBins").unwrap();
+        let mut abns_total = 0.0;
+        let mut ttb_total = 0.0;
+        for x in [0.0, 1.0, 2.0, 3.0] {
+            abns_total += abns.mean_at(x).unwrap();
+            ttb_total += ttb.mean_at(x).unwrap();
+        }
+        assert!(
+            abns_total < ttb_total,
+            "ABNS(p0=t) {abns_total} vs 2tBins {ttb_total} for x <= t/2"
+        );
+    }
+
+    #[test]
+    fn twotbins_tracks_oracle_above_half_t() {
+        let fig = build(small_spec());
+        let oracle = fig.series("Oracle").unwrap();
+        let ttb = fig.series("2tBins").unwrap();
+        for x in [8.0, 16.0, 32.0, 64.0] {
+            let o = oracle.mean_at(x).unwrap();
+            let b = ttb.mean_at(x).unwrap();
+            assert!(
+                b <= o * 1.6 + 3.0,
+                "2tBins ({b}) should track oracle ({o}) at x={x}"
+            );
+        }
+    }
+}

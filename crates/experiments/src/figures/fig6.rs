@@ -1,0 +1,99 @@
+//! Figure 6 — "Performance of the probabilistic ABNS algorithm".
+//!
+//! Probabilistic ABNS (one sampled probe choosing between ABNS(p0 = t/4)
+//! and 2tBins) against both fixed-p0 ABNS variants and the oracle.
+//! Expected shape: the probe eliminates both ABNS(p0=t)'s overhead for
+//! `t < x < 2t` and ABNS(p0=2t)'s overhead for `x < t/2`, landing close to
+//! the oracle across the sweep.
+
+use tcast::{Abns, CollisionModel, ProbAbns};
+
+use crate::output::Figure;
+use crate::runner::{sweep, x_grid, SweepSpec};
+
+use super::{run_alg_once, run_oracle_once};
+
+/// Builds the figure.
+pub fn build(spec: SweepSpec) -> Figure {
+    let xs = x_grid(spec.n, spec.t);
+    let model = CollisionModel::OnePlus;
+
+    let series = vec![
+        sweep("ABNS(p0=t)", &xs, spec, |x, rng| {
+            run_alg_once(&Abns::p0_t(), spec.n, x, spec.t, model, rng)
+        }),
+        sweep("ABNS(p0=2t)", &xs, spec, |x, rng| {
+            run_alg_once(&Abns::p0_2t(), spec.n, x, spec.t, model, rng)
+        }),
+        sweep("ProbABNS", &xs, spec, |x, rng| {
+            run_alg_once(&ProbAbns::standard(), spec.n, x, spec.t, model, rng)
+        }),
+        sweep("Oracle", &xs, spec, |x, rng| {
+            run_oracle_once(spec.n, x, spec.t, model, rng)
+        }),
+    ];
+
+    Figure {
+        id: "fig6".into(),
+        title: format!(
+            "Performance of probabilistic ABNS (N={}, t={}, {} runs/point)",
+            spec.n, spec.t, spec.runs
+        ),
+        xlabel: "x (positive nodes)".into(),
+        ylabel: "queries".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            n: 64,
+            t: 8,
+            runs: 200,
+            seed: 6,
+        }
+    }
+
+    #[test]
+    fn prob_abns_is_near_best_of_both_regimes() {
+        let fig = build(small_spec());
+        let prob = fig.series("ProbABNS").unwrap();
+        let p0t = fig.series("ABNS(p0=t)").unwrap();
+        let p02t = fig.series("ABNS(p0=2t)").unwrap();
+        // Small-x regime: close to ABNS(p0=t) (which shines there).
+        for x in [0.0, 2.0] {
+            assert!(
+                prob.mean_at(x).unwrap() <= p02t.mean_at(x).unwrap() + 2.0,
+                "ProbABNS should not inherit p0=2t's small-x overhead at x={x}"
+            );
+        }
+        // Above-threshold regime: avoid p0=t's overhead.
+        for x in [12.0, 16.0] {
+            assert!(
+                prob.mean_at(x).unwrap() <= p0t.mean_at(x).unwrap() + 2.0,
+                "ProbABNS should avoid p0=t overhead at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn prob_abns_tracks_oracle_within_factor() {
+        let fig = build(small_spec());
+        let prob = fig.series("ProbABNS").unwrap();
+        let oracle = fig.series("Oracle").unwrap();
+        let mut prob_total = 0.0;
+        let mut oracle_total = 0.0;
+        for (x, s) in &prob.points {
+            prob_total += s.mean();
+            oracle_total += oracle.mean_at(*x).unwrap();
+        }
+        assert!(
+            prob_total <= oracle_total * 2.2,
+            "ProbABNS total {prob_total} vs oracle {oracle_total}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 7 — "Probabilistic ABNS vs. CSMA" (N = 32, t = 8).
+//!
+//! Expected shape: probabilistic ABNS performs close to CSMA for `x < t`
+//! and wins decisively for `x > t`, where CSMA's contention cost keeps
+//! climbing.
+
+use tcast::baselines::{csma_collect, CsmaConfig};
+use tcast::{CollisionModel, ProbAbns};
+
+use crate::output::Figure;
+use crate::runner::{sweep, SweepSpec};
+
+use super::run_alg_once;
+
+/// Builds the figure with the paper's N = 32, t = 8 unless overridden.
+pub fn build(spec: SweepSpec) -> Figure {
+    let xs: Vec<usize> = (0..=spec.n).collect();
+    let model = CollisionModel::OnePlus;
+    let csma_cfg = CsmaConfig::default();
+
+    let series = vec![
+        sweep("ProbABNS", &xs, spec, |x, rng| {
+            run_alg_once(&ProbAbns::standard(), spec.n, x, spec.t, model, rng)
+        }),
+        sweep("CSMA", &xs, spec, |x, rng| {
+            csma_collect(x, spec.t, &csma_cfg, rng).slots as f64
+        }),
+    ];
+
+    Figure {
+        id: "fig7".into(),
+        title: format!(
+            "Probabilistic ABNS vs CSMA (N={}, t={}, {} runs/point)",
+            spec.n, spec.t, spec.runs
+        ),
+        xlabel: "x (positive nodes)".into(),
+        ylabel: "queries / slots".into(),
+        series,
+    }
+}
+
+/// The paper's parameters for this figure.
+pub fn paper_spec(seed: u64, runs: usize) -> SweepSpec {
+    SweepSpec {
+        n: 32,
+        t: 8,
+        runs,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prob_abns_beats_csma_above_threshold() {
+        let fig = build(paper_spec(7, 200));
+        let prob = fig.series("ProbABNS").unwrap();
+        let csma = fig.series("CSMA").unwrap();
+        for x in [16.0, 24.0, 32.0] {
+            assert!(
+                prob.mean_at(x).unwrap() < csma.mean_at(x).unwrap(),
+                "ProbABNS must beat CSMA at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn csma_competitive_below_threshold() {
+        let fig = build(paper_spec(7, 200));
+        let prob = fig.series("ProbABNS").unwrap();
+        let csma = fig.series("CSMA").unwrap();
+        // "performs close to CSMA for x < t": same order of magnitude.
+        for x in [1.0, 4.0] {
+            let p = prob.mean_at(x).unwrap();
+            let c = csma.mean_at(x).unwrap();
+            assert!(p < c * 4.0 + 10.0, "x={x}: ProbABNS {p} vs CSMA {c}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 8 — the Δ-gap anatomy (rendered as a table).
+//!
+//! The paper's Figure 8 is an illustration: as the two modes of the
+//! bimodal distribution move apart, the expected non-empty-probe counts
+//! `m1` and `m2` separate and the tolerable decision error `eps = Δ/2`
+//! grows. We regenerate it as numbers: for each mode distance `d`, the
+//! decision boundaries, the gap-maximizing sampling denominator `b*`, the
+//! gap `Δ`, and the repeat counts implied by the paper's Eq. (10) and by
+//! the standard Hoeffding bound at `delta` = 5% and 1%.
+
+use tcast::probabilistic::{gap, optimal_bins};
+use tcast_stats::{repeats_hoeffding, repeats_paper_eq10, BimodalSpec};
+
+use crate::output::Table;
+
+/// Builds the gap table for `n = 128`, `sigma = 4`, `d` sweeping.
+pub fn build(n: usize, sigma: f64) -> Table {
+    let mut table = Table::new(
+        "fig8",
+        &format!("Δ-gap anatomy (n={n}, sigma={sigma})"),
+        &[
+            "d",
+            "t_l",
+            "t_r",
+            "b*",
+            "Delta",
+            "eps",
+            "r eq10 d=5%",
+            "r eq10 d=1%",
+            "r Hoeffding d=5%",
+            "r Hoeffding d=1%",
+        ],
+    );
+    let mut d = 8.0;
+    while d <= (n / 2) as f64 {
+        let spec = BimodalSpec::symmetric(n, d, sigma);
+        let (t_l, t_r) = (spec.t_l(), spec.t_r());
+        if t_l < t_r {
+            let b = optimal_bins(t_l, t_r, n);
+            let delta = gap(b, t_l, t_r);
+            let eps = delta / 2.0;
+            table.push_row(vec![
+                format!("{d:.0}"),
+                format!("{t_l:.0}"),
+                format!("{t_r:.0}"),
+                b.to_string(),
+                format!("{delta:.3}"),
+                format!("{eps:.3}"),
+                repeats_paper_eq10(eps, 0.05).to_string(),
+                repeats_paper_eq10(eps, 0.01).to_string(),
+                repeats_hoeffding(eps, 0.05).to_string(),
+                repeats_hoeffding(eps, 0.01).to_string(),
+            ]);
+        } else {
+            table.push_row(vec![
+                format!("{d:.0}"),
+                format!("{t_l:.0}"),
+                format!("{t_r:.0}"),
+                "-".into(),
+                "0 (modes overlap)".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        d += 8.0;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_grows_with_mode_distance() {
+        let table = build(128, 4.0);
+        let deltas: Vec<f64> = table
+            .rows
+            .iter()
+            .filter_map(|r| r[4].parse::<f64>().ok())
+            .collect();
+        assert!(deltas.len() >= 3);
+        assert!(
+            deltas.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "Delta must be non-decreasing in d: {deltas:?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_modes_are_flagged() {
+        // sigma so large that t_l >= t_r at small d.
+        let table = build(128, 16.0);
+        assert!(table.rows.iter().any(|r| r[4].contains("overlap")));
+    }
+
+    #[test]
+    fn repeat_counts_shrink_as_gap_grows() {
+        let table = build(128, 4.0);
+        let rs: Vec<u32> = table
+            .rows
+            .iter()
+            .filter_map(|r| r[8].parse::<u32>().ok())
+            .collect();
+        assert!(rs.first().unwrap() >= rs.last().unwrap());
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure 9 — "Accuracy of probabilistic model as the number of repeats
+//! changes".
+//!
+//! For each mode half-distance `d` (modes at `n/2 ± d`, sigma = 4) and
+//! each repeat count `r ∈ {1, 3, 5, 9, 19}` plus the Eq.-(10)-selected
+//! `r(delta = 5%)`, run 1000 trials: draw `(x, ground-truth mode)` from the
+//! bimodal distribution, execute the r-probe decision, and count correct
+//! mode identifications. Expected shape: accuracy grows with `r`
+//! everywhere, exceeds 90% for well-separated modes (d > 32) even at
+//! r = 9, and struggles (~70%) at d ≈ 8.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::probabilistic::{optimal_bins, ProbabilisticConfig, ProbabilisticQuerier};
+use tcast::{population, CollisionModel, IdealChannel};
+use tcast_stats::{repeats_paper_eq10, BimodalSpec, Summary};
+
+use crate::output::{Figure, Series};
+use crate::runner::parallel_map;
+use crate::seeding::derive;
+
+/// Sweep parameters for the probabilistic-model experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbSpec {
+    /// Network size (128 in the paper).
+    pub n: usize,
+    /// Mode standard deviation (4; chosen per Fig. 11's separation).
+    pub sigma: f64,
+    /// Trials per (d, r) cell.
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ProbSpec {
+    /// Paper-scale defaults.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            n: 128,
+            sigma: 4.0,
+            runs: 1000,
+            seed,
+        }
+    }
+}
+
+/// Decision configuration for a bimodal spec, clamping the boundaries when
+/// the modes overlap (`t_l >= t_r` for small `d`): the midpoint split
+/// degrades gracefully instead of panicking, mirroring the paper's
+/// "great difficulty at d ≈ 8" regime.
+pub fn config_for(spec: &BimodalSpec, r: u32) -> ProbabilisticConfig {
+    let (mut t_l, mut t_r) = (spec.t_l(), spec.t_r());
+    if t_l >= t_r {
+        let mid = (spec.mu1 + spec.mu2) / 2.0;
+        t_l = (mid - 0.5).max(0.0);
+        t_r = mid + 0.5;
+    }
+    ProbabilisticConfig {
+        t_l,
+        t_r,
+        bins: optimal_bins(t_l, t_r, spec.n),
+        repeats: r,
+    }
+}
+
+/// Accuracy of the r-probe decision for one (d, r) cell.
+pub fn accuracy(spec: &ProbSpec, d: f64, r: u32) -> Summary {
+    let bimodal = BimodalSpec::symmetric(spec.n, d, spec.sigma);
+    let cfg = config_for(&bimodal, r);
+    let querier = ProbabilisticQuerier::new(cfg);
+    let nodes = population(spec.n);
+    let mut out = Summary::new();
+    for run in 0..spec.runs {
+        let seed = derive(spec.seed, &[d as u64, r as u64, run as u64]);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (x, activity) = bimodal.sample(&mut rng);
+        let mut ch =
+            IdealChannel::with_random_positives(spec.n, x, CollisionModel::OnePlus, seed, &mut rng);
+        let decision = querier.decide(&nodes, &mut ch, &mut rng);
+        out.record(f64::from(decision.activity == activity));
+    }
+    out
+}
+
+/// Builds the accuracy figure.
+pub fn build(spec: ProbSpec) -> Figure {
+    let ds: Vec<usize> = (1..=(spec.n / 2 / 4)).map(|i| i * 4).collect();
+    let fixed_rs = [1u32, 3, 5, 9, 19];
+
+    let mut series: Vec<Series> = fixed_rs
+        .iter()
+        .map(|&r| Series {
+            name: format!("r={r}"),
+            points: parallel_map(&ds, |_, &d| (d as f64, accuracy(&spec, d as f64, r))),
+        })
+        .collect();
+
+    // The "select r from Eq. (10) at delta = 5%" curve.
+    series.push(Series {
+        name: "r=eq10(5%)".into(),
+        points: parallel_map(&ds, |_, &d| {
+            let bimodal = BimodalSpec::symmetric(spec.n, d as f64, spec.sigma);
+            let eps = config_for(&bimodal, 1).eps().max(0.01);
+            let r = repeats_paper_eq10(eps, 0.05);
+            (d as f64, accuracy(&spec, d as f64, r))
+        }),
+    });
+
+    Figure {
+        id: "fig9".into(),
+        title: format!(
+            "Accuracy of the probabilistic model (n={}, sigma={}, {} trials/cell)",
+            spec.n, spec.sigma, spec.runs
+        ),
+        xlabel: "d (mode half-distance)".into(),
+        ylabel: "accuracy (fraction correct)".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ProbSpec {
+        ProbSpec {
+            n: 128,
+            sigma: 4.0,
+            runs: 300,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn accuracy_grows_with_repeats() {
+        let spec = small_spec();
+        let a1 = accuracy(&spec, 16.0, 1).mean();
+        let a9 = accuracy(&spec, 16.0, 9).mean();
+        let a19 = accuracy(&spec, 16.0, 19).mean();
+        assert!(a9 >= a1 - 0.03, "r=9 ({a9}) vs r=1 ({a1})");
+        assert!(a19 >= a9 - 0.03, "r=19 ({a19}) vs r=9 ({a9})");
+    }
+
+    #[test]
+    fn nine_repeats_exceed_90pct_when_separated() {
+        let spec = small_spec();
+        let a = accuracy(&spec, 40.0, 9).mean();
+        assert!(a > 0.9, "d=40, r=9 accuracy {a}");
+    }
+
+    #[test]
+    fn small_d_is_hard() {
+        let spec = small_spec();
+        let a = accuracy(&spec, 8.0, 9).mean();
+        assert!(a < 0.95, "d=8 should be hard, got {a}");
+        assert!(a > 0.5, "d=8 should still beat coin flips, got {a}");
+    }
+
+    #[test]
+    fn config_for_clamps_overlapping_modes() {
+        let bimodal = BimodalSpec::symmetric(128, 4.0, 4.0); // t_l=68 > t_r=60
+        let cfg = config_for(&bimodal, 3);
+        assert!(cfg.t_l < cfg.t_r);
+        assert!(cfg.bins >= 2);
+    }
+
+    #[test]
+    fn figure_contains_all_series() {
+        let fig = build(ProbSpec {
+            runs: 50,
+            ..small_spec()
+        });
+        assert_eq!(fig.series.len(), 6);
+        assert!(fig.series("r=eq10(5%)").is_some());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # tcast-experiments — the figure-regeneration harness
+//!
+//! One module per figure/table of the paper's evaluation. Each produces a
+//! [`output::Figure`] (series of `(x, mean ± ci)` points) or a
+//! [`output::Table`] that the `tcast-experiments` binary prints as
+//! markdown or CSV. Sweeps run their 1000 repetitions in parallel
+//! (crossbeam scoped threads) with per-run deterministic seeding, so
+//! results are reproducible bit-for-bit at any thread count.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`figures::fig1`] | Fig. 1 — tcast vs baselines, 1+ model |
+//! | [`figures::fig2`] | Fig. 2 — 1+ vs 2+ |
+//! | [`figures::fig3`] | Fig. 3 — cost vs threshold, x = 4 |
+//! | [`figures::fig4`] | Fig. 4 + §IV-D error table — mote testbed |
+//! | [`figures::fig5`] | Fig. 5 — ABNS vs 2tBins vs oracle |
+//! | [`figures::fig6`] | Fig. 6 — probabilistic ABNS |
+//! | [`figures::fig7`] | Fig. 7 — probabilistic ABNS vs CSMA |
+//! | [`figures::fig8`] | Fig. 8 — Δ-gap anatomy (analytic table) |
+//! | [`figures::fig9`] | Fig. 9 — probabilistic-model accuracy vs d |
+//! | [`figures::fig10`] | Fig. 10 — repeats needed for 95% success |
+//! | [`figures::fig11`] | Fig. 11 — the bimodal x distribution |
+
+pub mod chart;
+pub mod extensions;
+pub mod figures;
+pub mod output;
+pub mod runner;
+pub mod seeding;
+
+pub use output::{Figure, Series, Table};
+pub use runner::{parallel_map, SweepSpec};

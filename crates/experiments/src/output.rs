@@ -1,0 +1,270 @@
+//! Figure/table value objects and their markdown / CSV renderers.
+
+use tcast_stats::Summary;
+
+/// One curve of a figure: `(x, statistics-over-runs)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Sweep points in x order.
+    pub points: Vec<(f64, Summary)>,
+}
+
+impl Series {
+    /// Mean at the given x (linear scan; series are small).
+    pub fn mean_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, s)| s.mean())
+    }
+
+    /// Maximum mean across the sweep (the "peak" of the curve).
+    pub fn peak(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|(x, s)| (*x, s.mean()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// A reproduced figure: several series over a common x axis.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier (`fig1`, `fig2`, ...).
+    pub id: String,
+    /// Human title (matches the paper's caption).
+    pub title: String,
+    /// X axis label.
+    pub xlabel: String,
+    /// Y axis label.
+    pub ylabel: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Finds a series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders as a markdown table: one row per x, one column per series
+    /// (mean ± 95% CI half-width).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        let xs = self.x_values();
+        out.push_str(&format!("| {} |", self.xlabel));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.name));
+        }
+        out.push('\n');
+        out.push_str(&"|---".repeat(self.series.len() + 1));
+        out.push_str("|\n");
+        for &x in &xs {
+            out.push_str(&format!("| {} |", trim_float(x)));
+            for s in &self.series {
+                match s.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9) {
+                    Some((_, sum)) => out.push_str(&format!(
+                        " {:.2} ±{:.2} |",
+                        sum.mean(),
+                        sum.ci95_half_width()
+                    )),
+                    None => out.push_str(" – |"),
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders as CSV: `x,series,mean,ci95,stddev,count` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,mean,ci95,stddev,count\n");
+        for s in &self.series {
+            for (x, sum) in &s.points {
+                out.push_str(&format!(
+                    "{},{},{:.6},{:.6},{:.6},{}\n",
+                    trim_float(*x),
+                    s.name,
+                    sum.mean(),
+                    sum.ci95_half_width(),
+                    sum.std_dev(),
+                    sum.count()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Distinct x values across all series, ascending.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+}
+
+/// A free-form results table (used by the error-rate table and Fig. 8).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Builds a table from string-ish parts.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n| ", self.id, self.title);
+        out.push_str(&self.columns.join(" | "));
+        out.push_str(" |\n");
+        out.push_str(&"|---".repeat(self.columns.len()));
+        out.push_str("|\n");
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(vals: &[f64]) -> Summary {
+        Summary::of(vals)
+    }
+
+    fn figure() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test figure".into(),
+            xlabel: "x".into(),
+            ylabel: "queries".into(),
+            series: vec![
+                Series {
+                    name: "a".into(),
+                    points: vec![(0.0, summary(&[1.0, 3.0])), (4.0, summary(&[8.0]))],
+                },
+                Series {
+                    name: "b".into(),
+                    points: vec![(0.0, summary(&[5.0]))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn x_values_are_merged_and_sorted() {
+        assert_eq!(figure().x_values(), vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn markdown_has_all_series_columns() {
+        let md = figure().to_markdown();
+        assert!(md.contains("| x | a | b |"));
+        assert!(md.contains("– |"), "missing point renders as a dash");
+        assert!(md.contains("2.00"), "mean of [1,3]");
+    }
+
+    #[test]
+    fn csv_row_per_point() {
+        let csv = figure().to_csv();
+        assert_eq!(csv.lines().count(), 1 + 3);
+        assert!(csv.lines().any(|l| l.starts_with("4,a,8.0")));
+    }
+
+    #[test]
+    fn series_lookup_and_peak() {
+        let f = figure();
+        assert_eq!(f.series("a").unwrap().mean_at(0.0), Some(2.0));
+        assert_eq!(f.series("a").unwrap().peak(), Some((4.0, 8.0)));
+        assert!(f.series("zzz").is_none());
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("t1", "errors", &["k", "rate"]);
+        t.push_row(vec!["1".into(), "0.03".into()]);
+        assert!(t.to_markdown().contains("| 1 | 0.03 |"));
+        assert!(t.to_csv().contains("k,rate"));
+    }
+
+    #[test]
+    fn empty_figure_renders_header_only() {
+        let f = Figure {
+            id: "fig0".into(),
+            title: "empty".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        let md = f.to_markdown();
+        assert!(md.contains("fig0"));
+        assert!(f.x_values().is_empty());
+        assert_eq!(f.to_csv().lines().count(), 1, "header only");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn bad_row_arity_panics() {
+        let mut t = Table::new("t1", "errors", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Parallel sweep execution.
+//!
+//! A sweep evaluates a metric at many x points, `runs` times each. Points
+//! are distributed over crossbeam scoped threads via an atomic work index;
+//! each (point, run) derives its own RNG seed, so the result is identical
+//! at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast_stats::Summary;
+
+use crate::output::Series;
+use crate::seeding::{derive, hash_name};
+
+/// Shared sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSpec {
+    /// Population size `N`.
+    pub n: usize,
+    /// Threshold `t`.
+    pub t: usize,
+    /// Repetitions per point (1000 in the paper).
+    pub runs: usize,
+    /// Base seed for the whole figure.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The paper's default simulation scale (see DESIGN.md §3.8).
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            n: 128,
+            t: 16,
+            runs: 1000,
+            seed,
+        }
+    }
+
+    /// Reduced-cost variant for smoke tests and `--fast` runs.
+    pub fn fast(self) -> Self {
+        Self {
+            runs: self.runs.min(100),
+            ..self
+        }
+    }
+}
+
+/// Applies `f` to every item index in parallel, preserving order.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// Runs a metric sweep: for each x in `xs`, `spec.runs` evaluations of
+/// `metric(x, run_rng)`, each with a deterministic per-run RNG.
+///
+/// `series_name` participates in seed derivation so different curves of
+/// the same figure see independent randomness.
+pub fn sweep(
+    series_name: &str,
+    xs: &[usize],
+    spec: SweepSpec,
+    metric: impl Fn(usize, &mut SmallRng) -> f64 + Sync,
+) -> Series {
+    let name_h = hash_name(series_name);
+    let points = parallel_map(xs, |_, &x| {
+        let mut summary = Summary::new();
+        for run in 0..spec.runs {
+            let seed = derive(spec.seed, &[name_h, x as u64, run as u64]);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            summary.record(metric(x, &mut rng));
+        }
+        (x as f64, summary)
+    });
+    Series {
+        name: series_name.to_string(),
+        points,
+    }
+}
+
+/// Standard x grids used by the per-`x` figures: dense near the threshold
+/// (where the curves peak), sparser toward `n`.
+pub fn x_grid(n: usize, t: usize) -> Vec<usize> {
+    let mut xs: Vec<usize> = Vec::new();
+    let dense_hi = (3 * t).min(n);
+    xs.extend(0..=dense_hi);
+    let mut x = dense_hi;
+    while x < n {
+        x = (x + (n / 16).max(1)).min(n);
+        xs.push(x);
+    }
+    xs.dedup();
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |_, &v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_invocations() {
+        let spec = SweepSpec {
+            n: 32,
+            t: 4,
+            runs: 50,
+            seed: 99,
+        };
+        let xs = [0usize, 4, 16];
+        let f = |x: usize, rng: &mut SmallRng| {
+            use rand::Rng;
+            x as f64 + rng.random::<f64>()
+        };
+        let a = sweep("test", &xs, spec, f);
+        let b = sweep("test", &xs, spec, f);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.0, pb.0);
+            assert_eq!(pa.1.mean(), pb.1.mean());
+        }
+    }
+
+    #[test]
+    fn different_series_names_draw_different_randomness() {
+        let spec = SweepSpec {
+            n: 32,
+            t: 4,
+            runs: 20,
+            seed: 99,
+        };
+        let f = |_: usize, rng: &mut SmallRng| {
+            use rand::Rng;
+            rng.random::<f64>()
+        };
+        let a = sweep("alpha", &[1], spec, f);
+        let b = sweep("beta", &[1], spec, f);
+        assert_ne!(a.points[0].1.mean(), b.points[0].1.mean());
+    }
+
+    #[test]
+    fn x_grid_is_dense_near_t_and_reaches_n() {
+        let g = x_grid(128, 16);
+        assert_eq!(g[0], 0);
+        assert!(g.contains(&16));
+        assert!(g.contains(&48), "dense region spans 3t");
+        assert_eq!(*g.last().unwrap(), 128);
+        assert!(g.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        // Dense stretch: consecutive integers up to 3t.
+        assert!(g.windows(2).take(48).all(|w| w[1] - w[0] == 1));
+    }
+
+    #[test]
+    fn x_grid_small_n() {
+        let g = x_grid(8, 4);
+        assert_eq!(g, (0..=8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # tcast-mac — MAC substrate for the mote stack
+//!
+//! Two medium-access strategies, matching the paper's baselines and the
+//! needs of the tcast implementation itself:
+//!
+//! * [`csma`] — unslotted 802.15.4 CSMA-CA as a pure state machine
+//!   (`request` / `timer_fired` steps), so it can be driven by any event
+//!   loop and unit-tested without one.
+//! * [`tdma`] — the sequential-ordering schedule: per-node reply slots with
+//!   a configurable guard time and a clock-error model, the "broadcast a
+//!   schedule and listen" baseline of Section IV-C.
+
+pub mod csma;
+pub mod tdma;
+
+pub use csma::{CsmaCa, CsmaCaConfig, CsmaStep};
+pub use tdma::{TdmaConfig, TdmaSchedule};

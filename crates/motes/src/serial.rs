@@ -1,0 +1,94 @@
+//! The laptop-side serial control protocol.
+//!
+//! In the paper's setup every TelosB mote hangs off a central laptop via
+//! its serial port; the initiator exposes `configure`, `query` and
+//! `reboot`, participants only `configure` and `reboot`. We model the
+//! protocol as plain request/response enums — the transport is assumed
+//! reliable (USB serial), so no framing or retransmission is modelled.
+
+/// A command sent from the controlling laptop to one mote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialCommand {
+    /// Installs a run configuration. For participants, `positive` is the
+    /// mote's own predicate value; for the initiator, `threshold` is the
+    /// `t` to test.
+    Configure {
+        /// Whether this mote's predicate holds for the coming run.
+        positive: bool,
+        /// Threshold (initiator only; participants ignore it).
+        threshold: usize,
+    },
+    /// Starts a threshold query (initiator only).
+    Query,
+    /// Reboots the mote, clearing all volatile state.
+    Reboot,
+}
+
+/// A mote's reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialResponse {
+    /// Command accepted.
+    Ok,
+    /// Result of a `Query` command.
+    QueryResult {
+        /// The initiator's verdict.
+        answer: bool,
+        /// Group queries the session used.
+        queries: u64,
+        /// Rounds the session used.
+        rounds: u32,
+    },
+    /// The command is not supported by this mote role (e.g. `Query` sent
+    /// to a participant).
+    Unsupported,
+}
+
+/// Role of a mote on the serial bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoteRole {
+    /// The querying node.
+    Initiator,
+    /// A queried node.
+    Participant,
+}
+
+/// Which commands a role accepts (the paper: initiator exposes configure,
+/// query, reboot; participants only configure and reboot).
+pub fn supports(role: MoteRole, cmd: &SerialCommand) -> bool {
+    match cmd {
+        SerialCommand::Configure { .. } | SerialCommand::Reboot => true,
+        SerialCommand::Query => role == MoteRole::Initiator,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initiator_supports_everything() {
+        for cmd in [
+            SerialCommand::Configure {
+                positive: true,
+                threshold: 4,
+            },
+            SerialCommand::Query,
+            SerialCommand::Reboot,
+        ] {
+            assert!(supports(MoteRole::Initiator, &cmd));
+        }
+    }
+
+    #[test]
+    fn participant_rejects_query() {
+        assert!(!supports(MoteRole::Participant, &SerialCommand::Query));
+        assert!(supports(MoteRole::Participant, &SerialCommand::Reboot));
+        assert!(supports(
+            MoteRole::Participant,
+            &SerialCommand::Configure {
+                positive: false,
+                threshold: 0
+            }
+        ));
+    }
+}

@@ -1,0 +1,265 @@
+//! The event queue: a binary heap keyed on `(time, sequence)` with lazy
+//! cancellation.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Order by (time, seq): the heap is a max-heap, entries are wrapped in
+// `Reverse`, so the earliest (time, seq) pops first. Equal timestamps fire
+// in scheduling order, making runs bit-for-bit reproducible.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Deterministic event queue with a virtual clock.
+///
+/// Popping an event advances the clock to its timestamp; scheduling into
+/// the past is a logic error (panics in debug builds, clamps to `now` in
+/// release).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// `is_empty` deliberately takes `&mut self` (it prunes cancelled heads), so
+// clippy's len/is_empty signature pairing does not apply.
+#[allow(clippy::len_without_is_empty)]
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < {}",
+            self.now
+        );
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, event }));
+        EventId(seq)
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet
+    /// fired (or been cancelled). O(1); storage is reclaimed lazily at pop.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp. Cancelled events are skipped silently.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(s)) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            debug_assert!(s.time >= self.now);
+            self.now = s.time;
+            return Some((s.time, s.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled heads eagerly so the answer reflects a live event.
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let seq = s.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(s.time);
+            }
+        }
+        None
+    }
+
+    /// Number of scheduled (possibly cancelled) entries still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// True when no live event remains. Takes `&mut self` because it
+    /// prunes cancelled heads to give an exact answer.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Advances the clock with no event (for deadline-driven drivers).
+    pub fn advance_to(&mut self, time: SimTime) {
+        debug_assert!(time >= self.now);
+        self.now = self.now.max(time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), "c");
+        q.schedule_at(SimTime::from_nanos(10), "a");
+        q.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::micros(5), ());
+        q.schedule_in(SimDuration::micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now().as_micros(), 5);
+        q.pop();
+        assert_eq!(q.now().as_micros(), 7);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::micros(10), "first");
+        q.pop();
+        q.schedule_in(SimDuration::micros(10), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_micros(), 20);
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(SimDuration::micros(1), "a");
+        let b = q.schedule_in(SimDuration::micros(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        let _ = b;
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(SimDuration::micros(1), "a");
+        q.schedule_in(SimDuration::micros(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time().unwrap().as_micros(), 2);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(SimDuration::micros(1), ());
+        q.schedule_in(SimDuration::micros(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_nanos(500));
+        assert_eq!(q.now(), SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        let mut popped = Vec::new();
+        q.schedule_at(SimTime::from_nanos(5), 5u64);
+        q.schedule_at(SimTime::from_nanos(1), 1);
+        while let Some((t, v)) = q.pop() {
+            popped.push(v);
+            assert_eq!(t.as_nanos(), v);
+            if v == 1 {
+                q.schedule_at(SimTime::from_nanos(3), 3);
+                q.schedule_at(SimTime::from_nanos(2), 2);
+            }
+        }
+        assert_eq!(popped, [1, 2, 3, 5]);
+    }
+}

@@ -1,0 +1,135 @@
+//! The driver loop: repeatedly pop the next event and hand it to a world.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulated world reacting to events. Handlers may schedule further
+/// events on the queue they are given.
+pub trait World<E> {
+    /// Processes one event fired at `now`.
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>);
+}
+
+/// Why a driver loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// No live event remained.
+    Idle,
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The step budget was exhausted (runaway-simulation guard).
+    BudgetExhausted,
+}
+
+/// Runs until the queue empties or `deadline` passes. Events scheduled
+/// exactly at the deadline still fire. Returns the reason the loop stopped
+/// and the number of events processed.
+pub fn run_until<E, W: World<E>>(
+    world: &mut W,
+    queue: &mut EventQueue<E>,
+    deadline: SimTime,
+    max_steps: u64,
+) -> (StepResult, u64) {
+    let mut steps = 0u64;
+    loop {
+        if steps >= max_steps {
+            return (StepResult::BudgetExhausted, steps);
+        }
+        match queue.peek_time() {
+            None => return (StepResult::Idle, steps),
+            Some(t) if t > deadline => {
+                queue.advance_to(deadline);
+                return (StepResult::DeadlineReached, steps);
+            }
+            Some(_) => {
+                let (now, event) = queue.pop().expect("peeked event vanished");
+                world.handle(now, event, queue);
+                steps += 1;
+            }
+        }
+    }
+}
+
+/// Runs until no live event remains (with a step budget as a guard against
+/// self-perpetuating event storms).
+pub fn run_until_idle<E, W: World<E>>(
+    world: &mut W,
+    queue: &mut EventQueue<E>,
+    max_steps: u64,
+) -> (StepResult, u64) {
+    run_until(world, queue, SimTime::MAX, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A world that rings a decrementing chain of bells.
+    struct Bells {
+        rung: Vec<u32>,
+    }
+
+    impl World<u32> for Bells {
+        fn handle(&mut self, _now: SimTime, bell: u32, queue: &mut EventQueue<u32>) {
+            self.rung.push(bell);
+            if bell > 0 {
+                queue.schedule_in(SimDuration::micros(10), bell - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_runs_to_idle() {
+        let mut world = Bells { rung: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::micros(10), 3u32);
+        let (res, steps) = run_until_idle(&mut world, &mut q, 1000);
+        assert_eq!(res, StepResult::Idle);
+        assert_eq!(steps, 4);
+        assert_eq!(world.rung, [3, 2, 1, 0]);
+        assert_eq!(q.now().as_micros(), 40);
+    }
+
+    #[test]
+    fn deadline_stops_the_chain() {
+        let mut world = Bells { rung: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::micros(10), 100u32);
+        let deadline = SimTime::ZERO + SimDuration::micros(25);
+        let (res, steps) = run_until(&mut world, &mut q, deadline, 1000);
+        assert_eq!(res, StepResult::DeadlineReached);
+        assert_eq!(
+            steps, 2,
+            "events at 10us and 20us fire; 30us is past deadline"
+        );
+        assert_eq!(q.now(), deadline, "clock parks at the deadline");
+    }
+
+    #[test]
+    fn event_exactly_at_deadline_fires() {
+        let mut world = Bells { rung: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::micros(25), 0u32);
+        let deadline = SimTime::ZERO + SimDuration::micros(25);
+        let (res, steps) = run_until(&mut world, &mut q, deadline, 1000);
+        assert_eq!(res, StepResult::Idle);
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        /// A world that reschedules itself forever.
+        struct Perpetual;
+        impl World<()> for Perpetual {
+            fn handle(&mut self, _: SimTime, _: (), queue: &mut EventQueue<()>) {
+                queue.schedule_in(SimDuration::micros(1), ());
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::micros(1), ());
+        let (res, steps) = run_until_idle(&mut Perpetual, &mut q, 50);
+        assert_eq!(res, StepResult::BudgetExhausted);
+        assert_eq!(steps, 50);
+    }
+}

@@ -1,0 +1,159 @@
+//! The bimodal workload model of Section VI.
+//!
+//! In intrusion-detection deployments the number of positive replies `x`
+//! follows a bimodal distribution: either there is no activity and only a
+//! few false positives fire (`x ~ N(mu1, sigma1^2)`, `mu1 ≈ 0`), or there is
+//! a real detection and many nodes fire (`x ~ N(mu2, sigma2^2)`). The paper
+//! parameterizes its accuracy sweeps by the half-distance
+//! `d = (mu2 - mu1) / 2` with `mu1 = n/2 - d` and `mu2 = n/2 + d`.
+
+use crate::normal::sample_normal_clamped_usize;
+use rand::Rng;
+
+/// Parameters of the two-component Gaussian mixture over node counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BimodalSpec {
+    /// Total number of participant nodes; samples are clamped to `0..=n`.
+    pub n: usize,
+    /// Mean of the "quiet" (false-alarm) component.
+    pub mu1: f64,
+    /// Standard deviation of the quiet component.
+    pub sigma1: f64,
+    /// Mean of the "activity" (true-detection) component.
+    pub mu2: f64,
+    /// Standard deviation of the activity component.
+    pub sigma2: f64,
+    /// Probability of drawing from the activity component.
+    pub activity_prob: f64,
+}
+
+impl BimodalSpec {
+    /// The paper's Figure 9–11 parameterization: modes at `n/2 ± d` with a
+    /// common standard deviation and an even mixture.
+    pub fn symmetric(n: usize, d: f64, sigma: f64) -> Self {
+        let center = n as f64 / 2.0;
+        Self {
+            n,
+            mu1: center - d,
+            sigma1: sigma,
+            mu2: center + d,
+            sigma2: sigma,
+            activity_prob: 0.5,
+        }
+    }
+
+    /// Lower decision boundary `t_l = mu1 + 2*sigma1` (Section VI-A).
+    pub fn t_l(&self) -> f64 {
+        self.mu1 + 2.0 * self.sigma1
+    }
+
+    /// Upper decision boundary `t_r = mu2 - 2*sigma2` (Section VI-A).
+    pub fn t_r(&self) -> f64 {
+        self.mu2 - 2.0 * self.sigma2
+    }
+
+    /// Draws a positive-node count together with the ground-truth component
+    /// (`true` when drawn from the activity mode).
+    ///
+    /// Accuracy in Figure 9 is judged against the *component*, not against
+    /// `x >= t`: deciding "activity" when the quiet mode produced an
+    /// unusually large `x` still counts as correct only if the component
+    /// matches, exactly as in the paper's "incorrect decision" example.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, bool) {
+        let activity = rng.random_bool(self.activity_prob);
+        let (mu, sigma) = if activity {
+            (self.mu2, self.sigma2)
+        } else {
+            (self.mu1, self.sigma1)
+        };
+        (
+            sample_normal_clamped_usize(rng, mu, sigma, 0, self.n),
+            activity,
+        )
+    }
+
+    /// Probability density of the mixture at `x` (continuous approximation,
+    /// used only for plotting Figure 11's theoretical curves).
+    pub fn density(&self, x: f64) -> f64 {
+        let quiet = gaussian_pdf(x, self.mu1, self.sigma1);
+        let act = gaussian_pdf(x, self.mu2, self.sigma2);
+        (1.0 - self.activity_prob) * quiet + self.activity_prob * act
+    }
+}
+
+fn gaussian_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return if x == mu { f64::INFINITY } else { 0.0 };
+    }
+    let z = (x - mu) / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn symmetric_places_modes_around_center() {
+        let spec = BimodalSpec::symmetric(128, 16.0, 4.0);
+        assert_eq!(spec.mu1, 48.0);
+        assert_eq!(spec.mu2, 80.0);
+        assert_eq!(spec.t_l(), 56.0);
+        assert_eq!(spec.t_r(), 72.0);
+    }
+
+    #[test]
+    fn samples_track_their_component() {
+        let spec = BimodalSpec::symmetric(128, 32.0, 4.0);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..5_000 {
+            let (x, activity) = spec.sample(&mut rng);
+            assert!(x <= 128);
+            // With d=32 and sigma=4 the modes are 16 sigma apart: the draw
+            // must land on its own side of the center.
+            if activity {
+                assert!(x > 64, "activity draw {x} below center");
+            } else {
+                assert!(x < 64, "quiet draw {x} above center");
+            }
+        }
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let spec = BimodalSpec {
+            activity_prob: 0.25,
+            ..BimodalSpec::symmetric(128, 16.0, 4.0)
+        };
+        let mut rng = SmallRng::seed_from_u64(17);
+        let runs = 100_000;
+        let hits = (0..runs).filter(|_| spec.sample(&mut rng).1).count();
+        let frac = hits as f64 / runs as f64;
+        assert!((frac - 0.25).abs() < 0.01, "activity fraction {frac}");
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let spec = BimodalSpec::symmetric(128, 16.0, 4.0);
+        // Trapezoid over a generous range.
+        let (lo, hi, steps) = (-50.0, 200.0, 100_000);
+        let h = (hi - lo) / steps as f64;
+        let mut area = 0.0;
+        for i in 0..steps {
+            let a = spec.density(lo + i as f64 * h);
+            let b = spec.density(lo + (i + 1) as f64 * h);
+            area += 0.5 * (a + b) * h;
+        }
+        assert!((area - 1.0).abs() < 1e-6, "mixture mass {area}");
+    }
+
+    #[test]
+    fn density_is_bimodal() {
+        let spec = BimodalSpec::symmetric(128, 16.0, 4.0);
+        let at_mode = spec.density(spec.mu1);
+        let at_center = spec.density(64.0);
+        assert!(at_mode > 2.0 * at_center);
+    }
+}

@@ -1,0 +1,168 @@
+//! Fixed-width histograms (used to regenerate Figure 11 and to summarize
+//! per-group-size error counts in the testbed experiments).
+
+/// A histogram over `[lo, hi)` with equally sized bins. Out-of-range samples
+/// are tallied in dedicated underflow/overflow counters so total mass is
+/// never silently lost.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "empty histogram range [{lo}, {hi})");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            // Floating-point edge: value just below `hi` can round to len().
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded (in range or not).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Inclusive-exclusive bounds of bin `idx`.
+    pub fn bin_range(&self, idx: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let lo = self.lo + idx as f64 * width;
+        (lo, lo + width)
+    }
+
+    /// Center of bin `idx` (x-coordinate when plotting).
+    pub fn bin_center(&self, idx: usize) -> f64 {
+        let (lo, hi) = self.bin_range(idx);
+        0.5 * (lo + hi)
+    }
+
+    /// Fraction of all recorded samples in bin `idx`.
+    pub fn frequency(&self, idx: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[idx] as f64 / self.total as f64
+        }
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins()).map(move |i| (self.bin_center(i), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.5);
+        h.record(9.999);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(7.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let mut h = Histogram::new(-5.0, 5.0, 7);
+        for i in -100..100 {
+            h.record(i as f64 / 10.0);
+        }
+        let in_bins: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        assert_eq!(in_bins + h.underflow() + h.overflow(), h.total());
+        assert_eq!(h.total(), 200);
+    }
+
+    #[test]
+    fn bin_geometry() {
+        let h = Histogram::new(0.0, 8.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(3), (6.0, 8.0));
+        assert_eq!(h.bin_center(1), 3.0);
+    }
+
+    #[test]
+    fn frequency_normalizes_by_total() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        h.record(0.6);
+        h.record(1.5);
+        h.record(99.0); // overflow still counts in the denominator
+        assert_eq!(h.frequency(0), 0.5);
+        assert_eq!(h.frequency(1), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

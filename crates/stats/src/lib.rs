@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Statistics substrate for the tcast reproduction.
+//!
+//! The paper's evaluation relies on a handful of statistical tools that we
+//! implement from scratch (keeping the dependency budget to `rand` alone):
+//!
+//! * Gaussian sampling via the Box–Muller transform ([`normal`]), including
+//!   the clamped integer variant the paper uses for node counts.
+//! * The bimodal mixture model of Section VI ([`bimodal`]): the number of
+//!   positive nodes is drawn from `N(mu1, sigma1^2)` (false alarms) or
+//!   `N(mu2, sigma2^2)` (true detections) with equal probability.
+//! * Fixed-width histograms for regenerating Figure 11 ([`histogram`]).
+//! * Streaming summary statistics (Welford) with confidence intervals for
+//!   the 1000-run averages reported in every figure ([`summary`]).
+//! * Concentration bounds ([`bounds`]): the paper's Eq. (10) repeat count
+//!   and a standard Hoeffding bound used as a cross-check in Figure 10.
+
+pub mod bimodal;
+pub mod bounds;
+pub mod histogram;
+pub mod normal;
+pub mod summary;
+
+pub use bimodal::BimodalSpec;
+pub use bounds::{repeats_hoeffding, repeats_paper_eq10};
+pub use histogram::Histogram;
+pub use normal::{sample_normal, sample_normal_clamped_usize};
+pub use summary::Summary;

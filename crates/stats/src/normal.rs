@@ -1,0 +1,139 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! `rand_distr` is outside this project's dependency budget, so the handful
+//! of continuous distributions the paper needs are implemented here. The
+//! polar (Marsaglia) variant is used: it avoids the trigonometric calls of
+//! the basic transform and rejects only ~21.5% of candidate pairs.
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, std_dev^2)`.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or not finite.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "std_dev must be finite and non-negative, got {std_dev}"
+    );
+    mean + std_dev * sample_standard_normal(rng)
+}
+
+/// Draws one sample from the standard normal `N(0, 1)` using the
+/// Marsaglia polar method.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        // u, v uniform on (-1, 1).
+        let u = 2.0 * rng.random::<f64>() - 1.0;
+        let v = 2.0 * rng.random::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws from `N(mean, std_dev^2)`, rounds to the nearest integer and clamps
+/// to `[lo, hi]`.
+///
+/// The paper models the number of positive nodes `x` as a (clamped) normal
+/// draw; `x` must stay a valid node count in `0..=n`, hence the clamp rather
+/// than rejection (rejection would bias the tails the paper relies on when
+/// the modes sit near 0 or `n`).
+pub fn sample_normal_clamped_usize<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: usize,
+    hi: usize,
+) -> usize {
+    assert!(lo <= hi, "empty clamp range [{lo}, {hi}]");
+    let draw = sample_normal(rng, mean, std_dev).round();
+    if draw <= lo as f64 {
+        lo
+    } else if draw >= hi as f64 {
+        hi
+    } else {
+        draw as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.03, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shifted_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 64.0, 4.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 64.0).abs() < 0.1, "mean {mean} too far from 64");
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = sample_normal_clamped_usize(&mut rng, 2.0, 10.0, 0, 16);
+            assert!(x <= 16);
+        }
+    }
+
+    #[test]
+    fn clamped_hits_both_bounds_for_wide_sigma() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..20_000 {
+            match sample_normal_clamped_usize(&mut rng, 8.0, 20.0, 0, 16) {
+                0 => saw_lo = true,
+                16 => saw_hi = true,
+                _ => {}
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(sample_normal(&mut rng, 5.0, 0.0), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn negative_sigma_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = sample_normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| sample_standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| sample_standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

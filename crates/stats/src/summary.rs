@@ -1,0 +1,198 @@
+//! Streaming summary statistics (Welford's online algorithm).
+//!
+//! Every figure in the paper reports a mean over 1000 independent runs; the
+//! experiment harness additionally reports the standard deviation and a 95%
+//! normal-approximation confidence interval so reproduction noise is
+//! visible. Welford's update is used for numerical stability: the naive
+//! sum-of-squares formula loses precision when the mean dwarfs the variance
+//! (exactly the regime of query counts in the hundreds with small spread).
+
+/// Online mean / variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.record(v);
+        }
+        s
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel variant),
+    /// enabling per-thread accumulation in the parallel sweep runner.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95% normal-approximation confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest recorded value (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn mean_and_variance_match_textbook() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!(close(s.mean(), 5.0));
+        // Population variance is 4.0; unbiased sample variance is 32/7.
+        assert!(close(s.variance(), 32.0 / 7.0));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_summary_is_neutral() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_value_has_zero_variance() {
+        let s = Summary::of(&[42.0]);
+        assert!(close(s.mean(), 42.0));
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0 + 50.0).collect();
+        let whole = Summary::of(&data);
+        let mut merged = Summary::of(&data[..333]);
+        merged.merge(&Summary::of(&data[333..700]));
+        merged.merge(&Summary::of(&data[700..]));
+        assert_eq!(merged.count(), whole.count());
+        assert!(close(merged.mean(), whole.mean()));
+        assert!((merged.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let mut a = s;
+        a.merge(&Summary::new());
+        assert_eq!(a, s);
+        let mut b = Summary::new();
+        b.merge(&s);
+        assert_eq!(b, s);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Naive sum-of-squares catastrophically cancels here.
+        let offset = 1e9;
+        let s = Summary::of(&[offset + 1.0, offset + 2.0, offset + 3.0]);
+        assert!(close(s.variance(), 1.0));
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many = Summary::of(&(0..400).map(|i| (i % 4) as f64 + 1.0).collect::<Vec<_>>());
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+}

@@ -1,0 +1,108 @@
+//! Intrusion detection with bimodal traffic (the paper's Section VI
+//! motivation).
+//!
+//! A surveillance field where, at any instant, either nothing is happening
+//! (a handful of false detections fire) or a real intruder walks through
+//! (most nodes detect it). The initiator classifies each instant with the
+//! constant-cost probabilistic primitive and escalates to an *exact*
+//! threshold query only when the cheap answer says "activity" — the
+//! two-tier pattern the paper recommends for detection applications.
+//!
+//! ```text
+//! cargo run --example intrusion_detection
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::probabilistic::{ProbabilisticConfig, ProbabilisticQuerier};
+use tcast::{population, CollisionModel, IdealChannel, ThresholdQuerier, TwoTBins};
+use tcast_stats::{repeats_paper_eq10, BimodalSpec};
+
+fn main() {
+    const N: usize = 128;
+    const T: usize = 64; // escalation threshold: "real intruder"
+    const EVENTS: usize = 200;
+
+    // History says: quiet periods have ~16 false positives, real intrusions
+    // light up ~96 nodes.
+    let spec = BimodalSpec {
+        n: N,
+        mu1: 16.0,
+        sigma1: 4.0,
+        mu2: 96.0,
+        sigma2: 4.0,
+        activity_prob: 0.3,
+    };
+    let eps_cfg = ProbabilisticConfig::with_optimal_bins(spec.t_l(), spec.t_r(), N, 1);
+    let repeats = repeats_paper_eq10(eps_cfg.eps(), 0.05);
+    let cfg = ProbabilisticConfig { repeats, ..eps_cfg };
+    let screener = ProbabilisticQuerier::new(cfg);
+    println!(
+        "screener: b={} (sampling prob 1/{}), r={} probes, eps={:.3}",
+        cfg.bins,
+        cfg.bins,
+        cfg.repeats,
+        cfg.eps()
+    );
+
+    let nodes = population(N);
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    let mut screen_queries = 0u64;
+    let mut exact_queries = 0u64;
+    let mut escalations = 0usize;
+    let mut correct = 0usize;
+    let mut exact_baseline = 0u64;
+
+    for event in 0..EVENTS {
+        let (x, real_intrusion) = spec.sample(&mut rng);
+        let mut channel = IdealChannel::with_random_positives(
+            N,
+            x,
+            CollisionModel::OnePlus,
+            event as u64,
+            &mut rng,
+        );
+
+        // Tier 1: constant-cost screening.
+        let decision = screener.decide(&nodes, &mut channel, &mut rng);
+        screen_queries += decision.queries;
+        if decision.activity == real_intrusion {
+            correct += 1;
+        }
+
+        // Tier 2: exact confirmation before alerting the basestation.
+        if decision.activity {
+            escalations += 1;
+            let report = TwoTBins.run(&nodes, T, &mut channel, &mut rng);
+            exact_queries += report.queries;
+        }
+
+        // What running the exact query on every event would have cost.
+        let mut shadow = IdealChannel::with_random_positives(
+            N,
+            x,
+            CollisionModel::OnePlus,
+            event as u64 ^ 0xffff,
+            &mut rng,
+        );
+        exact_baseline += TwoTBins.run(&nodes, T, &mut shadow, &mut rng).queries;
+    }
+
+    println!("\n{EVENTS} sensing events processed:");
+    println!(
+        "  screening accuracy : {correct}/{EVENTS} = {:.1}%",
+        100.0 * correct as f64 / EVENTS as f64
+    );
+    println!("  escalations        : {escalations}");
+    println!(
+        "  two-tier cost      : {} screening + {} confirmation = {} queries",
+        screen_queries,
+        exact_queries,
+        screen_queries + exact_queries
+    );
+    println!("  exact-always cost  : {exact_baseline} queries");
+    let saved = 100.0 * (1.0 - (screen_queries + exact_queries) as f64 / exact_baseline as f64);
+    println!("  saved              : {saved:.1}%");
+}

@@ -1,0 +1,82 @@
+//! Quickstart: answer one threshold query three ways.
+//!
+//! A 128-node single-hop neighborhood where 20 nodes detect an intruder;
+//! the initiator asks "did at least 16 nodes detect it?" using 2tBins,
+//! ABNS, and the CSMA baseline, and prints what each one paid.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::baselines::{csma_collect, CsmaConfig};
+use tcast::{population, Abns, CollisionModel, IdealChannel, ThresholdQuerier, TwoTBins};
+
+fn main() {
+    const N: usize = 128;
+    const X: usize = 20; // nodes whose predicate holds (unknown to the initiator)
+    const T: usize = 16; // the threshold being tested
+
+    let mut rng = SmallRng::seed_from_u64(2011);
+    let nodes = population(N);
+
+    println!("network: {N} nodes, {X} positive, threshold {T}\n");
+
+    // The paper's workhorse: fixed 2t bins per round.
+    let mut channel =
+        IdealChannel::with_random_positives(N, X, CollisionModel::OnePlus, 1, &mut rng);
+    let report = TwoTBins.run(&nodes, T, &mut channel, &mut rng);
+    print_report("2tBins (1+)", &report);
+
+    // Same question under the 2+ radio model: captures identify positives.
+    let mut channel =
+        IdealChannel::with_random_positives(N, X, CollisionModel::two_plus_default(), 2, &mut rng);
+    let report = TwoTBins.run(&nodes, T, &mut channel, &mut rng);
+    print_report("2tBins (2+)", &report);
+
+    // Adaptive bin selection, seeded with p0 = 2t.
+    let mut channel =
+        IdealChannel::with_random_positives(N, X, CollisionModel::OnePlus, 3, &mut rng);
+    let report = Abns::p0_2t().run(&nodes, T, &mut channel, &mut rng);
+    print_report("ABNS(p0=2t)", &report);
+
+    // The traditional alternative: let the positives fight it out on CSMA.
+    let csma = csma_collect(X, T, &CsmaConfig::default(), &mut rng);
+    println!(
+        "{:<14} answer={} cost={} slots ({} replies heard, {} collisions)",
+        "CSMA", csma.answer, csma.slots, csma.received, csma.collisions
+    );
+
+    println!("\nper-round trace of the last tcast session:");
+    for (i, round) in report.trace.iter().enumerate() {
+        println!(
+            "  round {}: {} bins -> {} queried, {} silent, {} eliminated, {} remaining",
+            i + 1,
+            round.bins,
+            round.queried_bins,
+            round.silent_bins,
+            round.eliminated,
+            round.remaining
+        );
+    }
+}
+
+fn print_report(name: &str, report: &tcast::QueryReport) {
+    println!(
+        "{:<14} answer={} cost={} queries in {} rounds{}",
+        name,
+        report.answer,
+        report.queries,
+        report.rounds,
+        if report.confirmed_positives > 0 {
+            format!(
+                " ({} positives identified by capture)",
+                report.confirmed_positives
+            )
+        } else {
+            String::new()
+        }
+    );
+}
