@@ -1,0 +1,65 @@
+//! Throughput of the `tcast-service` worker pool: how many complete
+//! query sessions per second the service sustains end-to-end (admission
+//! queue, work stealing, metrics, result board) at various worker counts,
+//! against a no-service serial baseline running the same jobs inline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tcast::{ChannelSpec, CollisionModel};
+use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
+
+const N: usize = 128;
+const T: usize = 16;
+
+/// A mixed batch: every algorithm, positive counts swept around `t`.
+fn batch(jobs: usize) -> Vec<QueryJob> {
+    (0..jobs)
+        .map(|i| QueryJob {
+            algorithm: AlgorithmSpec::ALL[i % AlgorithmSpec::ALL.len()],
+            channel: ChannelSpec::ideal(N, (i * 7) % (2 * T), CollisionModel::OnePlus)
+                .seeded(i as u64, (i as u64) << 17),
+            t: T,
+            session_seed: 0x9E37_79B9 ^ i as u64,
+        })
+        .collect()
+}
+
+fn service_throughput(c: &mut Criterion) {
+    let jobs = 256usize;
+    let template = batch(jobs);
+
+    let mut g = c.benchmark_group("service_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(jobs as u64));
+
+    g.bench_function(BenchmarkId::new("serial_inline", jobs), |b| {
+        b.iter(|| {
+            for job in &template {
+                black_box(job.execute());
+            }
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let service = QueryService::new(ServiceConfig::with_workers(workers));
+        g.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &template,
+            |b, template| {
+                b.iter(|| {
+                    let results = service
+                        .submit(template.clone())
+                        .expect("service open")
+                        .wait();
+                    black_box(results)
+                })
+            },
+        );
+        drop(service);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

@@ -50,17 +50,8 @@ impl IdealChannel {
         seed: u64,
         rng: &mut R,
     ) -> Self {
-        assert!(x <= n, "cannot place {x} positives among {n} nodes");
         let mut ch = Self::new(n, model, seed);
-        // Floyd's algorithm: uniform x-subset of 0..n without an O(n) shuffle.
-        for j in (n - x)..n {
-            let k = rng.random_range(0..=j);
-            if ch.positive[k] {
-                ch.positive[j] = true;
-            } else {
-                ch.positive[k] = true;
-            }
-        }
+        ch.set_positives(&super::random_positive_set(n, x, rng));
         debug_assert_eq!(ch.positive.iter().filter(|&&p| p).count(), x);
         ch
     }

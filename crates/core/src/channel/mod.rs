@@ -14,9 +14,11 @@
 
 mod ideal;
 mod lossy;
+mod spec;
 
 pub use ideal::IdealChannel;
 pub use lossy::{LossConfig, LossyChannel};
+pub use spec::{random_positive_set, ChannelSpec};
 
 use crate::types::{CollisionModel, NodeId, Observation};
 

@@ -1,0 +1,228 @@
+//! Plain-data channel descriptions buildable into live channels.
+//!
+//! Experiment sweeps and the `tcast-service` worker pool both need to
+//! construct channels away from where the parameters were chosen — on
+//! another thread, after a queue hop, or inside a retry. [`ChannelSpec`]
+//! captures a channel as pure data (`Copy + Send`) so the construction
+//! site needs no borrowed state, and rebuilding the same spec always
+//! yields a bit-identical channel.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{GroupQueryChannel, IdealChannel, LossConfig, LossyChannel};
+use crate::types::{CollisionModel, NodeId};
+
+/// Uniform `x`-subset of `0..n` chosen with Floyd's algorithm.
+///
+/// Consumes exactly `x` draws from `rng`, independent of `n`, which keeps
+/// seed streams stable when sweeps vary the population size.
+///
+/// # Panics
+///
+/// Panics when `x > n`.
+pub fn random_positive_set<R: Rng + ?Sized>(n: usize, x: usize, rng: &mut R) -> Vec<NodeId> {
+    assert!(x <= n, "cannot place {x} positives among {n} nodes");
+    let mut positive = vec![false; n];
+    for j in (n - x)..n {
+        let k = rng.random_range(0..=j);
+        if positive[k] {
+            positive[j] = true;
+        } else {
+            positive[k] = true;
+        }
+    }
+    positive
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| p.then_some(NodeId(i as u32)))
+        .collect()
+}
+
+/// Plain-data description of an abstract group-query channel.
+///
+/// Contains everything needed to rebuild the same channel anywhere: the
+/// population, the ground-truth positive count, the collision model,
+/// optional loss parameters, and the two seeds that determine the positive
+/// placement and the channel's internal randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelSpec {
+    /// Population size (node ids `0..n`).
+    pub n: usize,
+    /// Ground-truth number of predicate-positive nodes.
+    pub x: usize,
+    /// Collision model the channel implements.
+    pub model: CollisionModel,
+    /// Loss parameters; `None` builds an error-free [`IdealChannel`].
+    pub loss: Option<LossConfig>,
+    /// Seed for the uniform placement of the `x` positives.
+    pub placement_seed: u64,
+    /// Seed for the channel's internal draws (capture lotteries, losses).
+    pub channel_seed: u64,
+}
+
+impl ChannelSpec {
+    /// Spec for an error-free channel; seeds start at zero.
+    pub fn ideal(n: usize, x: usize, model: CollisionModel) -> Self {
+        Self {
+            n,
+            x,
+            model,
+            loss: None,
+            placement_seed: 0,
+            channel_seed: 0,
+        }
+    }
+
+    /// Spec for a channel with radio imperfections; seeds start at zero.
+    pub fn lossy(n: usize, x: usize, model: CollisionModel, loss: LossConfig) -> Self {
+        Self {
+            loss: Some(loss),
+            ..Self::ideal(n, x, model)
+        }
+    }
+
+    /// Returns the spec with both seeds set.
+    pub fn seeded(mut self, placement_seed: u64, channel_seed: u64) -> Self {
+        self.placement_seed = placement_seed;
+        self.channel_seed = channel_seed;
+        self
+    }
+
+    /// Builds the channel described by this spec from its stored seeds.
+    pub fn build(&self) -> Box<dyn GroupQueryChannel + Send> {
+        self.build_with_truth().0
+    }
+
+    /// Like [`build`](Self::build), additionally returning the ground-truth
+    /// positive bitmap (needed to construct a matching oracle).
+    pub fn build_with_truth(&self) -> (Box<dyn GroupQueryChannel + Send>, Vec<bool>) {
+        let mut placement = SmallRng::seed_from_u64(self.placement_seed);
+        self.construct(self.channel_seed, &mut placement)
+    }
+
+    /// Builds the channel drawing the channel seed and then the positive
+    /// placement from `rng`, ignoring the stored seeds.
+    ///
+    /// This is the draw order the experiment sweeps have always used
+    /// (channel seed first, placement second, from one per-run generator),
+    /// so figures regenerated through a spec stay byte-identical.
+    pub fn sample_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> (Box<dyn GroupQueryChannel + Send>, Vec<bool>) {
+        let channel_seed = rng.random();
+        self.construct(channel_seed, rng)
+    }
+
+    fn construct<R: Rng + ?Sized>(
+        &self,
+        channel_seed: u64,
+        placement: &mut R,
+    ) -> (Box<dyn GroupQueryChannel + Send>, Vec<bool>) {
+        let positives = random_positive_set(self.n, self.x, placement);
+        let mut bitmap = vec![false; self.n];
+        for id in &positives {
+            bitmap[id.index()] = true;
+        }
+        let channel: Box<dyn GroupQueryChannel + Send> = match self.loss {
+            None => {
+                let mut ch = IdealChannel::new(self.n, self.model, channel_seed);
+                ch.set_positives(&positives);
+                Box::new(ch)
+            }
+            Some(loss) => {
+                let mut ch = LossyChannel::new(self.n, self.model, loss, channel_seed);
+                ch.set_positives(&positives);
+                Box::new(ch)
+            }
+        };
+        (channel, bitmap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{population, Observation};
+    use rand::RngCore;
+
+    #[test]
+    fn positive_set_has_exactly_x_elements() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for x in [0, 1, 5, 31, 32] {
+            let set = random_positive_set(32, x, &mut rng);
+            assert_eq!(set.len(), x);
+            assert!(set.windows(2).all(|w| w[0].0 < w[1].0), "sorted, distinct");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positives")]
+    fn oversized_positive_set_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = random_positive_set(4, 5, &mut rng);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = ChannelSpec::ideal(64, 10, CollisionModel::OnePlus).seeded(7, 8);
+        let (mut a, truth_a) = spec.build_with_truth();
+        let (mut b, truth_b) = spec.build_with_truth();
+        assert_eq!(truth_a, truth_b);
+        let members = population(64);
+        for _ in 0..20 {
+            assert_eq!(a.query(&members), b.query(&members));
+        }
+    }
+
+    #[test]
+    fn truth_matches_channel_behaviour() {
+        let spec = ChannelSpec::ideal(16, 4, CollisionModel::OnePlus).seeded(3, 4);
+        let (mut ch, truth) = spec.build_with_truth();
+        assert_eq!(truth.iter().filter(|&&p| p).count(), 4);
+        for (i, &positive) in truth.iter().enumerate() {
+            let obs = ch.query(&[NodeId(i as u32)]);
+            assert_eq!(obs == Observation::Activity, positive);
+        }
+    }
+
+    #[test]
+    fn sample_with_matches_historical_draw_order() {
+        // The spec path must consume rng exactly like the original inline
+        // construction: one u64 for the channel seed, then Floyd placement.
+        let spec = ChannelSpec::ideal(128, 20, CollisionModel::OnePlus);
+        let mut rng_spec = SmallRng::seed_from_u64(42);
+        let mut rng_inline = SmallRng::seed_from_u64(42);
+
+        let (mut via_spec, _) = spec.sample_with(&mut rng_spec);
+        let ch_seed = rng_inline.random();
+        let mut inline = IdealChannel::with_random_positives(
+            128,
+            20,
+            CollisionModel::OnePlus,
+            ch_seed,
+            &mut rng_inline,
+        );
+
+        let members = population(128);
+        for _ in 0..20 {
+            assert_eq!(via_spec.query(&members), inline.query(&members));
+        }
+        // And the generators must be left in identical states.
+        assert_eq!(rng_spec.next_u64(), rng_inline.next_u64());
+    }
+
+    #[test]
+    fn lossy_spec_builds_lossy_channel() {
+        let loss = LossConfig {
+            reply_miss_prob: 1.0,
+            false_activity_prob: 0.0,
+        };
+        let spec = ChannelSpec::lossy(8, 8, CollisionModel::OnePlus, loss).seeded(1, 2);
+        let (mut ch, truth) = spec.build_with_truth();
+        assert!(truth.iter().all(|&p| p));
+        // Every reply is lost, so even an all-positive group looks silent.
+        assert_eq!(ch.query(&population(8)), Observation::Silent);
+    }
+}

@@ -61,7 +61,9 @@ pub mod twotbins;
 pub mod types;
 
 pub use abns::{Abns, InitialEstimate};
-pub use channel::{GroupQueryChannel, IdealChannel, LossyChannel};
+pub use channel::{
+    random_positive_set, ChannelSpec, GroupQueryChannel, IdealChannel, LossConfig, LossyChannel,
+};
 pub use counting::{count_positives, CountReport};
 pub use engine::{RoundOutcome, RoundStats, Session};
 pub use exp_increase::{ExpIncrease, GrowthVariant};

@@ -62,11 +62,7 @@ pub fn render_chart(fig: &Figure, width: usize, height: usize) -> String {
         };
         out.push_str(&format!("{label} |{}\n", line.iter().collect::<String>()));
     }
-    out.push_str(&format!(
-        "{} +{}\n",
-        " ".repeat(label_w),
-        "-".repeat(width)
-    ));
+    out.push_str(&format!("{} +{}\n", " ".repeat(label_w), "-".repeat(width)));
     out.push_str(&format!(
         "{}  {:<10} … {:.0} ({})\n",
         " ".repeat(label_w),
@@ -125,10 +121,7 @@ mod tests {
     #[test]
     fn rising_series_touches_top_right() {
         let chart = render_chart(&figure(), 40, 12);
-        let plot_rows: Vec<&str> = chart
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let plot_rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
         // The maximum (x=10, y=20) lands on the top plot row, rightmost col.
         let top = plot_rows.first().unwrap();
         assert_eq!(top.chars().last(), Some('*'), "top row: {top:?}");

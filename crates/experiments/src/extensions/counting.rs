@@ -7,10 +7,10 @@
 //! collision models.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use tcast::counting::count_positives;
-use tcast::{population, CollisionModel, IdealChannel, ThresholdQuerier, TwoTBins};
+use tcast::{population, ChannelSpec, CollisionModel, ThresholdQuerier, TwoTBins};
 use tcast_stats::Summary;
 
 use crate::output::Table;
@@ -68,14 +68,13 @@ fn summarize(spec: SweepSpec, x: usize, model: CollisionModel, counting: bool) -
     for run in 0..spec.runs {
         let seed = derive(spec.seed, &[u64::from(counting), x as u64, run as u64]);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let ch_seed = rng.random();
-        let mut ch = IdealChannel::with_random_positives(spec.n, x, model, ch_seed, &mut rng);
+        let (mut ch, _) = ChannelSpec::ideal(spec.n, x, model).sample_with(&mut rng);
         let queries = if counting {
-            let report = count_positives(&nodes, &mut ch, &mut rng);
+            let report = count_positives(&nodes, ch.as_mut(), &mut rng);
             assert_eq!(report.count, x, "countcast must be exact");
             report.queries
         } else {
-            TwoTBins.run(&nodes, spec.t, &mut ch, &mut rng).queries
+            TwoTBins.run(&nodes, spec.t, ch.as_mut(), &mut rng).queries
         };
         out.record(queries as f64);
     }

@@ -10,7 +10,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tcast::{
-    population, Abns, CollisionModel, IdealChannel, MonitorConfig, ThresholdMonitor,
+    population, Abns, ChannelSpec, CollisionModel, MonitorConfig, ThresholdMonitor,
     ThresholdQuerier, TwoTBins,
 };
 
@@ -100,21 +100,24 @@ pub fn build(sweep: &MonitorSweep) -> Table {
                 let ch_seed = derive(seed, &[i as u64]);
                 let mut rng_run = SmallRng::seed_from_u64(ch_seed);
                 let mk = |r: &mut SmallRng| {
-                    let s = r.random();
-                    IdealChannel::with_random_positives(sweep.n, x, CollisionModel::OnePlus, s, r)
+                    ChannelSpec::ideal(sweep.n, x, CollisionModel::OnePlus)
+                        .sample_with(r)
+                        .0
                 };
                 let mut ch = mk(&mut rng_run);
-                let rep = monitor.epoch(&nodes, sweep.t, &mut ch, &mut rng_run);
+                let rep = monitor.epoch(&nodes, sweep.t, ch.as_mut(), &mut rng_run);
                 debug_assert_eq!(rep.answer, x >= sweep.t);
                 monitor_total += rep.queries;
 
                 let mut ch = mk(&mut rng_run);
                 abns_total += Abns::p0_2t()
-                    .run(&nodes, sweep.t, &mut ch, &mut rng_run)
+                    .run(&nodes, sweep.t, ch.as_mut(), &mut rng_run)
                     .queries;
 
                 let mut ch = mk(&mut rng_run);
-                ttb_total += TwoTBins.run(&nodes, sweep.t, &mut ch, &mut rng_run).queries;
+                ttb_total += TwoTBins
+                    .run(&nodes, sweep.t, ch.as_mut(), &mut rng_run)
+                    .queries;
             }
         }
         let per_epoch = (sweep.traces * sweep.epochs) as f64;

@@ -20,17 +20,17 @@ pub fn build(spec: SweepSpec) -> Figure {
     let xs = x_grid(spec.n, spec.t);
     let model = CollisionModel::OnePlus;
 
-    let twotbins = sweep("2tBins", &xs, spec, |x, rng| {
+    let twotbins = sweep("2tBins", &xs, spec, move |x, rng| {
         run_alg_once(&TwoTBins, spec.n, x, spec.t, model, rng)
     });
-    let expinc = sweep("ExpIncrease", &xs, spec, |x, rng| {
+    let expinc = sweep("ExpIncrease", &xs, spec, move |x, rng| {
         run_alg_once(&ExpIncrease::standard(), spec.n, x, spec.t, model, rng)
     });
     let csma_cfg = CsmaConfig::default();
-    let csma = sweep("CSMA", &xs, spec, |x, rng| {
+    let csma = sweep("CSMA", &xs, spec, move |x, rng| {
         csma_collect(x, spec.t, &csma_cfg, rng).slots as f64
     });
-    let sequential = sweep("Sequential", &xs, spec, |x, rng| {
+    let sequential = sweep("Sequential", &xs, spec, move |x, rng| {
         sequential_collect_random(spec.n, x, spec.t, rng).slots as f64
     });
 

@@ -9,7 +9,7 @@
 use tcast_stats::{repeats_hoeffding, repeats_paper_eq10, BimodalSpec, Summary};
 
 use crate::output::{Figure, Series};
-use crate::runner::parallel_map;
+use crate::runner::map_points;
 
 use super::fig9::{accuracy, config_for, ProbSpec};
 
@@ -33,9 +33,9 @@ pub fn build(spec: ProbSpec) -> Figure {
 
     let measured = Series {
         name: "measured (95%)".into(),
-        points: parallel_map(&ds, |_, &d| {
+        points: map_points("fig10/measured", &ds, move |d| {
             let r = measured_repeats(&spec, d as f64, 0.95);
-            (d as f64, Summary::of(&[f64::from(r)]))
+            Summary::of(&[f64::from(r)])
         }),
     };
     let theory = |name: &str, f: fn(f64, f64) -> u32| Series {

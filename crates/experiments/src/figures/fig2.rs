@@ -19,16 +19,16 @@ pub fn build(spec: SweepSpec) -> Figure {
     let two = CollisionModel::two_plus_default();
 
     let series = vec![
-        sweep("2tBins 1+", &xs, spec, |x, rng| {
+        sweep("2tBins 1+", &xs, spec, move |x, rng| {
             run_alg_once(&TwoTBins, spec.n, x, spec.t, one, rng)
         }),
-        sweep("2tBins 2+", &xs, spec, |x, rng| {
+        sweep("2tBins 2+", &xs, spec, move |x, rng| {
             run_alg_once(&TwoTBins, spec.n, x, spec.t, two, rng)
         }),
-        sweep("ExpIncrease 1+", &xs, spec, |x, rng| {
+        sweep("ExpIncrease 1+", &xs, spec, move |x, rng| {
             run_alg_once(&ExpIncrease::standard(), spec.n, x, spec.t, one, rng)
         }),
-        sweep("ExpIncrease 2+", &xs, spec, |x, rng| {
+        sweep("ExpIncrease 2+", &xs, spec, move |x, rng| {
             run_alg_once(&ExpIncrease::standard(), spec.n, x, spec.t, two, rng)
         }),
     ];

@@ -29,10 +29,10 @@ pub fn build(spec: SweepSpec) -> Figure {
     let two = CollisionModel::two_plus_default();
 
     let series = vec![
-        sweep("2tBins 1+", &ts, spec, |t, rng| {
+        sweep("2tBins 1+", &ts, spec, move |t, rng| {
             run_alg_once(&TwoTBins, spec.n, FIXED_X, t, one, rng)
         }),
-        sweep("2tBins 2+", &ts, spec, |t, rng| {
+        sweep("2tBins 2+", &ts, spec, move |t, rng| {
             run_alg_once(&TwoTBins, spec.n, FIXED_X, t, two, rng)
         }),
     ];

@@ -19,16 +19,16 @@ pub fn build(spec: SweepSpec) -> Figure {
     let model = CollisionModel::OnePlus;
 
     let series = vec![
-        sweep("2tBins", &xs, spec, |x, rng| {
+        sweep("2tBins", &xs, spec, move |x, rng| {
             run_alg_once(&TwoTBins, spec.n, x, spec.t, model, rng)
         }),
-        sweep("ABNS(p0=t)", &xs, spec, |x, rng| {
+        sweep("ABNS(p0=t)", &xs, spec, move |x, rng| {
             run_alg_once(&Abns::p0_t(), spec.n, x, spec.t, model, rng)
         }),
-        sweep("ABNS(p0=2t)", &xs, spec, |x, rng| {
+        sweep("ABNS(p0=2t)", &xs, spec, move |x, rng| {
             run_alg_once(&Abns::p0_2t(), spec.n, x, spec.t, model, rng)
         }),
-        sweep("Oracle", &xs, spec, |x, rng| {
+        sweep("Oracle", &xs, spec, move |x, rng| {
             run_oracle_once(spec.n, x, spec.t, model, rng)
         }),
     ];

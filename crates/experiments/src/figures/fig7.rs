@@ -19,10 +19,10 @@ pub fn build(spec: SweepSpec) -> Figure {
     let csma_cfg = CsmaConfig::default();
 
     let series = vec![
-        sweep("ProbABNS", &xs, spec, |x, rng| {
+        sweep("ProbABNS", &xs, spec, move |x, rng| {
             run_alg_once(&ProbAbns::standard(), spec.n, x, spec.t, model, rng)
         }),
-        sweep("CSMA", &xs, spec, |x, rng| {
+        sweep("CSMA", &xs, spec, move |x, rng| {
             csma_collect(x, spec.t, &csma_cfg, rng).slots as f64
         }),
     ];

@@ -17,7 +17,7 @@ use tcast::{population, CollisionModel, IdealChannel};
 use tcast_stats::{repeats_paper_eq10, BimodalSpec, Summary};
 
 use crate::output::{Figure, Series};
-use crate::runner::parallel_map;
+use crate::runner::map_points;
 use crate::seeding::derive;
 
 /// Sweep parameters for the probabilistic-model experiments.
@@ -92,18 +92,20 @@ pub fn build(spec: ProbSpec) -> Figure {
         .iter()
         .map(|&r| Series {
             name: format!("r={r}"),
-            points: parallel_map(&ds, |_, &d| (d as f64, accuracy(&spec, d as f64, r))),
+            points: map_points(&format!("fig9/r={r}"), &ds, move |d| {
+                accuracy(&spec, d as f64, r)
+            }),
         })
         .collect();
 
     // The "select r from Eq. (10) at delta = 5%" curve.
     series.push(Series {
         name: "r=eq10(5%)".into(),
-        points: parallel_map(&ds, |_, &d| {
+        points: map_points("fig9/r=eq10", &ds, move |d| {
             let bimodal = BimodalSpec::symmetric(spec.n, d as f64, spec.sigma);
             let eps = config_for(&bimodal, 1).eps().max(0.01);
             let r = repeats_paper_eq10(eps, 0.05);
-            (d as f64, accuracy(&spec, d as f64, r))
+            accuracy(&spec, d as f64, r)
         }),
     });
 

@@ -13,9 +13,8 @@ pub mod fig8;
 pub mod fig9;
 
 use rand::rngs::SmallRng;
-use rand::Rng;
 
-use tcast::{population, CollisionModel, IdealChannel, OracleBins, ThresholdQuerier};
+use tcast::{population, ChannelSpec, CollisionModel, OracleBins, ThresholdQuerier};
 
 /// Runs one algorithm session on a fresh ideal channel with `x` random
 /// positives; returns the query count. Exact algorithms must answer
@@ -28,9 +27,8 @@ pub(crate) fn run_alg_once(
     model: CollisionModel,
     rng: &mut SmallRng,
 ) -> f64 {
-    let ch_seed = rng.random();
-    let mut ch = IdealChannel::with_random_positives(n, x, model, ch_seed, rng);
-    let report = alg.run(&population(n), t, &mut ch, rng);
+    let (mut ch, _) = ChannelSpec::ideal(n, x, model).sample_with(rng);
+    let report = alg.run(&population(n), t, ch.as_mut(), rng);
     debug_assert_eq!(
         report.answer,
         x >= t,
@@ -49,10 +47,9 @@ pub(crate) fn run_oracle_once(
     model: CollisionModel,
     rng: &mut SmallRng,
 ) -> f64 {
-    let ch_seed = rng.random();
-    let mut ch = IdealChannel::with_random_positives(n, x, model, ch_seed, rng);
-    let oracle = OracleBins::new(ch.positives_bitmap());
-    let report = oracle.run(&population(n), t, &mut ch, rng);
+    let (mut ch, truth) = ChannelSpec::ideal(n, x, model).sample_with(rng);
+    let oracle = OracleBins::new(truth);
+    let report = oracle.run(&population(n), t, ch.as_mut(), rng);
     debug_assert_eq!(report.answer, x >= t);
     report.queries as f64
 }

@@ -5,9 +5,10 @@
 //! One module per figure/table of the paper's evaluation. Each produces a
 //! [`output::Figure`] (series of `(x, mean ± ci)` points) or a
 //! [`output::Table`] that the `tcast-experiments` binary prints as
-//! markdown or CSV. Sweeps run their 1000 repetitions in parallel
-//! (crossbeam scoped threads) with per-run deterministic seeding, so
-//! results are reproducible bit-for-bit at any thread count.
+//! markdown or CSV. Sweeps run as jobs on a shared
+//! [`tcast_service::QueryService`] worker pool with per-run deterministic
+//! seeding, so results are reproducible bit-for-bit at any thread count
+//! (`--threads`, see [`runner::set_threads`]).
 //!
 //! | module | paper artifact |
 //! |--------|----------------|
@@ -31,4 +32,4 @@ pub mod runner;
 pub mod seeding;
 
 pub use output::{Figure, Series, Table};
-pub use runner::{parallel_map, SweepSpec};
+pub use runner::{map_points, service, set_threads, SweepSpec};

@@ -9,6 +9,7 @@
 //!   --t T          threshold                        (default 16;  fig7: 8)
 //!   --seed S       base seed                        (default 20110516)
 //!   --testbed-runs R   runs per testbed config      (default 100)
+//!   --threads N    sweep worker-pool size           (default: one per core)
 //!   --fast         caps runs at 100 / testbed at 20 (smoke mode)
 //!   --csv          emit CSV instead of markdown
 //!   --out DIR      also write <id>.md and <id>.csv files into DIR
@@ -32,6 +33,7 @@ struct Options {
     t: Option<usize>,
     seed: u64,
     testbed_runs: usize,
+    threads: usize,
     fast: bool,
     csv: bool,
     ascii: bool,
@@ -46,6 +48,7 @@ impl Default for Options {
             t: None,
             seed: 20_110_516,
             testbed_runs: 100,
+            threads: 0,
             fast: false,
             csv: false,
             ascii: false,
@@ -122,6 +125,11 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
                 opts.testbed_runs = take("--testbed-runs")?
                     .parse()
                     .map_err(|e| format!("--testbed-runs: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = take("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--fast" => opts.fast = true,
             "--csv" => opts.csv = true,
@@ -264,8 +272,8 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
         "trace" => {
             // One annotated session per algorithm at the configured scale.
             use rand::rngs::SmallRng;
-            use rand::{Rng, SeedableRng};
-            use tcast::{population, CollisionModel, IdealChannel, ThresholdQuerier};
+            use rand::SeedableRng;
+            use tcast::{population, ChannelSpec, CollisionModel, ThresholdQuerier};
             let spec = opts.spec();
             let x = opts.n.unwrap_or(spec.n) / 4;
             let algs: Vec<Box<dyn ThresholdQuerier>> = vec![
@@ -280,15 +288,9 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             );
             for alg in algs {
                 let mut rng = SmallRng::seed_from_u64(spec.seed);
-                let ch_seed = rng.random();
-                let mut ch = IdealChannel::with_random_positives(
-                    spec.n,
-                    x,
-                    CollisionModel::OnePlus,
-                    ch_seed,
-                    &mut rng,
-                );
-                let report = alg.run(&population(spec.n), spec.t, &mut ch, &mut rng);
+                let (mut ch, _) =
+                    ChannelSpec::ideal(spec.n, x, CollisionModel::OnePlus).sample_with(&mut rng);
+                let report = alg.run(&population(spec.n), spec.t, ch.as_mut(), &mut rng);
                 println!("== {} ==", alg.name());
                 println!("{}", tcast::render::render_report(&report));
             }
@@ -328,13 +330,14 @@ commands:
   trace        print one annotated session per algorithm
 
 options:
-  --runs N   --n N   --t T   --seed S   --testbed-runs R
+  --runs N   --n N   --t T   --seed S   --testbed-runs R   --threads N
   --fast   --csv   --ascii   --out DIR";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match parse(&args) {
         Ok((commands, opts)) => {
+            tcast_experiments::set_threads(opts.threads);
             for cmd in &commands {
                 if let Err(e) = run_command(cmd, &opts) {
                     eprintln!("error: {e}");
@@ -384,6 +387,15 @@ mod tests {
         assert!(parse(&args(&["--bogus"])).is_err());
         assert!(parse(&args(&["--runs"])).is_err(), "missing value");
         assert!(parse(&args(&["--runs", "many"])).is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn threads_flag_is_parsed() {
+        let (_, opts) = parse(&args(&["fig1", "--threads", "4"])).unwrap();
+        assert_eq!(opts.threads, 4);
+        let (_, opts) = parse(&args(&["fig1"])).unwrap();
+        assert_eq!(opts.threads, 0, "default: one worker per core");
+        assert!(parse(&args(&["--threads", "x"])).is_err());
     }
 
     #[test]

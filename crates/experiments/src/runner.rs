@@ -1,16 +1,18 @@
-//! Parallel sweep execution.
+//! Sweep execution on the shared query service.
 //!
-//! A sweep evaluates a metric at many x points, `runs` times each. Points
-//! are distributed over crossbeam scoped threads via an atomic work index;
+//! A sweep evaluates a metric at many x points, `runs` times each. Every
+//! point becomes one job on the process-wide [`tcast_service::QueryService`];
 //! each (point, run) derives its own RNG seed, so the result is identical
-//! at any thread count.
+//! at any worker count. The pool size comes from [`set_threads`] (the
+//! `--threads` CLI flag) and defaults to one worker per core.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use tcast_service::{JobOutput, QueryService, ServiceConfig};
 use tcast_stats::Summary;
 
 use crate::output::Series;
@@ -49,31 +51,51 @@ impl SweepSpec {
     }
 }
 
-/// Applies `f` to every item index in parallel, preserving order.
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                results.lock()[i] = Some(r);
-            });
-        }
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+static SERVICE: OnceLock<QueryService> = OnceLock::new();
+
+/// Sets the worker-pool size used by all sweeps (0 = one per core).
+///
+/// Takes effect only if called before the first sweep: the pool is
+/// created lazily on first use and never resized afterwards.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide query service every sweep runs on.
+pub fn service() -> &'static QueryService {
+    SERVICE.get_or_init(|| {
+        QueryService::new(ServiceConfig::with_workers(THREADS.load(Ordering::Relaxed)))
     })
-    .expect("sweep worker panicked");
-    results
-        .into_inner()
+}
+
+/// Evaluates `f(x)` for every x on the shared service (one job per point,
+/// metered under `label`) and returns the `(x, Summary)` points in order.
+pub fn map_points(
+    label: &str,
+    xs: &[usize],
+    f: impl Fn(usize) -> Summary + Send + Sync + 'static,
+) -> Vec<(f64, Summary)> {
+    let f = Arc::new(f);
+    let tasks = xs
+        .iter()
+        .map(|&x| {
+            let f = Arc::clone(&f);
+            Box::new(move || JobOutput::Point {
+                x: x as f64,
+                summary: f(x),
+            }) as Box<dyn FnOnce() -> JobOutput + Send>
+        })
+        .collect();
+    service()
+        .submit_tasks(label, tasks)
+        .expect("query service is open")
+        .wait()
         .into_iter()
-        .map(|r| r.expect("every index visited"))
+        .map(|result| match result.expect("sweep job succeeded") {
+            JobOutput::Point { x, summary } => (x, summary),
+            other => unreachable!("sweep job produced {other:?}"),
+        })
         .collect()
 }
 
@@ -81,22 +103,23 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + 
 /// `metric(x, run_rng)`, each with a deterministic per-run RNG.
 ///
 /// `series_name` participates in seed derivation so different curves of
-/// the same figure see independent randomness.
+/// the same figure see independent randomness; it doubles as the metrics
+/// label on the service.
 pub fn sweep(
     series_name: &str,
     xs: &[usize],
     spec: SweepSpec,
-    metric: impl Fn(usize, &mut SmallRng) -> f64 + Sync,
+    metric: impl Fn(usize, &mut SmallRng) -> f64 + Send + Sync + 'static,
 ) -> Series {
     let name_h = hash_name(series_name);
-    let points = parallel_map(xs, |_, &x| {
+    let points = map_points(series_name, xs, move |x| {
         let mut summary = Summary::new();
         for run in 0..spec.runs {
             let seed = derive(spec.seed, &[name_h, x as u64, run as u64]);
             let mut rng = SmallRng::seed_from_u64(seed);
             summary.record(metric(x, &mut rng));
         }
-        (x as f64, summary)
+        summary
     });
     Series {
         name: series_name.to_string(),
@@ -124,19 +147,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map(&items, |i, &v| {
-            assert_eq!(i, v);
-            v * 2
-        });
-        assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+    fn map_points_preserves_order() {
+        let xs: Vec<usize> = (0..100).collect();
+        let out = map_points("test/order", &xs, |x| Summary::of(&[x as f64 * 2.0]));
+        assert_eq!(out.len(), 100);
+        for (i, (x, s)) in out.iter().enumerate() {
+            assert_eq!(*x, i as f64);
+            assert_eq!(s.mean(), i as f64 * 2.0);
+        }
     }
 
     #[test]
-    fn parallel_map_handles_empty_input() {
-        let out: Vec<u32> = parallel_map(&[] as &[u32], |_, &v| v);
+    fn map_points_handles_empty_input() {
+        let out = map_points("test/empty", &[], |_| Summary::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sweeps_are_metered_on_the_service() {
+        let _ = sweep(
+            "test/metered",
+            &[1, 2],
+            SweepSpec {
+                n: 8,
+                t: 2,
+                runs: 3,
+                seed: 7,
+            },
+            |_, _| 0.0,
+        );
+        let snap = service().metrics();
+        let row = snap
+            .rows
+            .iter()
+            .find(|r| r.label == "test/metered")
+            .expect("sweep label metered");
+        assert!(row.jobs >= 2, "one job per sweep point");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Job descriptions and results.
+//!
+//! A job is pure data: everything a worker needs to execute it is inside
+//! the spec, including every seed. Executing the same job twice — on any
+//! worker, in any order — therefore produces bit-identical results, which
+//! is what lets the service promise determinism at any pool size.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::{
+    population, Abns, ChannelSpec, ExpIncrease, OracleBins, ProbAbns, QueryReport,
+    ThresholdQuerier, TwoTBins,
+};
+use tcast_stats::Summary;
+
+/// Which threshold-querying algorithm a job runs, as plain data.
+///
+/// Each variant maps to one of the paper's configurations; the live
+/// algorithm object is constructed on the worker just before the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmSpec {
+    /// Fixed `2t` bins per round (Section IV-A).
+    TwoTBins,
+    /// Exponential Increase, standard doubling (Section IV-B).
+    ExpIncrease,
+    /// Exponential Increase, pause-and-continue variant (pause at 40%).
+    ExpIncreasePause,
+    /// Exponential Increase, four-fold growth variant.
+    ExpIncreaseFourFold,
+    /// ABNS seeded with `p0 = t` (Section V).
+    AbnsP0T,
+    /// ABNS seeded with `p0 = 2t` (Section V).
+    AbnsP02T,
+    /// Probabilistic ABNS (Section V-D).
+    ProbAbns,
+    /// Ground-truth oracle lower bound (Section V-C).
+    OracleBins,
+}
+
+impl AlgorithmSpec {
+    /// Every algorithm the service can run.
+    pub const ALL: [AlgorithmSpec; 8] = [
+        AlgorithmSpec::TwoTBins,
+        AlgorithmSpec::ExpIncrease,
+        AlgorithmSpec::ExpIncreasePause,
+        AlgorithmSpec::ExpIncreaseFourFold,
+        AlgorithmSpec::AbnsP0T,
+        AlgorithmSpec::AbnsP02T,
+        AlgorithmSpec::ProbAbns,
+        AlgorithmSpec::OracleBins,
+    ];
+
+    /// Stable identifier used as the metrics label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmSpec::TwoTBins => "2tBins",
+            AlgorithmSpec::ExpIncrease => "ExpIncrease",
+            AlgorithmSpec::ExpIncreasePause => "ExpIncrease/pause",
+            AlgorithmSpec::ExpIncreaseFourFold => "ExpIncrease/4fold",
+            AlgorithmSpec::AbnsP0T => "ABNS(p0=t)",
+            AlgorithmSpec::AbnsP02T => "ABNS(p0=2t)",
+            AlgorithmSpec::ProbAbns => "ProbABNS",
+            AlgorithmSpec::OracleBins => "Oracle",
+        }
+    }
+
+    /// Builds the live algorithm. `truth` is the channel's ground-truth
+    /// positive bitmap, needed only by the oracle.
+    fn build(self, truth: Vec<bool>) -> Box<dyn ThresholdQuerier + Send> {
+        match self {
+            AlgorithmSpec::TwoTBins => Box::new(TwoTBins),
+            AlgorithmSpec::ExpIncrease => Box::new(ExpIncrease::standard()),
+            AlgorithmSpec::ExpIncreasePause => Box::new(ExpIncrease::pause_and_continue(0.4)),
+            AlgorithmSpec::ExpIncreaseFourFold => Box::new(ExpIncrease::four_fold()),
+            AlgorithmSpec::AbnsP0T => Box::new(Abns::p0_t()),
+            AlgorithmSpec::AbnsP02T => Box::new(Abns::p0_2t()),
+            AlgorithmSpec::ProbAbns => Box::new(ProbAbns::standard()),
+            AlgorithmSpec::OracleBins => Box::new(OracleBins::new(truth)),
+        }
+    }
+}
+
+/// One self-contained threshold-query session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryJob {
+    /// Algorithm to run.
+    pub algorithm: AlgorithmSpec,
+    /// Channel to run it on (carries population, truth, and channel seeds).
+    pub channel: ChannelSpec,
+    /// Threshold `t`.
+    pub t: usize,
+    /// Seed for the algorithm's own random draws (bin assignments etc.).
+    pub session_seed: u64,
+}
+
+impl QueryJob {
+    /// Executes the session; fully determined by the job's fields.
+    pub fn execute(&self) -> QueryReport {
+        let (mut channel, truth) = self.channel.build_with_truth();
+        let algorithm = self.algorithm.build(truth);
+        let mut rng = SmallRng::seed_from_u64(self.session_seed);
+        algorithm.run(
+            &population(self.channel.n),
+            self.t,
+            channel.as_mut(),
+            &mut rng,
+        )
+    }
+}
+
+/// What a finished job produced.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// A full session report (from a [`QueryJob`]).
+    Report(QueryReport),
+    /// One sweep point: x coordinate plus the summarized metric values
+    /// (from a custom task aggregating many runs).
+    Point {
+        /// The sweep's x coordinate.
+        x: f64,
+        /// Summary over the point's repetitions.
+        summary: Summary,
+    },
+    /// A bare number.
+    Value(f64),
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's code panicked on the worker; the payload's message is
+    /// preserved. Other jobs in the batch are unaffected.
+    Panicked(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Outcome of one job.
+pub type JobResult = Result<JobOutput, JobError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcast::CollisionModel;
+
+    #[test]
+    fn every_algorithm_answers_correctly_on_ideal_channels() {
+        for (x, t) in [(0usize, 8usize), (7, 8), (8, 8), (30, 8), (64, 8)] {
+            for alg in AlgorithmSpec::ALL {
+                let job = QueryJob {
+                    algorithm: alg,
+                    channel: ChannelSpec::ideal(64, x, CollisionModel::OnePlus).seeded(1, 2),
+                    t,
+                    session_seed: 3,
+                };
+                let report = job.execute();
+                assert_eq!(report.answer, x >= t, "{} wrong on x={x} t={t}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn execution_is_a_pure_function_of_the_spec() {
+        let job = QueryJob {
+            algorithm: AlgorithmSpec::AbnsP02T,
+            channel: ChannelSpec::ideal(128, 20, CollisionModel::two_plus_default()).seeded(5, 6),
+            t: 16,
+            session_seed: 7,
+        };
+        assert_eq!(job.execute(), job.execute());
+    }
+
+    #[test]
+    fn algorithm_names_are_unique() {
+        let mut names: Vec<_> = AlgorithmSpec::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AlgorithmSpec::ALL.len());
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # tcast-service — a concurrent multi-session query service
+//!
+//! The algorithm crates answer *one* threshold query. Real deployments —
+//! and the experiment harness — run thousands of sessions: different
+//! algorithms, channels, and seeds, often concurrently. This crate turns
+//! the single-session machinery into a service:
+//!
+//! * **Jobs, not calls.** A [`QueryJob`] is plain data: an
+//!   [`AlgorithmSpec`], a [`tcast::ChannelSpec`], a threshold, and a
+//!   session seed. Workers rebuild everything from the spec, so execution
+//!   is a pure function of the job.
+//! * **Bounded admission.** [`QueryService::submit`] blocks when the
+//!   queue is over capacity; [`QueryService::try_submit`] hands the jobs
+//!   back instead. Producers can't outrun the pool unboundedly.
+//! * **Deterministic scheduling.** Workers steal jobs through an atomic
+//!   claim index, yet batch results always come back in submission order
+//!   and bit-identical at any worker count — seeds live in the jobs, not
+//!   the threads.
+//! * **Per-job isolation.** A panicking session becomes
+//!   [`JobError::Panicked`] in its own result slot; the worker and the
+//!   rest of the batch continue.
+//! * **Built-in metrics.** Per-algorithm jobs/queries/rounds/verdict
+//!   counters and latency & query-count histograms, dumpable as CSV or
+//!   markdown via [`MetricsSnapshot`].
+//! * **Graceful shutdown.** [`QueryService::shutdown`] drains every
+//!   queued job before joining the workers.
+//!
+//! The experiment harness (`tcast-experiments`) routes all its sweeps
+//! through this service; see `examples/service.rs` for a mixed-traffic
+//! demo.
+
+mod job;
+mod metrics;
+mod service;
+
+pub use job::{AlgorithmSpec, JobError, JobOutput, JobResult, QueryJob};
+pub use metrics::{MetricsRegistry, MetricsRow, MetricsSnapshot};
+pub use service::{Batch, JobHandle, QueryService, ServiceClosed, ServiceConfig, SubmitError};

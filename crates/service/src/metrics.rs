@@ -1,0 +1,311 @@
+//! Built-in service metrics.
+//!
+//! Counters are lock-free atomics bumped on the hot path; the latency and
+//! query-count distributions sit behind short-lived `parking_lot` mutexes.
+//! Everything is keyed by the job's metrics label (the algorithm name for
+//! query jobs, the caller-chosen label for custom tasks) and can be dumped
+//! as CSV or markdown via [`MetricsSnapshot`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use tcast_stats::{Histogram, Summary};
+
+use crate::job::{JobError, JobOutput, JobResult};
+
+/// Latency histogram range: `[0, 100ms)` in 50 bins of 2ms. Slower jobs
+/// land in the overflow counter, so no sample is ever lost.
+const LATENCY_HI_US: f64 = 100_000.0;
+const LATENCY_BINS: usize = 50;
+
+/// Query-count histogram range: `[0, 2048)` queries in 64 bins of 32.
+const QUERIES_HI: f64 = 2048.0;
+const QUERIES_BINS: usize = 64;
+
+#[derive(Default)]
+struct Counters {
+    jobs: AtomicU64,
+    panics: AtomicU64,
+    queries: AtomicU64,
+    rounds: AtomicU64,
+    verdict_yes: AtomicU64,
+    verdict_no: AtomicU64,
+}
+
+struct Distributions {
+    latency_us: Summary,
+    latency_hist: Histogram,
+    query_summary: Summary,
+    query_hist: Histogram,
+}
+
+impl Default for Distributions {
+    fn default() -> Self {
+        Self {
+            latency_us: Summary::new(),
+            latency_hist: Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS),
+            query_summary: Summary::new(),
+            query_hist: Histogram::new(0.0, QUERIES_HI, QUERIES_BINS),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Entry {
+    counters: Counters,
+    dists: Mutex<Distributions>,
+}
+
+/// Per-label service metrics, shared by all workers.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<BTreeMap<String, Arc<Entry>>>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&self, label: &str) -> Arc<Entry> {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.get(label) {
+            return e.clone();
+        }
+        let e = Arc::new(Entry::default());
+        entries.insert(label.to_string(), e.clone());
+        e
+    }
+
+    /// Records one finished job under `label`.
+    pub(crate) fn record(&self, label: &str, result: &JobResult, elapsed: Duration) {
+        let entry = self.entry(label);
+        let c = &entry.counters;
+        c.jobs.fetch_add(1, Ordering::Relaxed);
+        let micros = elapsed.as_secs_f64() * 1e6;
+        let mut queries = None;
+        match result {
+            Ok(JobOutput::Report(report)) => {
+                c.queries.fetch_add(report.queries, Ordering::Relaxed);
+                c.rounds
+                    .fetch_add(u64::from(report.rounds), Ordering::Relaxed);
+                if report.answer {
+                    c.verdict_yes.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    c.verdict_no.fetch_add(1, Ordering::Relaxed);
+                }
+                queries = Some(report.queries as f64);
+            }
+            Ok(_) => {}
+            Err(JobError::Panicked(_)) => {
+                c.panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut d = entry.dists.lock();
+        d.latency_us.record(micros);
+        d.latency_hist.record(micros);
+        if let Some(q) = queries {
+            d.query_summary.record(q);
+            d.query_hist.record(q);
+        }
+    }
+
+    /// A consistent point-in-time copy of every label's metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock();
+        let rows = entries
+            .iter()
+            .map(|(label, e)| {
+                let d = e.dists.lock();
+                MetricsRow {
+                    label: label.clone(),
+                    jobs: e.counters.jobs.load(Ordering::Relaxed),
+                    panics: e.counters.panics.load(Ordering::Relaxed),
+                    queries: e.counters.queries.load(Ordering::Relaxed),
+                    rounds: e.counters.rounds.load(Ordering::Relaxed),
+                    verdict_yes: e.counters.verdict_yes.load(Ordering::Relaxed),
+                    verdict_no: e.counters.verdict_no.load(Ordering::Relaxed),
+                    latency_us: d.latency_us,
+                    latency_hist: d.latency_hist.clone(),
+                    query_summary: d.query_summary,
+                    query_hist: d.query_hist.clone(),
+                }
+            })
+            .collect();
+        MetricsSnapshot { rows }
+    }
+}
+
+/// Frozen metrics for one label.
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    /// Metrics label (algorithm name or custom task label).
+    pub label: String,
+    /// Jobs finished (including panicked ones).
+    pub jobs: u64,
+    /// Jobs that panicked.
+    pub panics: u64,
+    /// Total group queries across all sessions.
+    pub queries: u64,
+    /// Total rounds across all sessions.
+    pub rounds: u64,
+    /// Sessions that answered `x >= t`.
+    pub verdict_yes: u64,
+    /// Sessions that answered `x < t`.
+    pub verdict_no: u64,
+    /// Wall-clock latency per job, in microseconds.
+    pub latency_us: Summary,
+    /// Latency distribution, 2ms bins over `[0, 100ms)`.
+    pub latency_hist: Histogram,
+    /// Per-session query counts.
+    pub query_summary: Summary,
+    /// Query-count distribution, 32-query bins over `[0, 2048)`.
+    pub query_hist: Histogram,
+}
+
+/// Point-in-time dump of the whole registry, one row per label.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Rows ordered by label.
+    pub rows: Vec<MetricsRow>,
+}
+
+impl MetricsSnapshot {
+    /// CSV dump: one header line, one row per label.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "label,jobs,panics,queries,rounds,verdict_yes,verdict_no,\
+             mean_latency_us,max_latency_us,mean_queries_per_job\n",
+        );
+        for r in &self.rows {
+            let mean_q = if r.query_summary.count() > 0 {
+                r.query_summary.mean()
+            } else {
+                0.0
+            };
+            let (mean_l, max_l) = if r.latency_us.count() > 0 {
+                (r.latency_us.mean(), r.latency_us.max())
+            } else {
+                (0.0, 0.0)
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.1},{:.1},{:.2}\n",
+                r.label,
+                r.jobs,
+                r.panics,
+                r.queries,
+                r.rounds,
+                r.verdict_yes,
+                r.verdict_no,
+                mean_l,
+                max_l,
+                mean_q,
+            ));
+        }
+        out
+    }
+
+    /// Markdown table dump.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| label | jobs | panics | queries | rounds | yes | no | \
+             latency (µs) | queries/job |\n\
+             |-------|-----:|-------:|--------:|-------:|----:|---:|\
+             -------------:|------------:|\n",
+        );
+        for r in &self.rows {
+            let lat = if r.latency_us.count() > 0 {
+                format!("{:.1}", r.latency_us.mean())
+            } else {
+                "-".into()
+            };
+            let qpj = if r.query_summary.count() > 0 {
+                format!("{:.1}", r.query_summary.mean())
+            } else {
+                "-".into()
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                r.label,
+                r.jobs,
+                r.panics,
+                r.queries,
+                r.rounds,
+                r.verdict_yes,
+                r.verdict_no,
+                lat,
+                qpj,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcast::QueryReport;
+
+    fn report(answer: bool, queries: u64, rounds: u32) -> JobResult {
+        Ok(JobOutput::Report(QueryReport {
+            answer,
+            queries,
+            rounds,
+            confirmed_positives: 0,
+            trace: Vec::new(),
+        }))
+    }
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let m = MetricsRegistry::new();
+        m.record("a", &report(true, 30, 2), Duration::from_micros(100));
+        m.record("a", &report(false, 10, 1), Duration::from_micros(300));
+        m.record("b", &report(true, 5, 1), Duration::from_micros(50));
+        let snap = m.snapshot();
+        assert_eq!(snap.rows.len(), 2);
+        let a = &snap.rows[0];
+        assert_eq!(
+            (a.label.as_str(), a.jobs, a.queries, a.rounds),
+            ("a", 2, 40, 3)
+        );
+        assert_eq!((a.verdict_yes, a.verdict_no), (1, 1));
+        assert_eq!(a.latency_us.count(), 2);
+        assert!((a.latency_us.mean() - 200.0).abs() < 1.0);
+        assert_eq!(a.query_hist.total(), 2);
+    }
+
+    #[test]
+    fn panics_count_but_skip_query_stats() {
+        let m = MetricsRegistry::new();
+        m.record(
+            "x",
+            &Err(JobError::Panicked("boom".into())),
+            Duration::from_micros(10),
+        );
+        let snap = m.snapshot();
+        let r = &snap.rows[0];
+        assert_eq!((r.jobs, r.panics, r.queries), (1, 1, 0));
+        assert_eq!(r.query_summary.count(), 0);
+        assert_eq!(r.latency_us.count(), 1, "latency still recorded");
+    }
+
+    #[test]
+    fn dumps_contain_every_label() {
+        let m = MetricsRegistry::new();
+        m.record("alpha", &report(true, 3, 1), Duration::from_micros(5));
+        m.record("beta", &Ok(JobOutput::Value(1.0)), Duration::from_micros(5));
+        let snap = m.snapshot();
+        let csv = snap.to_csv();
+        let md = snap.to_markdown();
+        for label in ["alpha", "beta"] {
+            assert!(csv.contains(label), "csv missing {label}");
+            assert!(md.contains(label), "markdown missing {label}");
+        }
+        assert_eq!(csv.lines().count(), 3, "header + 2 rows");
+    }
+}

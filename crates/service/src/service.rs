@@ -1,0 +1,606 @@
+//! The worker pool, admission queue, and completion handles.
+//!
+//! ## Architecture
+//!
+//! Submitted batches become [`WorkUnit`]s in a FIFO admission queue
+//! guarded by one `parking_lot` mutex. Workers claim jobs by bumping the
+//! unit's atomic claim index — work stealing over an index rather than
+//! per-worker deques, which keeps claiming O(1) and makes job order
+//! irrelevant to results (each job carries its own seeds). Two condvars
+//! implement the bounded-queue protocol: `not_empty` parks idle workers,
+//! `not_full` parks producers once `queue_capacity` jobs are waiting.
+//!
+//! Each job runs under `catch_unwind`, so a panicking session surfaces as
+//! [`JobError::Panicked`] in its own slot without taking down the worker
+//! or the rest of the batch. Shutdown drains the queue: workers keep
+//! claiming until no unit remains, then exit.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::{JobError, JobOutput, JobResult, QueryJob};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Maximum jobs waiting in the admission queue before `submit` blocks
+    /// (and `try_submit` rejects).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// Error returned when submitting to a service that is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl std::fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("query service is shut down")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
+
+/// Why [`QueryService::try_submit`] did not accept a batch. The jobs are
+/// handed back so the caller can retry or shed load.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The admission queue is full; contains the rejected jobs.
+    QueueFull(Vec<QueryJob>),
+    /// The service is shutting down; contains the rejected jobs.
+    Closed(Vec<QueryJob>),
+}
+
+/// A job ready to execute on a worker.
+enum Payload {
+    Query(QueryJob),
+    Custom {
+        label: String,
+        task: Box<dyn FnOnce() -> JobOutput + Send>,
+    },
+}
+
+struct ResultSet {
+    slots: Vec<Option<JobResult>>,
+    completed: usize,
+}
+
+/// One submitted batch: claimable slots plus the result board.
+struct WorkUnit {
+    slots: Vec<Mutex<Option<Payload>>>,
+    /// Next unclaimed slot; claimed with `fetch_add`, so workers steal
+    /// jobs from the same unit without coordination.
+    next: AtomicUsize,
+    results: Mutex<ResultSet>,
+    done: Condvar,
+}
+
+impl WorkUnit {
+    fn new(payloads: Vec<Payload>) -> Arc<Self> {
+        let n = payloads.len();
+        Arc::new(Self {
+            slots: payloads.into_iter().map(|p| Mutex::new(Some(p))).collect(),
+            next: AtomicUsize::new(0),
+            results: Mutex::new(ResultSet {
+                slots: (0..n).map(|_| None).collect(),
+                completed: 0,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn wait_all(&self) -> Vec<JobResult> {
+        let mut rs = self.results.lock();
+        self.done
+            .wait_while(&mut rs, |rs| rs.completed < rs.slots.len());
+        rs.slots
+            .iter()
+            .map(|r| r.clone().expect("all slots completed"))
+            .collect()
+    }
+
+    fn wait_one(&self, index: usize) -> JobResult {
+        let mut rs = self.results.lock();
+        self.done
+            .wait_while(&mut rs, |rs| rs.slots[index].is_none());
+        rs.slots[index].clone().expect("slot completed")
+    }
+}
+
+struct QueueState {
+    units: VecDeque<Arc<WorkUnit>>,
+    /// Jobs enqueued but not yet claimed by a worker.
+    queued_jobs: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    metrics: MetricsRegistry,
+}
+
+/// Handle to one batch of submitted jobs.
+///
+/// Results come back in submission order regardless of which workers ran
+/// which jobs, so batch output is deterministic at any pool size.
+#[must_use = "a batch does nothing unless waited on"]
+pub struct Batch {
+    unit: Arc<WorkUnit>,
+}
+
+impl Batch {
+    /// Blocks until every job in the batch finished; returns results in
+    /// submission order.
+    pub fn wait(self) -> Vec<JobResult> {
+        self.unit.wait_all()
+    }
+
+    /// Per-job completion handles, in submission order.
+    pub fn handles(&self) -> Vec<JobHandle> {
+        (0..self.unit.len())
+            .map(|index| JobHandle {
+                unit: self.unit.clone(),
+                index,
+            })
+            .collect()
+    }
+
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.unit.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.unit.len() == 0
+    }
+}
+
+/// Completion handle for a single job within a batch.
+pub struct JobHandle {
+    unit: Arc<WorkUnit>,
+    index: usize,
+}
+
+impl JobHandle {
+    /// Blocks until this job finished; other jobs in the batch may still
+    /// be running.
+    pub fn wait(self) -> JobResult {
+        self.unit.wait_one(self.index)
+    }
+
+    /// Index of this job within its batch.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// A concurrent multi-session threshold-query service.
+///
+/// ```
+/// use tcast::{ChannelSpec, CollisionModel};
+/// use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig};
+///
+/// let service = QueryService::new(ServiceConfig::with_workers(2));
+/// let jobs: Vec<QueryJob> = (0..8)
+///     .map(|i| QueryJob {
+///         algorithm: AlgorithmSpec::TwoTBins,
+///         channel: ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i, i + 1),
+///         t: 8,
+///         session_seed: i,
+///     })
+///     .collect();
+/// let results = service.submit(jobs).unwrap().wait();
+/// for r in results {
+///     let JobOutput::Report(report) = r.unwrap() else { unreachable!() };
+///     assert!(report.answer, "20 positives >= threshold 8");
+/// }
+/// service.shutdown();
+/// ```
+pub struct QueryService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts the worker pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            config.workers
+        };
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QueueState {
+                units: VecDeque::new(),
+                queued_jobs: 0,
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity,
+            metrics: MetricsRegistry::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("tcast-service-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The service's metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Submits a batch of query jobs, blocking while the admission queue
+    /// is over capacity (backpressure). A batch larger than the whole
+    /// queue capacity is admitted once the queue is empty.
+    pub fn submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, ServiceClosed> {
+        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), true)
+            .map_err(|_| ServiceClosed)
+    }
+
+    /// Like [`submit`](Self::submit) but never blocks: a full queue hands
+    /// the jobs back in [`SubmitError::QueueFull`].
+    pub fn try_submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, SubmitError> {
+        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), false)
+            .map_err(|(payloads, closed)| {
+                let jobs = payloads
+                    .into_iter()
+                    .map(|p| match p {
+                        Payload::Query(j) => j,
+                        Payload::Custom { .. } => unreachable!("query-only batch"),
+                    })
+                    .collect();
+                if closed {
+                    SubmitError::Closed(jobs)
+                } else {
+                    SubmitError::QueueFull(jobs)
+                }
+            })
+    }
+
+    /// Submits arbitrary closures as jobs; their metrics are recorded
+    /// under `label`. Used by the experiment harness to run sweep points
+    /// through the shared pool.
+    pub fn submit_tasks(
+        &self,
+        label: &str,
+        tasks: Vec<Box<dyn FnOnce() -> JobOutput + Send>>,
+    ) -> Result<Batch, ServiceClosed> {
+        let payloads = tasks
+            .into_iter()
+            .map(|task| Payload::Custom {
+                label: label.to_string(),
+                task,
+            })
+            .collect();
+        self.enqueue(payloads, true).map_err(|_| ServiceClosed)
+    }
+
+    fn enqueue(&self, payloads: Vec<Payload>, block: bool) -> Result<Batch, (Vec<Payload>, bool)> {
+        let unit = WorkUnit::new(payloads);
+        if unit.len() == 0 {
+            return Ok(Batch { unit });
+        }
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.shutdown {
+                drop(st);
+                return Err((take_payloads(&unit), true));
+            }
+            // Admit when within capacity, or unconditionally when the
+            // queue is empty so oversized batches cannot deadlock.
+            if st.queued_jobs == 0 || st.queued_jobs + unit.len() <= self.inner.capacity {
+                break;
+            }
+            if !block {
+                drop(st);
+                return Err((take_payloads(&unit), false));
+            }
+            self.inner.not_full.wait(&mut st);
+        }
+        st.queued_jobs += unit.len();
+        st.units.push_back(unit.clone());
+        drop(st);
+        self.inner.not_empty.notify_all();
+        Ok(Batch { unit })
+    }
+
+    /// Graceful shutdown: refuses new work, drains every queued job, then
+    /// joins the workers. Returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_and_join();
+        self.inner.metrics.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+        }
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Pulls the payloads back out of a never-enqueued unit (submit rejected).
+fn take_payloads(unit: &WorkUnit) -> Vec<Payload> {
+    unit.slots
+        .iter()
+        .map(|s| s.lock().take().expect("unit never ran"))
+        .collect()
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let claimed = {
+            let mut st = inner.state.lock();
+            loop {
+                if let Some(front) = st.units.front() {
+                    let i = front.next.fetch_add(1, Ordering::Relaxed);
+                    if i < front.len() {
+                        let unit = front.clone();
+                        if i + 1 == unit.len() {
+                            st.units.pop_front();
+                        }
+                        st.queued_jobs -= 1;
+                        inner.not_full.notify_all();
+                        break Some((unit, i));
+                    }
+                    // Exhausted unit (all slots claimed): drop and rescan.
+                    st.units.pop_front();
+                    continue;
+                }
+                if st.shutdown {
+                    break None;
+                }
+                inner.not_empty.wait(&mut st);
+            }
+        };
+        let Some((unit, index)) = claimed else { return };
+        execute(inner, &unit, index);
+    }
+}
+
+fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
+    let payload = unit.slots[index]
+        .lock()
+        .take()
+        .expect("each slot is claimed exactly once");
+    let started = Instant::now();
+    let (label, result) = match payload {
+        Payload::Query(job) => {
+            let label = job.algorithm.name().to_string();
+            let outcome = catch_unwind(AssertUnwindSafe(|| job.execute()));
+            (label, outcome.map(JobOutput::Report).map_err(to_job_error))
+        }
+        Payload::Custom { label, task } => {
+            let outcome = catch_unwind(AssertUnwindSafe(task));
+            (label, outcome.map_err(to_job_error))
+        }
+    };
+    inner.metrics.record(&label, &result, started.elapsed());
+    let mut rs = unit.results.lock();
+    rs.slots[index] = Some(result);
+    rs.completed += 1;
+    unit.done.notify_all();
+}
+
+fn to_job_error(payload: Box<dyn std::any::Any + Send>) -> JobError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    JobError::Panicked(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::AlgorithmSpec;
+    use tcast::{ChannelSpec, CollisionModel};
+
+    fn job(i: u64) -> QueryJob {
+        QueryJob {
+            algorithm: AlgorithmSpec::TwoTBins,
+            channel: ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i, i ^ 1),
+            t: 8,
+            session_seed: i,
+        }
+    }
+
+    fn reports(results: Vec<JobResult>) -> Vec<tcast::QueryReport> {
+        results
+            .into_iter()
+            .map(|r| match r.unwrap() {
+                JobOutput::Report(rep) => rep,
+                other => panic!("expected report, got {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_arrive_in_submission_order() {
+        let service = QueryService::new(ServiceConfig::with_workers(4));
+        let jobs: Vec<QueryJob> = (0..32).map(job).collect();
+        let expected: Vec<_> = jobs.iter().map(|j| j.execute()).collect();
+        let got = reports(service.submit(jobs).unwrap().wait());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn per_job_handles_resolve_individually() {
+        let service = QueryService::new(ServiceConfig::with_workers(2));
+        let jobs: Vec<QueryJob> = (0..4).map(job).collect();
+        let expected: Vec<_> = jobs.iter().map(|j| j.execute()).collect();
+        let batch = service.submit(jobs).unwrap();
+        let handles = batch.handles();
+        for (h, want) in handles.into_iter().zip(expected).rev() {
+            match h.wait().unwrap() {
+                JobOutput::Report(rep) => assert_eq!(rep, want),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let service = QueryService::new(ServiceConfig::with_workers(1));
+        let batch = service.submit(Vec::new()).unwrap();
+        assert!(batch.is_empty());
+        assert!(batch.wait().is_empty());
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        let service = QueryService::new(ServiceConfig::with_workers(2));
+        let tasks: Vec<Box<dyn FnOnce() -> JobOutput + Send>> = vec![
+            Box::new(|| JobOutput::Value(1.0)),
+            Box::new(|| panic!("deliberate test panic")),
+            Box::new(|| JobOutput::Value(3.0)),
+        ];
+        let results = service.submit_tasks("panicky", tasks).unwrap().wait();
+        assert!(matches!(results[0], Ok(JobOutput::Value(v)) if v == 1.0));
+        assert!(
+            matches!(&results[1], Err(JobError::Panicked(m)) if m.contains("deliberate")),
+            "got {:?}",
+            results[1]
+        );
+        assert!(matches!(results[2], Ok(JobOutput::Value(v)) if v == 3.0));
+        let snap = service.metrics();
+        let row = snap.rows.iter().find(|r| r.label == "panicky").unwrap();
+        assert_eq!((row.jobs, row.panics), (3, 1));
+    }
+
+    #[test]
+    fn try_submit_rejects_when_full_and_returns_jobs() {
+        // One worker wedged on a slow task keeps the queue occupied.
+        let service = QueryService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let gate: Box<dyn FnOnce() -> JobOutput + Send> = Box::new(move || {
+            rx.recv().ok();
+            JobOutput::Value(0.0)
+        });
+        let gate_batch = service.submit_tasks("gate", vec![gate]).unwrap();
+        // Fill the queue past capacity while the worker is blocked.
+        let fill = service.submit(vec![job(1), job(2)]).unwrap();
+        match service.try_submit(vec![job(3)]) {
+            Err(SubmitError::QueueFull(jobs)) => assert_eq!(jobs, vec![job(3)]),
+            Err(e) => panic!("expected QueueFull, got {e:?}"),
+            Ok(_) => panic!("expected QueueFull, got acceptance"),
+        }
+        tx.send(()).unwrap();
+        gate_batch.wait();
+        fill.wait();
+        // Queue drained: accepted again.
+        assert!(service.try_submit(vec![job(3)]).is_ok());
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let service = QueryService::new(ServiceConfig::with_workers(1));
+        let inner = service.inner.clone();
+        {
+            let mut st = inner.state.lock();
+            st.shutdown = true;
+        }
+        assert!(matches!(service.submit(vec![job(0)]), Err(ServiceClosed)));
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let service = QueryService::new(ServiceConfig::with_workers(2));
+        let batch = service.submit((0..64).map(job).collect()).unwrap();
+        let snap = service.shutdown();
+        // Every job ran before the workers exited.
+        let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
+        assert_eq!(row.jobs, 64);
+        assert_eq!(batch.wait().len(), 64);
+    }
+
+    #[test]
+    fn metrics_report_per_algorithm_activity() {
+        let service = QueryService::new(ServiceConfig::with_workers(4));
+        let mut jobs = Vec::new();
+        for (i, alg) in AlgorithmSpec::ALL.iter().enumerate() {
+            jobs.push(QueryJob {
+                algorithm: *alg,
+                channel: ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i as u64, 99),
+                t: 8,
+                session_seed: i as u64,
+            });
+        }
+        service.submit(jobs).unwrap().wait();
+        let snap = service.metrics();
+        assert_eq!(snap.rows.len(), AlgorithmSpec::ALL.len());
+        for row in &snap.rows {
+            assert_eq!(row.jobs, 1, "{}", row.label);
+            assert!(row.queries > 0, "{} issued no queries", row.label);
+            assert_eq!(row.verdict_yes, 1, "{} x=20 >= t=8", row.label);
+        }
+    }
+}

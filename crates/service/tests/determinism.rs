@@ -1,0 +1,86 @@
+//! Property: service output is bit-identical at any worker count.
+//!
+//! A batch covering every algorithm × collision model, with randomized
+//! population, threshold, positive count, and seeds, must produce the
+//! exact same `QueryReport`s (answers, query counts, traces — everything
+//! `PartialEq` sees) whether the pool has 1, 2, or 8 workers.
+
+use proptest::prelude::*;
+
+use tcast::{CaptureModel, ChannelSpec, CollisionModel, QueryReport};
+use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig};
+
+const MODELS: [CollisionModel; 3] = [
+    CollisionModel::OnePlus,
+    CollisionModel::TwoPlus(CaptureModel::Never),
+    CollisionModel::TwoPlus(CaptureModel::Geometric { alpha: 0.5 }),
+];
+
+/// One batch spanning every algorithm × collision model combination.
+fn full_coverage_batch(n: usize, x: usize, t: usize, base_seed: u64) -> Vec<QueryJob> {
+    let mut jobs = Vec::new();
+    for (mi, model) in MODELS.into_iter().enumerate() {
+        for (ai, algorithm) in AlgorithmSpec::ALL.into_iter().enumerate() {
+            let k = (mi * AlgorithmSpec::ALL.len() + ai) as u64;
+            jobs.push(QueryJob {
+                algorithm,
+                channel: ChannelSpec::ideal(n, x, model)
+                    .seeded(base_seed ^ (k << 8), base_seed.wrapping_add(k)),
+                t,
+                session_seed: base_seed.rotate_left(k as u32),
+            });
+        }
+    }
+    jobs
+}
+
+fn run_at(workers: usize, jobs: &[QueryJob]) -> Vec<QueryReport> {
+    let service = QueryService::new(ServiceConfig::with_workers(workers));
+    let results = service.submit(jobs.to_vec()).expect("service open").wait();
+    results
+        .into_iter()
+        .map(|r| match r.expect("job succeeded") {
+            JobOutput::Report(report) => report,
+            other => panic!("query job produced {other:?}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batch_results_identical_at_any_worker_count(
+        n in 16usize..96,
+        x_frac in 0usize..=100,
+        t_frac in 1usize..=50,
+        base_seed in any::<u64>(),
+    ) {
+        let x = n * x_frac / 100;
+        let t = (n * t_frac / 100).max(1);
+        let jobs = full_coverage_batch(n, x, t, base_seed);
+
+        let serial = run_at(1, &jobs);
+        // Sanity: on the ideal channel every exact algorithm must answer
+        // the ground truth.
+        for (job, report) in jobs.iter().zip(&serial) {
+            if job.algorithm != AlgorithmSpec::ProbAbns {
+                prop_assert_eq!(
+                    report.answer,
+                    x >= t,
+                    "{} mis-answered (n={} x={} t={})",
+                    job.algorithm.name(), n, x, t
+                );
+            }
+        }
+        for workers in [2usize, 8] {
+            let parallel = run_at(workers, &jobs);
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "results diverged between 1 and {} workers",
+                workers
+            );
+        }
+    }
+}

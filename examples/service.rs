@@ -1,0 +1,106 @@
+//! The query service under mixed traffic — many base stations, one pool.
+//!
+//! Floods a `tcast-service` worker pool with interleaved threshold-query
+//! sessions from every algorithm (a deployment where several base
+//! stations share one gateway's compute), exercises backpressure with
+//! `try_submit`, then drains the pool and prints the built-in
+//! per-algorithm metrics as a markdown table and CSV.
+//!
+//! ```text
+//! cargo run --release --example service
+//! ```
+
+use tcast::{CaptureModel, ChannelSpec, CollisionModel};
+use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig, SubmitError};
+
+const N: usize = 128;
+const T: usize = 16;
+const SESSIONS_PER_ALGORITHM: usize = 200;
+
+/// One "base station": a stream of sessions for a single algorithm, with
+/// positive counts sweeping the interesting range around the threshold.
+fn station_traffic(algorithm: AlgorithmSpec, station: u64) -> Vec<QueryJob> {
+    let models = [
+        CollisionModel::OnePlus,
+        CollisionModel::TwoPlus(CaptureModel::Never),
+        CollisionModel::two_plus_default(),
+    ];
+    (0..SESSIONS_PER_ALGORITHM)
+        .map(|i| {
+            let x = (i * 5) % (3 * T);
+            QueryJob {
+                algorithm,
+                channel: ChannelSpec::ideal(N, x, models[i % models.len()]).seeded(
+                    station << 32 | i as u64,
+                    station ^ (i as u64).rotate_left(13),
+                ),
+                t: T,
+                session_seed: 0xA076_1D64_78BD_642F ^ (station << 24) ^ i as u64,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let service = QueryService::new(ServiceConfig {
+        workers: 0, // one per core
+        queue_capacity: 512,
+    });
+    println!(
+        "service up: {} workers, queue capacity 512",
+        service.worker_count()
+    );
+
+    // Interleave the stations' traffic job-by-job so the pool sees mixed
+    // algorithms at every instant, and submit in bursts: when a burst
+    // bounces off the full queue, fall back to the blocking path — that
+    // is the backpressure working.
+    let per_station: Vec<Vec<QueryJob>> = AlgorithmSpec::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(s, alg)| station_traffic(alg, s as u64))
+        .collect();
+    let mut mixed: Vec<QueryJob> = Vec::new();
+    for i in 0..SESSIONS_PER_ALGORITHM {
+        for stream in &per_station {
+            mixed.push(stream[i]);
+        }
+    }
+    println!(
+        "submitting {} sessions ({} algorithms x {})",
+        mixed.len(),
+        AlgorithmSpec::ALL.len(),
+        SESSIONS_PER_ALGORITHM
+    );
+
+    let mut batches = Vec::new();
+    let mut rejected_bursts = 0usize;
+    for burst in mixed.chunks(64) {
+        match service.try_submit(burst.to_vec()) {
+            Ok(batch) => batches.push(batch),
+            Err(SubmitError::QueueFull(jobs)) => {
+                rejected_bursts += 1;
+                batches.push(service.submit(jobs).expect("service open"));
+            }
+            Err(SubmitError::Closed(_)) => unreachable!("service not shut down"),
+        }
+    }
+    println!("queue pushed back on {rejected_bursts} bursts (blocking submit took over)");
+
+    let mut answered_yes = 0usize;
+    let mut total = 0usize;
+    for batch in batches {
+        for result in batch.wait() {
+            total += 1;
+            if let Ok(JobOutput::Report(report)) = result {
+                answered_yes += usize::from(report.answer);
+            }
+        }
+    }
+    println!("{answered_yes}/{total} sessions answered x >= t\n");
+
+    let snapshot = service.shutdown();
+    println!("per-algorithm service metrics:\n");
+    println!("{}", snapshot.to_markdown());
+    println!("CSV:\n{}", snapshot.to_csv());
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the one facility the workspace uses: [`thread::scope`] with
+//! crossbeam's signature (spawn closures receive the scope, the call
+//! returns `Result` instead of propagating child panics as an unwinding
+//! panic). It is implemented on top of `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload of a panicked scope: the first child panic.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// A scope in which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    ///
+    /// All spawned threads are joined before this returns. If any spawned
+    /// thread panicked (and its handle was not joined explicitly), the
+    /// panic is reported through the `Err` variant rather than resuming.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_locals() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn join_returns_value() {
+            let out = super::scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+            assert_eq!(out, 42);
+        }
+
+        #[test]
+        fn child_panic_surfaces_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                });
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! reimplements the slice of proptest the workspace uses: the
+//! [`proptest!`] macro (including `#![proptest_config(...)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//! `prop_assume!`, `any::<T>()`, numeric range strategies, and
+//! `proptest::collection::vec`.
+//!
+//! Semantics: each test function runs `cases` iterations with inputs
+//! drawn from its strategies using a deterministic per-test RNG (seeded
+//! from the test body's name), so failures reproduce across runs and
+//! machines. There is **no shrinking** — a failing case reports the
+//! iteration number and the assertion message instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs a block of property tests. See the crate docs for semantics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut __executed: u32 = 0;
+            let mut __attempts: u64 = 0;
+            let __max_attempts = (__cfg.cases as u64).saturating_mul(20).max(100);
+            while __executed < __cfg.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                )*
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match __outcome {
+                    Ok(()) => { __executed += 1; }
+                    Err($crate::test_runner::TestCaseError::Reject) => { /* prop_assume retry */ }
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}",
+                            __executed + 1,
+                            __cfg.cases,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case (drawing a fresh input) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..10, b in 0u64..=5, f in 0.25f64..=0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 5);
+            prop_assert!((0.25..=0.75).contains(&f), "f={}", f);
+        }
+
+        #[test]
+        fn any_and_vec_strategies(x in any::<u64>(), v in crate::collection::vec(any::<u8>(), 0..20)) {
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(v.len(), 99);
+        }
+
+        #[test]
+        fn assume_retries(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                fn always_fails(x in 0usize..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("proptest case"), "got: {msg}");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        fn draws() -> Vec<u64> {
+            let mut rng = crate::test_runner::TestRng::for_test("repro");
+            (0..16)
+                .map(|_| crate::strategy::Strategy::generate(&(0u64..1000), &mut rng))
+                .collect()
+        }
+        assert_eq!(draws(), draws());
+    }
+}

@@ -1,0 +1,83 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++ with SplitMix64
+/// seed expansion (the algorithm family the real `rand` crate uses for
+/// `SmallRng` on 64-bit targets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro256++ requires a non-zero state; SplitMix64 only emits
+        // all-zero for pathological inputs, but guard anyway.
+        if s == [0; 4] {
+            s = [0xdead_beef, 0xcafe_f00d, 0x1234_5678, 0x9abc_def0];
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for API compatibility: the stub's standard generator is the
+/// same engine as [`SmallRng`].
+pub type StdRng = SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_looks_mixed() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        rng.next_u64();
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}

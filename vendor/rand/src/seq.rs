@@ -1,0 +1,87 @@
+//! Sequence helpers: shuffling and random element choice.
+
+use crate::Rng;
+
+/// Uniform index in `[0, bound)` drawn from raw bits; callable on unsized
+/// generators (`dyn RngCore`), unlike the `Self: Sized` [`Rng`] methods.
+#[inline]
+fn uniform_index<R: Rng + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as usize
+}
+
+/// In-place random permutation of slices.
+pub trait SliceRandom {
+    /// Uniform Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Random element selection from index-addressable collections.
+pub trait IndexedRandom {
+    /// The element type.
+    type Output;
+
+    /// Uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(uniform_index(rng, self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{RngCore, SeedableRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_through_dyn_rngcore() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let mut v: Vec<u32> = (0..10).collect();
+        v.shuffle(dynr);
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let v = [1u8, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &c = v.choose(&mut rng).unwrap();
+            seen[c as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
