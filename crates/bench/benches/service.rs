@@ -15,12 +15,14 @@ const T: usize = 16;
 /// A mixed batch: every algorithm, positive counts swept around `t`.
 fn batch(jobs: usize) -> Vec<QueryJob> {
     (0..jobs)
-        .map(|i| QueryJob {
-            algorithm: AlgorithmSpec::ALL[i % AlgorithmSpec::ALL.len()],
-            channel: ChannelSpec::ideal(N, (i * 7) % (2 * T), CollisionModel::OnePlus)
-                .seeded(i as u64, (i as u64) << 17),
-            t: T,
-            session_seed: 0x9E37_79B9 ^ i as u64,
+        .map(|i| {
+            QueryJob::new(
+                AlgorithmSpec::ALL[i % AlgorithmSpec::ALL.len()],
+                ChannelSpec::ideal(N, (i * 7) % (2 * T), CollisionModel::OnePlus)
+                    .seeded(i as u64, (i as u64) << 17),
+                T,
+                0x9E37_79B9 ^ i as u64,
+            )
         })
         .collect()
 }

@@ -13,8 +13,9 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy;
+use crate::engine::run_with_policy_retry;
 use crate::querier::ThresholdQuerier;
+use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// Initial estimate `p0` for ABNS.
@@ -95,15 +96,16 @@ impl ThresholdQuerier for Abns {
         &self.name
     }
 
-    fn run(
+    fn run_with_retry(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
+        retry: RetryPolicy,
     ) -> QueryReport {
         let mut p = self.initial_p(t).max(0.0);
-        run_with_policy(nodes, t, channel, rng, move |session, last| {
+        run_with_policy_retry(nodes, t, channel, rng, retry, move |session, last| {
             if let Some(stats) = last {
                 p = estimate_p(
                     stats.silent_bins,

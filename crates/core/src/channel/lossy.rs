@@ -117,9 +117,6 @@ impl GroupQueryChannel for LossyChannel {
             })
             .collect();
         if heard.is_empty() {
-            if truly_positive > 0 {
-                self.false_negative_groups += 1;
-            }
             if self.loss.false_activity_prob > 0.0
                 && self.rng.random_bool(self.loss.false_activity_prob)
             {
@@ -127,6 +124,13 @@ impl GroupQueryChannel for LossyChannel {
                     self.false_positive_groups += 1;
                 }
                 return Observation::Activity;
+            }
+            // A false negative requires the *final* observation to be
+            // silent: missed replies masked by injected false activity
+            // leave the initiator seeing Activity, which is correct for a
+            // positive group.
+            if truly_positive > 0 {
+                self.false_negative_groups += 1;
             }
             return Observation::Silent;
         }
@@ -221,6 +225,49 @@ mod tests {
             .count();
         assert!(active > 0);
         assert_eq!(ch.false_positive_groups(), active as u64);
+    }
+
+    #[test]
+    fn masked_miss_is_not_a_false_negative() {
+        // Every reply is lost AND every silent group is masked by false
+        // activity: the initiator always observes Activity, so a positive
+        // group is never a false negative (the observation is accidentally
+        // correct) while an empty group always is a false positive.
+        let loss = LossConfig {
+            reply_miss_prob: 1.0,
+            false_activity_prob: 1.0,
+        };
+        let mut ch = LossyChannel::new(4, CollisionModel::OnePlus, loss, 6);
+        ch.set_positives(&ids(&[0]));
+        for _ in 0..100 {
+            assert_eq!(ch.query(&ids(&[0])), Observation::Activity);
+            assert_eq!(ch.query(&ids(&[1])), Observation::Activity);
+        }
+        assert_eq!(
+            ch.false_negative_groups(),
+            0,
+            "masked misses were observed as Activity"
+        );
+        assert_eq!(ch.false_positive_groups(), 100);
+    }
+
+    #[test]
+    fn partially_masked_misses_split_by_final_observation() {
+        // 50% false activity on top of certain reply loss: exactly the
+        // queries that end Silent are false negatives.
+        let loss = LossConfig {
+            reply_miss_prob: 1.0,
+            false_activity_prob: 0.5,
+        };
+        let mut ch = LossyChannel::new(4, CollisionModel::OnePlus, loss, 7);
+        ch.set_positives(&ids(&[0]));
+        let runs = 10_000;
+        let silent = (0..runs)
+            .filter(|_| ch.query(&ids(&[0])) == Observation::Silent)
+            .count();
+        assert!(silent > 0 && silent < runs);
+        assert_eq!(ch.false_negative_groups(), silent as u64);
+        assert_eq!(ch.false_positive_groups(), 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use super::{GroupQueryChannel, IdealChannel, LossConfig, LossyChannel};
+use crate::retry::RetryPolicy;
 use crate::types::{CollisionModel, NodeId};
 
 /// Uniform `x`-subset of `0..n` chosen with Floyd's algorithm.
@@ -59,6 +60,11 @@ pub struct ChannelSpec {
     pub placement_seed: u64,
     /// Seed for the channel's internal draws (capture lotteries, losses).
     pub channel_seed: u64,
+    /// Verified-silence retry policy executors should run sessions with.
+    /// Plain data riding along with the channel description — the built
+    /// channel itself ignores it; `QueryJob` and sweep drivers pass it to
+    /// [`crate::ThresholdQuerier::run_with_retry`].
+    pub retry: RetryPolicy,
 }
 
 impl ChannelSpec {
@@ -71,6 +77,7 @@ impl ChannelSpec {
             loss: None,
             placement_seed: 0,
             channel_seed: 0,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -86,6 +93,12 @@ impl ChannelSpec {
     pub fn seeded(mut self, placement_seed: u64, channel_seed: u64) -> Self {
         self.placement_seed = placement_seed;
         self.channel_seed = channel_seed;
+        self
+    }
+
+    /// Returns the spec with a verified-silence retry policy attached.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -211,6 +224,17 @@ mod tests {
         }
         // And the generators must be left in identical states.
         assert_eq!(rng_spec.next_u64(), rng_inline.next_u64());
+    }
+
+    #[test]
+    fn retry_policy_rides_along_as_plain_data() {
+        use crate::retry::RetryPolicy;
+        let base = ChannelSpec::ideal(8, 2, CollisionModel::OnePlus);
+        assert_eq!(base.retry, RetryPolicy::none());
+        let with = base.with_retry(RetryPolicy::verified(2).with_budget(50));
+        assert_eq!(with.retry.max_retries, 2);
+        assert_eq!(with.retry.budget, Some(50));
+        assert_ne!(base, with, "retry participates in spec equality");
     }
 
     #[test]

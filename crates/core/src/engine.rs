@@ -20,6 +20,7 @@ use rand::seq::SliceRandom;
 use rand::RngCore;
 
 use crate::channel::{GroupQueryChannel, PairedGroupQueryChannel};
+use crate::retry::RetryPolicy;
 use crate::types::{CollisionModel, NodeId, Observation, QueryReport, RoundTrace};
 
 /// Mutable state of one threshold-querying session.
@@ -38,6 +39,13 @@ pub struct Session {
     trace: Vec<RoundTrace>,
     /// Scratch buffer reused across rounds to avoid per-round allocation.
     scratch: Vec<NodeId>,
+    /// Verified-silence policy (see `retry` module; default: disabled).
+    retry: RetryPolicy,
+    /// Retry queries spent so far (bin re-queries + pool checks).
+    retry_queries: u64,
+    /// Nodes eliminated on (verified) silence, remembered for the final
+    /// pool confirmation. Only populated while `retry.enabled()`.
+    eliminated: Vec<NodeId>,
 }
 
 /// Result of executing one round.
@@ -65,8 +73,15 @@ pub struct RoundStats {
 }
 
 impl Session {
-    /// Starts a session over `nodes` with threshold `t`.
+    /// Starts a session over `nodes` with threshold `t` and no silence
+    /// verification (the ideal-channel configuration).
     pub fn new(nodes: &[NodeId], t: usize) -> Self {
+        Self::with_retry(nodes, t, RetryPolicy::none())
+    }
+
+    /// Starts a session that verifies silence per `retry` before
+    /// eliminating candidates.
+    pub fn with_retry(nodes: &[NodeId], t: usize, retry: RetryPolicy) -> Self {
         Self {
             remaining: nodes.to_vec(),
             confirmed: 0,
@@ -75,6 +90,9 @@ impl Session {
             rounds: 0,
             trace: Vec::new(),
             scratch: Vec::with_capacity(nodes.len()),
+            retry,
+            retry_queries: 0,
+            eliminated: Vec::new(),
         }
     }
 
@@ -122,12 +140,18 @@ impl Session {
         self.rounds
     }
 
+    /// Retry queries spent so far by the verified-silence layer.
+    pub fn retry_queries(&self) -> u64 {
+        self.retry_queries
+    }
+
     /// Finalizes the session into a report.
     pub fn into_report(self, answer: bool) -> QueryReport {
         QueryReport {
             answer,
             queries: self.queries,
             rounds: self.rounds,
+            retry_queries: self.retry_queries,
             confirmed_positives: self.confirmed,
             trace: self.trace,
         }
@@ -171,6 +195,7 @@ impl Session {
         let mut evidence = 0usize;
         let mut offset = 0usize;
         let mut decided = None;
+        let mut round_retries = 0u64;
 
         for bin_idx in 0..bins {
             let size = base + usize::from(bin_idx < extra);
@@ -184,6 +209,14 @@ impl Session {
             stats.queried_bins += 1;
             let obs = channel.query(members);
             debug_assert!(crate::channel::observation_valid(model, obs));
+            let (obs, retried) =
+                requery_silence(obs, members, channel, model, self.retry, self.retry_queries);
+            self.queries += retried;
+            self.retry_queries += retried;
+            round_retries += retried;
+            if obs == Observation::Silent && self.retry.enabled() {
+                self.eliminated.extend_from_slice(members);
+            }
 
             absorb_bin(
                 members,
@@ -221,6 +254,7 @@ impl Session {
             silent_bins: stats.silent_bins,
             eliminated: stats.eliminated,
             captured: stats.captured,
+            retries: round_retries as usize,
             remaining: self.remaining.len(),
         });
 
@@ -279,6 +313,7 @@ impl Session {
         let mut evidence = 0usize;
         let mut decided = None;
         let mut absorbed_hi = 0usize;
+        let mut round_retries = 0u64;
 
         let mut idx = 0;
         while idx < ranges.len() && decided.is_none() {
@@ -315,6 +350,22 @@ impl Session {
                     continue;
                 }
                 let members = &self.remaining[lo..hi];
+                // Retries re-query one half singly: verification needs the
+                // individual bin's outcome, not the pair's.
+                let (obs, retried) = requery_silence(
+                    obs,
+                    members,
+                    &mut *channel as &mut dyn GroupQueryChannel,
+                    model,
+                    self.retry,
+                    self.retry_queries,
+                );
+                self.queries += retried;
+                self.retry_queries += retried;
+                round_retries += retried;
+                if obs == Observation::Silent && self.retry.enabled() {
+                    self.eliminated.extend_from_slice(members);
+                }
                 absorb_bin(
                     members,
                     obs,
@@ -345,6 +396,7 @@ impl Session {
             silent_bins: stats.silent_bins,
             eliminated: stats.eliminated,
             captured: stats.captured,
+            retries: round_retries as usize,
             remaining: self.remaining.len(),
         });
 
@@ -353,6 +405,77 @@ impl Session {
             None => RoundOutcome::Undecided(stats),
         }
     }
+
+    /// Attempts to finalize a pending `false` verdict against the pool of
+    /// silently-eliminated nodes.
+    ///
+    /// Returns `true` when the verdict stands: verification is disabled,
+    /// nothing was eliminated, the retry budget is spent, or the whole pool
+    /// stayed silent through `1 + max_retries` consecutive group queries.
+    /// Returns `false` when any check observed activity — a missed positive
+    /// survives in the pool, so every eliminated node is re-admitted to
+    /// `remaining` and the caller must keep querying.
+    ///
+    /// A verification episode (>= 1 check issued) is accounted as one round
+    /// with a dedicated trace entry whose queries are all retries.
+    pub fn confirm_false<C: GroupQueryChannel + ?Sized>(&mut self, channel: &mut C) -> bool {
+        if !self.retry.enabled() || self.eliminated.is_empty() {
+            return true;
+        }
+        let checks = 1 + u64::from(self.retry.max_retries);
+        let mut spent = 0u64;
+        let mut rescued = false;
+        while spent < checks && self.retry.allows(self.retry_queries) {
+            self.queries += 1;
+            self.retry_queries += 1;
+            spent += 1;
+            if channel.query(&self.eliminated) != Observation::Silent {
+                rescued = true;
+                break;
+            }
+        }
+        if spent == 0 {
+            return true; // budget exhausted: accept the verdict unverified
+        }
+        if rescued {
+            self.remaining.append(&mut self.eliminated);
+        }
+        self.rounds += 1;
+        self.trace.push(RoundTrace {
+            bins: 1,
+            queried_bins: 0,
+            silent_bins: 0,
+            eliminated: 0,
+            captured: 0,
+            retries: spent as usize,
+            remaining: self.remaining.len(),
+        });
+        !rescued
+    }
+}
+
+/// Re-queries a silent observation per `retry`, stopping at the first
+/// non-silent outcome, at `max_retries`, or when the session-wide budget
+/// (of which `spent_before` is already used) runs out. Returns the final
+/// observation and the retries spent. Shared by both round executors.
+fn requery_silence<C: GroupQueryChannel + ?Sized>(
+    mut obs: Observation,
+    members: &[NodeId],
+    channel: &mut C,
+    model: CollisionModel,
+    retry: RetryPolicy,
+    spent_before: u64,
+) -> (Observation, u64) {
+    let mut spent = 0u64;
+    while obs == Observation::Silent
+        && spent < u64::from(retry.max_retries)
+        && retry.allows(spent_before + spent)
+    {
+        obs = channel.query(members);
+        debug_assert!(crate::channel::observation_valid(model, obs));
+        spent += 1;
+    }
+    (obs, spent)
 }
 
 /// Folds one bin's observation into the round state. Shared by the
@@ -395,23 +518,54 @@ fn absorb_bin(
 ///
 /// This is the generic skeleton instantiated by every algorithm: the policy
 /// receives the session state and the previous round's statistics and
-/// returns the next round's bin count.
+/// returns the next round's bin count. Equivalent to
+/// [`run_with_policy_retry`] with [`RetryPolicy::none`] — silence is
+/// trusted, query for query, as on an ideal channel.
 pub fn run_with_policy(
     nodes: &[NodeId],
     t: usize,
     channel: &mut dyn GroupQueryChannel,
     rng: &mut dyn RngCore,
+    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> QueryReport {
+    run_with_policy_retry(nodes, t, channel, rng, RetryPolicy::none(), policy)
+}
+
+/// [`run_with_policy`] with verified-silence retries.
+///
+/// Two additions over the plain driver: rounds re-query silent bins per
+/// `retry` before eliminating members, and a pending `false` verdict is
+/// only finalized once [`Session::confirm_false`] clears the eliminated
+/// pool — an activity observation there re-admits the pool and resumes
+/// querying (`true` verdicts need no confirmation: under loss without
+/// false activity, evidence only ever goes missing, never appears).
+pub fn run_with_policy_retry(
+    nodes: &[NodeId],
+    t: usize,
+    channel: &mut dyn GroupQueryChannel,
+    rng: &mut dyn RngCore,
+    retry: RetryPolicy,
     mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    let mut session = Session::new(nodes, t);
+    let mut session = Session::with_retry(nodes, t, retry);
     let mut last_stats: Option<RoundStats> = None;
     loop {
         if let Some(answer) = session.precheck() {
-            return session.into_report(answer);
+            if answer || session.confirm_false(channel) {
+                return session.into_report(answer);
+            }
+            last_stats = None;
+            continue;
         }
         let bins = policy(&session, last_stats.as_ref());
         match session.run_round(bins, channel, rng) {
-            RoundOutcome::Decided(answer) => return session.into_report(answer),
+            RoundOutcome::Decided(true) => return session.into_report(true),
+            RoundOutcome::Decided(false) => {
+                if session.confirm_false(channel) {
+                    return session.into_report(false);
+                }
+                last_stats = None;
+            }
             RoundOutcome::Undecided(stats) => last_stats = Some(stats),
         }
     }
@@ -424,17 +578,40 @@ pub fn run_with_policy_paired(
     t: usize,
     channel: &mut dyn PairedGroupQueryChannel,
     rng: &mut dyn RngCore,
+    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> QueryReport {
+    run_with_policy_paired_retry(nodes, t, channel, rng, RetryPolicy::none(), policy)
+}
+
+/// Paired variant of [`run_with_policy_retry`]. Retries and pool checks
+/// re-query bins singly; only the first pass rides the paired primitive.
+pub fn run_with_policy_paired_retry(
+    nodes: &[NodeId],
+    t: usize,
+    channel: &mut dyn PairedGroupQueryChannel,
+    rng: &mut dyn RngCore,
+    retry: RetryPolicy,
     mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    let mut session = Session::new(nodes, t);
+    let mut session = Session::with_retry(nodes, t, retry);
     let mut last_stats: Option<RoundStats> = None;
     loop {
         if let Some(answer) = session.precheck() {
-            return session.into_report(answer);
+            if answer || session.confirm_false(&mut *channel as &mut dyn GroupQueryChannel) {
+                return session.into_report(answer);
+            }
+            last_stats = None;
+            continue;
         }
         let bins = policy(&session, last_stats.as_ref());
         match session.run_round_paired(bins, channel, rng) {
-            RoundOutcome::Decided(answer) => return session.into_report(answer),
+            RoundOutcome::Decided(true) => return session.into_report(true),
+            RoundOutcome::Decided(false) => {
+                if session.confirm_false(&mut *channel as &mut dyn GroupQueryChannel) {
+                    return session.into_report(false);
+                }
+                last_stats = None;
+            }
             RoundOutcome::Undecided(stats) => last_stats = Some(stats),
         }
     }
@@ -665,6 +842,130 @@ mod tests {
             assert_eq!(r1, r2, "seed={seed}");
             assert_eq!(s1.queries(), s2.queries(), "seed={seed}");
         }
+    }
+
+    /// Channel replaying a fixed observation script (Silent once the
+    /// script runs out), for deterministic retry-layer tests.
+    struct Scripted {
+        obs: std::collections::VecDeque<Observation>,
+        queries: u64,
+    }
+
+    impl Scripted {
+        fn new(obs: &[Observation]) -> Self {
+            Self {
+                obs: obs.iter().copied().collect(),
+                queries: 0,
+            }
+        }
+    }
+
+    impl GroupQueryChannel for Scripted {
+        fn query(&mut self, _members: &[NodeId]) -> Observation {
+            self.queries += 1;
+            self.obs.pop_front().unwrap_or(Observation::Silent)
+        }
+
+        fn model(&self) -> CollisionModel {
+            CollisionModel::OnePlus
+        }
+
+        fn queries_issued(&self) -> u64 {
+            self.queries
+        }
+    }
+
+    #[test]
+    fn verified_silence_requeries_and_confirms_false() {
+        // Everything silent: one bin costs 1 + 2 retries, and the false
+        // verdict costs 1 + 2 pool confirmations on top.
+        let nodes = population(8);
+        let mut ch = Scripted::new(&[]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = run_with_policy_retry(
+            &nodes,
+            1,
+            &mut ch,
+            &mut rng,
+            crate::retry::RetryPolicy::verified(2),
+            |_, _| 1,
+        );
+        assert!(!report.answer);
+        assert_eq!(report.queries, 6, "3 on the bin + 3 pool checks");
+        assert_eq!(report.retry_queries, 5);
+        assert_eq!(report.rounds, 2, "one query round + one verification");
+        report.assert_consistent();
+        assert_eq!(report.queries, ch.queries_issued());
+    }
+
+    #[test]
+    fn pool_activity_rescues_eliminated_nodes() {
+        // Round 1 sees (miss-induced) silence twice and eliminates the
+        // whole bin; the pool confirmation observes activity, re-admits
+        // everyone, and round 2 decides true.
+        use Observation::{Activity, Silent};
+        let nodes = population(4);
+        let mut ch = Scripted::new(&[Silent, Silent, Activity, Activity]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let report = run_with_policy_retry(
+            &nodes,
+            1,
+            &mut ch,
+            &mut rng,
+            crate::retry::RetryPolicy::verified(1),
+            |_, _| 1,
+        );
+        assert!(report.answer, "rescued positives flip the verdict");
+        assert_eq!(report.queries, 4);
+        assert_eq!(report.retry_queries, 2, "one bin retry + one pool check");
+        assert_eq!(report.rounds, 3, "round, verification, round");
+        let verification = report.trace[1];
+        assert_eq!(verification.queried_bins, 0);
+        assert_eq!(verification.retries, 1);
+        assert_eq!(verification.remaining, 4, "pool re-admitted");
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn retry_budget_caps_verification_spending() {
+        let nodes = population(4);
+        let mut ch = Scripted::new(&[]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let report = run_with_policy_retry(
+            &nodes,
+            1,
+            &mut ch,
+            &mut rng,
+            crate::retry::RetryPolicy::verified(5).with_budget(3),
+            |_, _| 1,
+        );
+        assert!(!report.answer);
+        assert_eq!(
+            report.retry_queries, 3,
+            "bin retries stop at the budget; the pool check gets nothing"
+        );
+        assert_eq!(report.queries, 4);
+        assert_eq!(report.rounds, 1, "no verification round without budget");
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn paired_retry_matches_sequential_semantics() {
+        // All-silent paired run with retries: same totals as sequential.
+        let nodes = population(8);
+        let mut ch = ideal(8, &[], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let report = run_with_policy_paired_retry(
+            &nodes,
+            2,
+            &mut ch,
+            &mut rng,
+            crate::retry::RetryPolicy::verified(1),
+            |_, _| 2,
+        );
+        assert!(!report.answer);
+        report.assert_consistent();
+        assert!(report.retry_queries > 0, "silent bins were re-queried");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy;
+use crate::engine::run_with_policy_retry;
 use crate::querier::ThresholdQuerier;
+use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// Bin-growth policy variants.
@@ -88,17 +89,18 @@ impl ThresholdQuerier for ExpIncrease {
         }
     }
 
-    fn run(
+    fn run_with_retry(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
+        retry: RetryPolicy,
     ) -> QueryReport {
         let mut bin_num = self.initial_bins.max(1);
         let variant = self.variant;
         let mut first = true;
-        run_with_policy(nodes, t, channel, rng, move |session, last| {
+        run_with_policy_retry(nodes, t, channel, rng, retry, move |session, last| {
             if first {
                 first = false;
             } else if let Some(stats) = last {

@@ -57,6 +57,7 @@ pub mod prob_abns;
 pub mod probabilistic;
 pub mod querier;
 pub mod render;
+pub mod retry;
 pub mod twotbins;
 pub mod types;
 
@@ -73,6 +74,7 @@ pub use oracle::OracleBins;
 pub use prob_abns::ProbAbns;
 pub use probabilistic::{ProbDecision, ProbabilisticConfig, ProbabilisticQuerier};
 pub use querier::ThresholdQuerier;
+pub use retry::RetryPolicy;
 pub use twotbins::TwoTBins;
 pub use types::{
     population, CaptureModel, CollisionModel, NodeId, Observation, QueryReport, RoundTrace,

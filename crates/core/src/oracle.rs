@@ -16,8 +16,9 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy;
+use crate::engine::run_with_policy_retry;
 use crate::querier::ThresholdQuerier;
+use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// Oracle bin selection with ground-truth knowledge of the positive set.
@@ -66,14 +67,15 @@ impl ThresholdQuerier for OracleBins {
         "Oracle"
     }
 
-    fn run(
+    fn run_with_retry(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
+        retry: RetryPolicy,
     ) -> QueryReport {
-        run_with_policy(nodes, t, channel, rng, |session, _| {
+        run_with_policy_retry(nodes, t, channel, rng, retry, |session, _| {
             let x = self.count_positives(session.remaining());
             // Captured positives reduce the evidence still needed.
             let t_eff = session

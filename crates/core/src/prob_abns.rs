@@ -12,6 +12,7 @@ use rand::{Rng, RngCore};
 use crate::abns::{Abns, InitialEstimate};
 use crate::channel::GroupQueryChannel;
 use crate::querier::ThresholdQuerier;
+use crate::retry::RetryPolicy;
 use crate::twotbins::TwoTBins;
 use crate::types::{NodeId, Observation, QueryReport, RoundTrace};
 
@@ -45,12 +46,13 @@ impl ThresholdQuerier for ProbAbns {
         "ProbABNS"
     }
 
-    fn run(
+    fn run_with_retry(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
+        retry: RetryPolicy,
     ) -> QueryReport {
         // Degenerate thresholds are decided without probing.
         if t == 0 {
@@ -67,17 +69,31 @@ impl ThresholdQuerier for ProbAbns {
             .filter(|_| rng.random_bool(q))
             .collect();
 
-        let (probe_cost, probe_silent) = if probe.is_empty() {
+        let (probe_cost, probe_silent, probe_retries) = if probe.is_empty() {
             // Zero-member bin: free, trivially silent.
-            (0u64, true)
+            (0u64, true, 0u64)
         } else {
-            (1u64, channel.query(&probe) == Observation::Silent)
+            let mut obs = channel.query(&probe);
+            let mut spent = 0u64;
+            if self.eliminate_probe {
+                // Only the eliminating configuration verifies probe silence:
+                // a hint-only probe cannot flip the verdict, so re-querying
+                // it would buy nothing.
+                while obs == Observation::Silent
+                    && spent < u64::from(retry.max_retries)
+                    && retry.allows(spent)
+                {
+                    obs = channel.query(&probe);
+                    spent += 1;
+                }
+            }
+            (1 + spent, obs == Observation::Silent, spent)
         };
 
         let (inner_nodes, survivors): (Vec<NodeId>, usize);
-        if probe_silent && self.eliminate_probe && probe_cost > 0 {
-            // Sound elimination: a silent probe proves every sampled node
-            // negative.
+        if probe_silent && self.eliminate_probe && !probe.is_empty() {
+            // Sound elimination: a (verified-)silent probe proves every
+            // sampled node negative.
             let keep: Vec<NodeId> = nodes
                 .iter()
                 .copied()
@@ -90,27 +106,45 @@ impl ThresholdQuerier for ProbAbns {
             inner_nodes = nodes.to_vec();
         }
 
+        // The probe's retry spending counts against the session budget.
+        let inner_retry = RetryPolicy {
+            budget: retry.budget.map(|b| b.saturating_sub(probe_retries)),
+            ..retry
+        };
         let mut report = if probe_silent {
             // Likely x < t/2: ABNS seeded with p0 = t/4.
-            Abns::with_p0(InitialEstimate::Fixed(t as f64 / 4.0)).run(&inner_nodes, t, channel, rng)
+            Abns::with_p0(InitialEstimate::Fixed(t as f64 / 4.0)).run_with_retry(
+                &inner_nodes,
+                t,
+                channel,
+                rng,
+                inner_retry,
+            )
         } else {
             // Likely x > t/2: 2tBins is near-oracle in this regime.
-            TwoTBins.run(&inner_nodes, t, channel, rng)
+            TwoTBins.run_with_retry(&inner_nodes, t, channel, rng, inner_retry)
         };
 
         report.queries += probe_cost;
-        report.rounds += probe_cost as u32;
-        report.trace.insert(
-            0,
-            RoundTrace {
-                bins: 1,
-                queried_bins: probe_cost as usize,
-                silent_bins: usize::from(probe_silent && probe_cost > 0),
-                eliminated: nodes.len() - survivors,
-                captured: 0,
-                remaining: survivors,
-            },
-        );
+        report.retry_queries += probe_retries;
+        if probe_cost > 0 {
+            // The probe is exactly one round when it was actually issued; an
+            // empty probe costs neither a query nor a round nor a trace
+            // entry.
+            report.rounds += 1;
+            report.trace.insert(
+                0,
+                RoundTrace {
+                    bins: 1,
+                    queried_bins: 1,
+                    silent_bins: usize::from(probe_silent),
+                    eliminated: nodes.len() - survivors,
+                    captured: 0,
+                    retries: probe_retries as usize,
+                    remaining: survivors,
+                },
+            );
+        }
         report
     }
 }
@@ -191,6 +225,40 @@ mod tests {
         let r = run_case(&ProbAbns::standard(), 128, 128, t, 4);
         assert!(r.answer);
         assert_eq!(r.trace[1].bins, 2 * t, "trace {:?}", r.trace);
+    }
+
+    #[test]
+    fn empty_probe_is_not_a_round() {
+        // sampling_prob = 0 forces an empty probe: free, no round, no trace
+        // entry. Regression for the probe cost being added to `rounds`
+        // (rounds must always equal the trace length).
+        let alg = ProbAbns {
+            sampling_prob: Some(0.0),
+            ..ProbAbns::standard()
+        };
+        for seed in 0..10 {
+            let r = run_case(&alg, 64, 10, 8, seed);
+            assert_eq!(r.rounds as usize, r.trace.len(), "seed={seed}");
+            r.assert_consistent();
+            assert!(r.answer, "x=10 >= t=8");
+        }
+    }
+
+    #[test]
+    fn issued_probe_counts_exactly_one_round() {
+        // An always-issued probe (sampling_prob = 1) is one query and one
+        // round, whatever the inner algorithm does afterwards.
+        let alg = ProbAbns {
+            sampling_prob: Some(1.0),
+            ..ProbAbns::standard()
+        };
+        for seed in 0..10 {
+            let r = run_case(&alg, 64, 32, 8, seed);
+            assert_eq!(r.rounds as usize, r.trace.len(), "seed={seed}");
+            r.assert_consistent();
+            assert_eq!(r.trace[0].bins, 1);
+            assert_eq!(r.trace[0].queried_bins, 1);
+        }
     }
 
     #[test]

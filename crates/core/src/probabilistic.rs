@@ -17,6 +17,7 @@ use rand::{Rng, RngCore};
 
 use crate::channel::GroupQueryChannel;
 use crate::querier::ThresholdQuerier;
+use crate::retry::RetryPolicy;
 use crate::types::{NodeId, Observation, QueryReport, RoundTrace};
 
 /// Configuration of the probabilistic threshold decision.
@@ -165,19 +166,24 @@ impl ThresholdQuerier for ProbabilisticQuerier {
     /// Adapter: interprets "activity mode" as `x >= t`. Unlike the exact
     /// algorithms this may answer incorrectly (by design) with probability
     /// bounded by the Chernoff analysis; `t` is ignored in favour of the
-    /// configured mode boundaries.
-    fn run(
+    /// configured mode boundaries, and the [`RetryPolicy`] is ignored
+    /// entirely — the decision never eliminates nodes, so there is no
+    /// silence to verify. The report summarizes all probes as one
+    /// aggregate round so its accounting invariants hold.
+    fn run_with_retry(
         &self,
         nodes: &[NodeId],
         _t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
+        _retry: RetryPolicy,
     ) -> QueryReport {
         let d = self.decide(nodes, channel, rng);
         QueryReport {
             answer: d.activity,
             queries: d.queries,
-            rounds: self.config.repeats,
+            rounds: 1,
+            retry_queries: 0,
             confirmed_positives: 0,
             trace: vec![RoundTrace {
                 bins: self.config.bins,
@@ -185,6 +191,7 @@ impl ThresholdQuerier for ProbabilisticQuerier {
                 silent_bins: (d.queries as usize).saturating_sub(d.active_probes as usize),
                 eliminated: 0,
                 captured: 0,
+                retries: 0,
                 remaining: nodes.len(),
             }],
         }

@@ -3,6 +3,7 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
+use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// A threshold-querying strategy: decides whether at least `t` of `nodes`
@@ -16,13 +17,33 @@ pub trait ThresholdQuerier: Sync {
     /// Short identifier used in experiment output (e.g. `"2tBins"`).
     fn name(&self) -> &str;
 
-    /// Runs one complete threshold-querying session.
+    /// Runs one complete threshold-querying session, trusting every
+    /// observation (the ideal-channel configuration).
     fn run(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
+    ) -> QueryReport {
+        self.run_with_retry(nodes, t, channel, rng, RetryPolicy::none())
+    }
+
+    /// Runs one session with verified-silence retries: silent bins are
+    /// re-queried per `retry` before their members are eliminated, and
+    /// `false` verdicts are confirmed against the eliminated pool (see the
+    /// `retry` module). With [`RetryPolicy::none`] this must behave
+    /// exactly like [`run`](Self::run).
+    ///
+    /// Algorithms whose verdicts are probabilistic by design may ignore
+    /// the policy; they must say so in their documentation.
+    fn run_with_retry(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        retry: RetryPolicy,
     ) -> QueryReport;
 }
 
@@ -39,5 +60,16 @@ impl<T: ThresholdQuerier + ?Sized> ThresholdQuerier for &T {
         rng: &mut dyn RngCore,
     ) -> QueryReport {
         (**self).run(nodes, t, channel, rng)
+    }
+
+    fn run_with_retry(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        retry: RetryPolicy,
+    ) -> QueryReport {
+        (**self).run_with_retry(nodes, t, channel, rng, retry)
     }
 }

@@ -1,0 +1,102 @@
+//! Verified-silence retry policy for lossy channels.
+//!
+//! On an ideal channel a silent bin proves its members negative, so the
+//! engine eliminates them outright. On a lossy channel (independent
+//! per-reply misses, Section IV-D's dominant fault mode) a silent
+//! observation is only evidence: a lone positive reply is missed with
+//! probability `reply_miss_prob`, and consuming that observation as truth
+//! silently drops live positives and flips verdicts. The classical remedy
+//! from adaptive group testing is the *verified test*: repeat a negative
+//! test until its outcome is confirmed, which drives the per-test error
+//! from `p` to `p^(k+1)` at a bounded cost multiplier.
+//!
+//! [`RetryPolicy`] configures that remedy for the shared round engine:
+//!
+//! * every bin observed silent is re-queried up to `max_retries` times
+//!   before its members are eliminated; any non-silent re-observation
+//!   cancels the elimination;
+//! * members eliminated on verified silence are remembered, and a pending
+//!   `false` verdict is only finalized after the whole eliminated pool
+//!   passes `1 + max_retries` consecutive silent group queries — one
+//!   activity observation re-admits the pool and the session continues;
+//! * an optional `budget` caps the total number of extra queries a session
+//!   may spend on verification, so worst-case cost stays bounded.
+//!
+//! The pool check matters: with `E` positive-bin exposures per session,
+//! bin-level retries alone leave a residual wrong-verdict probability of
+//! about `E * p^(k+1)`, which is still visible at hundreds of trials. The
+//! final pool confirmation multiplies in another `p^(k+1)` factor, because
+//! a wrong `false` verdict now additionally requires every missed positive
+//! to stay silent through the closing checks.
+
+/// How (and whether) the engine verifies silence before eliminating nodes.
+///
+/// `RetryPolicy::default()` (== [`RetryPolicy::none`]) disables
+/// verification entirely, reproducing the historical trust-the-channel
+/// behaviour query for query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Re-queries per silent observation before it is believed. `0`
+    /// disables the retry layer.
+    pub max_retries: u32,
+    /// Cap on the total retry queries one session may spend (bin
+    /// re-queries plus final pool checks). `None` leaves the cost bounded
+    /// only by `max_retries` per observation.
+    pub budget: Option<u64>,
+}
+
+impl RetryPolicy {
+    /// No verification: silent observations are consumed as ground truth.
+    pub const fn none() -> Self {
+        Self {
+            max_retries: 0,
+            budget: None,
+        }
+    }
+
+    /// Verified silence with `max_retries` re-queries per silent
+    /// observation and no overall budget.
+    pub const fn verified(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            budget: None,
+        }
+    }
+
+    /// Returns the policy with a session-wide retry-query budget.
+    pub const fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Whether the retry layer is active at all.
+    pub const fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// Whether one more retry query may be spent after `spent` have been.
+    pub fn allows(&self, spent: u64) -> bool {
+        self.budget.is_none_or(|b| spent < b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert_eq!(RetryPolicy::default(), RetryPolicy::none());
+        assert!(!RetryPolicy::none().enabled());
+        assert!(RetryPolicy::verified(1).enabled());
+    }
+
+    #[test]
+    fn budget_gates_spending() {
+        let p = RetryPolicy::verified(3).with_budget(2);
+        assert!(p.allows(0));
+        assert!(p.allows(1));
+        assert!(!p.allows(2));
+        assert!(RetryPolicy::verified(3).allows(u64::MAX - 1));
+    }
+}

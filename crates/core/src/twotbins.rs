@@ -9,8 +9,9 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy;
+use crate::engine::run_with_policy_retry;
 use crate::querier::ThresholdQuerier;
+use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// The 2tBins algorithm (Algorithm 1 in the paper) with random bin
@@ -23,14 +24,17 @@ impl ThresholdQuerier for TwoTBins {
         "2tBins"
     }
 
-    fn run(
+    fn run_with_retry(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
+        retry: RetryPolicy,
     ) -> QueryReport {
-        run_with_policy(nodes, t, channel, rng, |session, _| 2 * session.threshold())
+        run_with_policy_retry(nodes, t, channel, rng, retry, |session, _| {
+            2 * session.threshold()
+        })
     }
 }
 

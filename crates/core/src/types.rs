@@ -114,6 +114,9 @@ pub struct RoundTrace {
     pub eliminated: usize,
     /// Positives identified by capture this round.
     pub captured: usize,
+    /// Extra queries spent by the verified-silence retry layer this round
+    /// (silent-bin re-queries, or pool checks for a verification round).
+    pub retries: usize,
     /// Candidate-set size after the round.
     pub remaining: usize,
 }
@@ -123,10 +126,14 @@ pub struct RoundTrace {
 pub struct QueryReport {
     /// The verdict: `true` iff the algorithm concluded `x >= t`.
     pub answer: bool,
-    /// Total group queries issued (the paper's cost metric).
+    /// Total group queries issued (the paper's cost metric). Includes
+    /// `retry_queries`.
     pub queries: u64,
     /// Number of (possibly partial) rounds executed.
     pub rounds: u32,
+    /// Queries spent by the verified-silence retry layer (a subset of
+    /// `queries`): silent-bin re-queries plus final pool confirmations.
+    pub retry_queries: u64,
     /// Positives identified by name (2+ captures).
     pub confirmed_positives: usize,
     /// Per-round execution trace.
@@ -141,9 +148,40 @@ impl QueryReport {
             answer,
             queries: 0,
             rounds: 0,
+            retry_queries: 0,
             confirmed_positives: 0,
             trace: Vec::new(),
         }
+    }
+
+    /// Asserts the report's internal accounting invariants; the shared
+    /// helper behind the round/trace consistency regressions:
+    ///
+    /// * `rounds` equals the number of trace entries;
+    /// * `queries` equals the trace's first-pass queries plus its retry
+    ///   queries (nothing is double- or under-counted);
+    /// * `retry_queries` equals the trace's retry total;
+    /// * `confirmed_positives` equals the trace's capture total.
+    #[track_caller]
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.rounds as usize,
+            self.trace.len(),
+            "rounds != trace length"
+        );
+        let first_pass: u64 = self.trace.iter().map(|r| r.queried_bins as u64).sum();
+        let retries: u64 = self.trace.iter().map(|r| r.retries as u64).sum();
+        assert_eq!(
+            self.queries,
+            first_pass + retries,
+            "queries != first-pass + retries"
+        );
+        assert_eq!(self.retry_queries, retries, "retry counter != trace total");
+        let captured: usize = self.trace.iter().map(|r| r.captured).sum();
+        assert_eq!(
+            self.confirmed_positives, captured,
+            "confirmed != trace captures"
+        );
     }
 }
 

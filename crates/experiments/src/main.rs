@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use tcast_experiments::chart::render_chart;
 use tcast_experiments::extensions::{counting, energy, interference, monitoring};
 use tcast_experiments::figures::{
-    fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
+    fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, loss,
 };
 use tcast_experiments::{Figure, SweepSpec, Table};
 use tcast_motes::TestbedConfig;
@@ -225,6 +225,11 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             &fig11::build(opts.n.unwrap_or(128), 4.0, 100_000, opts.seed),
             opts,
         ),
+        "loss" => {
+            let (error, overhead) = loss::build(opts.spec());
+            emit_figure(&error, opts);
+            emit_figure(&overhead, opts);
+        }
         "interference" => {
             let sweep = interference::InterferenceSweep {
                 queries_per_cell: if opts.fast { 150 } else { 400 },
@@ -322,6 +327,7 @@ commands:
   fig10        repeats needed for 95% success
   fig11        bimodal x distribution histograms
   all          every figure above
+  loss         wrong verdicts & overhead vs reply loss, retries 0/1/2
   interference backcast vs pollcast under foreign traffic (extension)
   counting     exact counting (countcast) vs threshold querying (extension)
   monitoring   warm-started epoch monitoring (extension)

@@ -5,11 +5,13 @@
 //! worker, in any order — therefore produces bit-identical results, which
 //! is what lets the service promise determinism at any pool size.
 
+use std::time::Duration;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use tcast::{
-    population, Abns, ChannelSpec, ExpIncrease, OracleBins, ProbAbns, QueryReport,
+    population, Abns, ChannelSpec, ExpIncrease, OracleBins, ProbAbns, QueryReport, RetryPolicy,
     ThresholdQuerier, TwoTBins,
 };
 use tcast_stats::Summary;
@@ -86,25 +88,74 @@ impl AlgorithmSpec {
 pub struct QueryJob {
     /// Algorithm to run.
     pub algorithm: AlgorithmSpec,
-    /// Channel to run it on (carries population, truth, and channel seeds).
+    /// Channel to run it on (carries population, truth, and channel seeds,
+    /// plus the verified-silence [`RetryPolicy`] sessions run with).
     pub channel: ChannelSpec,
     /// Threshold `t`.
     pub t: usize,
     /// Seed for the algorithm's own random draws (bin assignments etc.).
     pub session_seed: u64,
+    /// Service-level deadline measured from submission. A job still
+    /// unstarted (or whose queue wait already exceeded the deadline) when
+    /// a worker picks it up completes with
+    /// [`JobError::DeadlineExceeded`] instead of running.
+    pub deadline: Option<Duration>,
+    /// Cap on the retry queries this job's session may spend, combined
+    /// (as a minimum) with the channel policy's own budget.
+    pub retry_budget: Option<u64>,
 }
 
 impl QueryJob {
+    /// A job with no deadline and no extra retry budget.
+    pub fn new(
+        algorithm: AlgorithmSpec,
+        channel: ChannelSpec,
+        t: usize,
+        session_seed: u64,
+    ) -> Self {
+        Self {
+            algorithm,
+            channel,
+            t,
+            session_seed,
+            deadline: None,
+            retry_budget: None,
+        }
+    }
+
+    /// Returns the job with a submission-relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the job with a retry-query budget.
+    pub fn with_retry_budget(mut self, budget: u64) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
+    /// The effective retry policy: the channel's, tightened by the job's
+    /// own budget when one is set.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        let mut policy = self.channel.retry;
+        if let Some(b) = self.retry_budget {
+            policy.budget = Some(policy.budget.map_or(b, |pb| pb.min(b)));
+        }
+        policy
+    }
+
     /// Executes the session; fully determined by the job's fields.
     pub fn execute(&self) -> QueryReport {
         let (mut channel, truth) = self.channel.build_with_truth();
         let algorithm = self.algorithm.build(truth);
         let mut rng = SmallRng::seed_from_u64(self.session_seed);
-        algorithm.run(
+        algorithm.run_with_retry(
             &population(self.channel.n),
             self.t,
             channel.as_mut(),
             &mut rng,
+            self.retry_policy(),
         )
     }
 }
@@ -132,12 +183,16 @@ pub enum JobError {
     /// The job's code panicked on the worker; the payload's message is
     /// preserved. Other jobs in the batch are unaffected.
     Panicked(String),
+    /// The job's deadline expired before a worker could start it; the
+    /// session was never run.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::DeadlineExceeded => f.write_str("job deadline exceeded before execution"),
         }
     }
 }
@@ -156,12 +211,12 @@ mod tests {
     fn every_algorithm_answers_correctly_on_ideal_channels() {
         for (x, t) in [(0usize, 8usize), (7, 8), (8, 8), (30, 8), (64, 8)] {
             for alg in AlgorithmSpec::ALL {
-                let job = QueryJob {
-                    algorithm: alg,
-                    channel: ChannelSpec::ideal(64, x, CollisionModel::OnePlus).seeded(1, 2),
+                let job = QueryJob::new(
+                    alg,
+                    ChannelSpec::ideal(64, x, CollisionModel::OnePlus).seeded(1, 2),
                     t,
-                    session_seed: 3,
-                };
+                    3,
+                );
                 let report = job.execute();
                 assert_eq!(report.answer, x >= t, "{} wrong on x={x} t={t}", alg.name());
             }
@@ -170,13 +225,41 @@ mod tests {
 
     #[test]
     fn execution_is_a_pure_function_of_the_spec() {
-        let job = QueryJob {
-            algorithm: AlgorithmSpec::AbnsP02T,
-            channel: ChannelSpec::ideal(128, 20, CollisionModel::two_plus_default()).seeded(5, 6),
-            t: 16,
-            session_seed: 7,
-        };
+        let job = QueryJob::new(
+            AlgorithmSpec::AbnsP02T,
+            ChannelSpec::ideal(128, 20, CollisionModel::two_plus_default()).seeded(5, 6),
+            16,
+            7,
+        );
         assert_eq!(job.execute(), job.execute());
+    }
+
+    #[test]
+    fn retry_budget_tightens_the_channel_policy() {
+        use tcast::LossConfig;
+        let spec = ChannelSpec::lossy(32, 8, CollisionModel::OnePlus, LossConfig::default())
+            .with_retry(RetryPolicy::verified(2).with_budget(100));
+        let job = QueryJob::new(AlgorithmSpec::TwoTBins, spec, 8, 1).with_retry_budget(10);
+        assert_eq!(job.retry_policy().budget, Some(10), "min of 100 and 10");
+        assert_eq!(job.retry_policy().max_retries, 2);
+        let unbudgeted = QueryJob::new(AlgorithmSpec::TwoTBins, spec, 8, 1);
+        assert_eq!(unbudgeted.retry_policy().budget, Some(100));
+    }
+
+    #[test]
+    fn retry_policy_spends_retry_queries_under_loss() {
+        use tcast::LossConfig;
+        // A certain-loss channel forces retries on every bin.
+        let loss = LossConfig {
+            reply_miss_prob: 1.0,
+            false_activity_prob: 0.0,
+        };
+        let spec = ChannelSpec::lossy(16, 16, CollisionModel::OnePlus, loss)
+            .seeded(1, 2)
+            .with_retry(RetryPolicy::verified(1));
+        let report = QueryJob::new(AlgorithmSpec::TwoTBins, spec, 4, 3).execute();
+        assert!(report.retry_queries > 0);
+        report.assert_consistent();
     }
 
     #[test]

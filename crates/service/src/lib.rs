@@ -21,9 +21,15 @@
 //! * **Per-job isolation.** A panicking session becomes
 //!   [`JobError::Panicked`] in its own result slot; the worker and the
 //!   rest of the batch continue.
-//! * **Built-in metrics.** Per-algorithm jobs/queries/rounds/verdict
-//!   counters and latency & query-count histograms, dumpable as CSV or
-//!   markdown via [`MetricsSnapshot`].
+//! * **Deadlines and retry budgets.** A job may carry a
+//!   submission-relative deadline ([`QueryJob::with_deadline`]); one that
+//!   expires in the queue completes as [`JobError::DeadlineExceeded`]
+//!   without running. [`QueryJob::with_retry_budget`] caps the
+//!   verified-silence retries a lossy-channel session may spend.
+//! * **Built-in metrics.** Per-algorithm jobs/queries/retries/rounds/
+//!   verdict/deadline counters and latency, query-count, and
+//!   retry-overhead histograms, dumpable as CSV or markdown via
+//!   [`MetricsSnapshot`].
 //! * **Graceful shutdown.** [`QueryService::shutdown`] drains every
 //!   queued job before joining the workers.
 //!

@@ -26,11 +26,19 @@ const LATENCY_BINS: usize = 50;
 const QUERIES_HI: f64 = 2048.0;
 const QUERIES_BINS: usize = 64;
 
+/// Retry-overhead histogram range: `[0, 256)` retry queries in 32 bins
+/// of 8. Sessions run with `RetryPolicy::none()` all land in the first
+/// bin, so the histogram doubles as a "did retries happen at all" check.
+const RETRIES_HI: f64 = 256.0;
+const RETRIES_BINS: usize = 32;
+
 #[derive(Default)]
 struct Counters {
     jobs: AtomicU64,
     panics: AtomicU64,
+    deadline_exceeded: AtomicU64,
     queries: AtomicU64,
+    retries: AtomicU64,
     rounds: AtomicU64,
     verdict_yes: AtomicU64,
     verdict_no: AtomicU64,
@@ -39,8 +47,10 @@ struct Counters {
 struct Distributions {
     latency_us: Summary,
     latency_hist: Histogram,
+    failed_latency_us: Summary,
     query_summary: Summary,
     query_hist: Histogram,
+    retry_hist: Histogram,
 }
 
 impl Default for Distributions {
@@ -48,8 +58,10 @@ impl Default for Distributions {
         Self {
             latency_us: Summary::new(),
             latency_hist: Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS),
+            failed_latency_us: Summary::new(),
             query_summary: Summary::new(),
             query_hist: Histogram::new(0.0, QUERIES_HI, QUERIES_BINS),
+            retry_hist: Histogram::new(0.0, RETRIES_HI, RETRIES_BINS),
         }
     }
 }
@@ -82,15 +94,24 @@ impl MetricsRegistry {
     }
 
     /// Records one finished job under `label`.
+    ///
+    /// Failed jobs (panics, expired deadlines) never touch the success
+    /// latency summary or histogram: a panic aborts mid-session and an
+    /// expired job never ran, so folding their wall-clock into the
+    /// success distribution would skew every derived latency statistic.
+    /// Their timings are kept apart in `failed_latency_us`.
     pub(crate) fn record(&self, label: &str, result: &JobResult, elapsed: Duration) {
         let entry = self.entry(label);
         let c = &entry.counters;
         c.jobs.fetch_add(1, Ordering::Relaxed);
         let micros = elapsed.as_secs_f64() * 1e6;
         let mut queries = None;
+        let mut retries = None;
+        let mut failed = false;
         match result {
             Ok(JobOutput::Report(report)) => {
                 c.queries.fetch_add(report.queries, Ordering::Relaxed);
+                c.retries.fetch_add(report.retry_queries, Ordering::Relaxed);
                 c.rounds
                     .fetch_add(u64::from(report.rounds), Ordering::Relaxed);
                 if report.answer {
@@ -99,18 +120,31 @@ impl MetricsRegistry {
                     c.verdict_no.fetch_add(1, Ordering::Relaxed);
                 }
                 queries = Some(report.queries as f64);
+                retries = Some(report.retry_queries as f64);
             }
             Ok(_) => {}
             Err(JobError::Panicked(_)) => {
                 c.panics.fetch_add(1, Ordering::Relaxed);
+                failed = true;
+            }
+            Err(JobError::DeadlineExceeded) => {
+                c.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                failed = true;
             }
         }
         let mut d = entry.dists.lock();
-        d.latency_us.record(micros);
-        d.latency_hist.record(micros);
+        if failed {
+            d.failed_latency_us.record(micros);
+        } else {
+            d.latency_us.record(micros);
+            d.latency_hist.record(micros);
+        }
         if let Some(q) = queries {
             d.query_summary.record(q);
             d.query_hist.record(q);
+        }
+        if let Some(r) = retries {
+            d.retry_hist.record(r);
         }
     }
 
@@ -125,14 +159,18 @@ impl MetricsRegistry {
                     label: label.clone(),
                     jobs: e.counters.jobs.load(Ordering::Relaxed),
                     panics: e.counters.panics.load(Ordering::Relaxed),
+                    deadline_exceeded: e.counters.deadline_exceeded.load(Ordering::Relaxed),
                     queries: e.counters.queries.load(Ordering::Relaxed),
+                    retries: e.counters.retries.load(Ordering::Relaxed),
                     rounds: e.counters.rounds.load(Ordering::Relaxed),
                     verdict_yes: e.counters.verdict_yes.load(Ordering::Relaxed),
                     verdict_no: e.counters.verdict_no.load(Ordering::Relaxed),
                     latency_us: d.latency_us,
                     latency_hist: d.latency_hist.clone(),
+                    failed_latency_us: d.failed_latency_us,
                     query_summary: d.query_summary,
                     query_hist: d.query_hist.clone(),
+                    retry_hist: d.retry_hist.clone(),
                 }
             })
             .collect();
@@ -145,26 +183,36 @@ impl MetricsRegistry {
 pub struct MetricsRow {
     /// Metrics label (algorithm name or custom task label).
     pub label: String,
-    /// Jobs finished (including panicked ones).
+    /// Jobs finished (including panicked and deadline-expired ones).
     pub jobs: u64,
     /// Jobs that panicked.
     pub panics: u64,
-    /// Total group queries across all sessions.
+    /// Jobs whose deadline expired before a worker could run them.
+    pub deadline_exceeded: u64,
+    /// Total group queries across all sessions (retries included).
     pub queries: u64,
+    /// Total verified-silence retry queries across all sessions.
+    pub retries: u64,
     /// Total rounds across all sessions.
     pub rounds: u64,
     /// Sessions that answered `x >= t`.
     pub verdict_yes: u64,
     /// Sessions that answered `x < t`.
     pub verdict_no: u64,
-    /// Wall-clock latency per job, in microseconds.
+    /// Wall-clock latency per successful job, in microseconds.
     pub latency_us: Summary,
-    /// Latency distribution, 2ms bins over `[0, 100ms)`.
+    /// Successful-job latency distribution, 2ms bins over `[0, 100ms)`.
     pub latency_hist: Histogram,
+    /// Wall-clock latency of failed jobs (panicked or deadline-expired),
+    /// kept apart so failures never skew the success latency statistics.
+    pub failed_latency_us: Summary,
     /// Per-session query counts.
     pub query_summary: Summary,
     /// Query-count distribution, 32-query bins over `[0, 2048)`.
     pub query_hist: Histogram,
+    /// Retry-overhead distribution: per-session retry queries, 8-query
+    /// bins over `[0, 256)`.
+    pub retry_hist: Histogram,
 }
 
 /// Point-in-time dump of the whole registry, one row per label.
@@ -178,14 +226,18 @@ impl MetricsSnapshot {
     /// CSV dump: one header line, one row per label.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "label,jobs,panics,queries,rounds,verdict_yes,verdict_no,\
-             mean_latency_us,max_latency_us,mean_queries_per_job\n",
+            "label,jobs,panics,deadline_exceeded,queries,retries,rounds,\
+             verdict_yes,verdict_no,mean_latency_us,max_latency_us,\
+             mean_queries_per_job,mean_retries_per_job\n",
         );
         for r in &self.rows {
-            let mean_q = if r.query_summary.count() > 0 {
-                r.query_summary.mean()
+            let (mean_q, mean_retries) = if r.query_summary.count() > 0 {
+                (
+                    r.query_summary.mean(),
+                    r.retries as f64 / r.query_summary.count() as f64,
+                )
             } else {
-                0.0
+                (0.0, 0.0)
             };
             let (mean_l, max_l) = if r.latency_us.count() > 0 {
                 (r.latency_us.mean(), r.latency_us.max())
@@ -193,17 +245,20 @@ impl MetricsSnapshot {
                 (0.0, 0.0)
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{:.1},{:.1},{:.2}\n",
+                "{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.2},{:.2}\n",
                 r.label,
                 r.jobs,
                 r.panics,
+                r.deadline_exceeded,
                 r.queries,
+                r.retries,
                 r.rounds,
                 r.verdict_yes,
                 r.verdict_no,
                 mean_l,
                 max_l,
                 mean_q,
+                mean_retries,
             ));
         }
         out
@@ -212,10 +267,10 @@ impl MetricsSnapshot {
     /// Markdown table dump.
     pub fn to_markdown(&self) -> String {
         let mut out = String::from(
-            "| label | jobs | panics | queries | rounds | yes | no | \
-             latency (µs) | queries/job |\n\
-             |-------|-----:|-------:|--------:|-------:|----:|---:|\
-             -------------:|------------:|\n",
+            "| label | jobs | panics | deadline | queries | retries | rounds \
+             | yes | no | latency (µs) | queries/job |\n\
+             |-------|-----:|-------:|---------:|--------:|--------:|-------:\
+             |----:|---:|-------------:|------------:|\n",
         );
         for r in &self.rows {
             let lat = if r.latency_us.count() > 0 {
@@ -229,11 +284,13 @@ impl MetricsSnapshot {
                 "-".into()
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 r.label,
                 r.jobs,
                 r.panics,
+                r.deadline_exceeded,
                 r.queries,
+                r.retries,
                 r.rounds,
                 r.verdict_yes,
                 r.verdict_no,
@@ -251,10 +308,20 @@ mod tests {
     use tcast::QueryReport;
 
     fn report(answer: bool, queries: u64, rounds: u32) -> JobResult {
+        report_with_retries(answer, queries, rounds, 0)
+    }
+
+    fn report_with_retries(
+        answer: bool,
+        queries: u64,
+        rounds: u32,
+        retry_queries: u64,
+    ) -> JobResult {
         Ok(JobOutput::Report(QueryReport {
             answer,
             queries,
             rounds,
+            retry_queries,
             confirmed_positives: 0,
             trace: Vec::new(),
         }))
@@ -281,6 +348,9 @@ mod tests {
 
     #[test]
     fn panics_count_but_skip_query_stats() {
+        // Regression: a panicked job's wall-clock used to be folded into
+        // the success latency summary, skewing mean/max latency for the
+        // label. Failed timings now live in `failed_latency_us` only.
         let m = MetricsRegistry::new();
         m.record(
             "x",
@@ -291,7 +361,85 @@ mod tests {
         let r = &snap.rows[0];
         assert_eq!((r.jobs, r.panics, r.queries), (1, 1, 0));
         assert_eq!(r.query_summary.count(), 0);
-        assert_eq!(r.latency_us.count(), 1, "latency still recorded");
+        assert_eq!(r.latency_us.count(), 0, "failures skip success latency");
+        assert_eq!(r.latency_hist.total(), 0);
+        assert_eq!(r.failed_latency_us.count(), 1);
+    }
+
+    #[test]
+    fn failed_latency_never_skews_success_summary() {
+        let m = MetricsRegistry::new();
+        m.record("x", &report(true, 4, 1), Duration::from_micros(100));
+        m.record(
+            "x",
+            &Err(JobError::Panicked("boom".into())),
+            Duration::from_micros(1_000_000),
+        );
+        m.record(
+            "x",
+            &Err(JobError::DeadlineExceeded),
+            Duration::from_micros(500_000),
+        );
+        let r = &m.snapshot().rows[0];
+        assert_eq!((r.jobs, r.panics, r.deadline_exceeded), (3, 1, 1));
+        assert_eq!(r.latency_us.count(), 1);
+        assert!((r.latency_us.mean() - 100.0).abs() < 1.0, "successes only");
+        assert_eq!(r.failed_latency_us.count(), 2);
+        assert!(r.failed_latency_us.max() >= 1_000_000.0);
+    }
+
+    #[test]
+    fn deadline_exceeded_counts_separately_from_panics() {
+        let m = MetricsRegistry::new();
+        m.record("x", &Err(JobError::DeadlineExceeded), Duration::ZERO);
+        m.record("x", &Err(JobError::DeadlineExceeded), Duration::ZERO);
+        let r = &m.snapshot().rows[0];
+        assert_eq!((r.jobs, r.panics, r.deadline_exceeded), (2, 0, 2));
+    }
+
+    #[test]
+    fn retries_accumulate_and_fill_the_retry_histogram() {
+        let m = MetricsRegistry::new();
+        m.record("x", &report_with_retries(true, 30, 2, 5), Duration::ZERO);
+        m.record("x", &report_with_retries(false, 12, 1, 0), Duration::ZERO);
+        let r = &m.snapshot().rows[0];
+        assert_eq!(r.retries, 5);
+        assert_eq!(r.retry_hist.total(), 2);
+    }
+
+    #[test]
+    fn csv_columns_are_stable() {
+        // Snapshot of the CSV schema: downstream tooling parses these
+        // column names, so any change here must be deliberate.
+        let m = MetricsRegistry::new();
+        m.record(
+            "x",
+            &report_with_retries(true, 40, 2, 4),
+            Duration::from_micros(100),
+        );
+        m.record(
+            "x",
+            &report_with_retries(false, 10, 1, 0),
+            Duration::from_micros(300),
+        );
+        m.record(
+            "x",
+            &Err(JobError::DeadlineExceeded),
+            Duration::from_micros(10),
+        );
+        let csv = m.snapshot().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "label,jobs,panics,deadline_exceeded,queries,retries,rounds,\
+             verdict_yes,verdict_no,mean_latency_us,max_latency_us,\
+             mean_queries_per_job,mean_retries_per_job"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "x,3,0,1,50,4,3,1,1,200.0,300.0,25.00,2.00"
+        );
+        assert!(lines.next().is_none());
     }
 
     #[test]

@@ -97,6 +97,10 @@ struct WorkUnit {
     /// Next unclaimed slot; claimed with `fetch_add`, so workers steal
     /// jobs from the same unit without coordination.
     next: AtomicUsize,
+    /// When the batch was handed to `submit`. Job deadlines are measured
+    /// from here, so time spent waiting for admission or parked in the
+    /// queue counts against them.
+    submitted_at: Instant,
     results: Mutex<ResultSet>,
     done: Condvar,
 }
@@ -107,6 +111,7 @@ impl WorkUnit {
         Arc::new(Self {
             slots: payloads.into_iter().map(|p| Mutex::new(Some(p))).collect(),
             next: AtomicUsize::new(0),
+            submitted_at: Instant::now(),
             results: Mutex::new(ResultSet {
                 slots: (0..n).map(|_| None).collect(),
                 completed: 0,
@@ -216,11 +221,13 @@ impl JobHandle {
 ///
 /// let service = QueryService::new(ServiceConfig::with_workers(2));
 /// let jobs: Vec<QueryJob> = (0..8)
-///     .map(|i| QueryJob {
-///         algorithm: AlgorithmSpec::TwoTBins,
-///         channel: ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i, i + 1),
-///         t: 8,
-///         session_seed: i,
+///     .map(|i| {
+///         QueryJob::new(
+///             AlgorithmSpec::TwoTBins,
+///             ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i, i + 1),
+///             8,
+///             i,
+///         )
 ///     })
 ///     .collect();
 /// let results = service.submit(jobs).unwrap().wait();
@@ -431,8 +438,20 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
     let (label, result) = match payload {
         Payload::Query(job) => {
             let label = job.algorithm.name().to_string();
-            let outcome = catch_unwind(AssertUnwindSafe(|| job.execute()));
-            (label, outcome.map(JobOutput::Report).map_err(to_job_error))
+            let expired = job
+                .deadline
+                .is_some_and(|d| unit.submitted_at.elapsed() > d);
+            let result = if expired {
+                // The session never runs: an answer that arrives after the
+                // deadline is worthless to the caller, so don't spend
+                // worker time producing one.
+                Err(JobError::DeadlineExceeded)
+            } else {
+                catch_unwind(AssertUnwindSafe(|| job.execute()))
+                    .map(JobOutput::Report)
+                    .map_err(to_job_error)
+            };
+            (label, result)
         }
         Payload::Custom { label, task } => {
             let outcome = catch_unwind(AssertUnwindSafe(task));
@@ -462,12 +481,12 @@ mod tests {
     use tcast::{ChannelSpec, CollisionModel};
 
     fn job(i: u64) -> QueryJob {
-        QueryJob {
-            algorithm: AlgorithmSpec::TwoTBins,
-            channel: ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i, i ^ 1),
-            t: 8,
-            session_seed: i,
-        }
+        QueryJob::new(
+            AlgorithmSpec::TwoTBins,
+            ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i, i ^ 1),
+            8,
+            i,
+        )
     }
 
     fn reports(results: Vec<JobResult>) -> Vec<tcast::QueryReport> {
@@ -583,16 +602,99 @@ mod tests {
     }
 
     #[test]
+    fn zero_deadline_job_expires_without_running() {
+        // A zero deadline is already expired by the time any worker claims
+        // the job — deterministic however fast the pool is.
+        let service = QueryService::new(ServiceConfig::with_workers(2));
+        let expired = job(1).with_deadline(std::time::Duration::ZERO);
+        let healthy = job(2);
+        let results = service.submit(vec![expired, healthy]).unwrap().wait();
+        assert!(
+            matches!(results[0], Err(JobError::DeadlineExceeded)),
+            "got {:?}",
+            results[0]
+        );
+        assert!(matches!(results[1], Ok(JobOutput::Report(_))));
+        let snap = service.metrics();
+        let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
+        assert_eq!((row.jobs, row.deadline_exceeded, row.panics), (2, 1, 0));
+        // The expired job never ran, so only the healthy one left latency
+        // and query samples.
+        assert_eq!(row.latency_us.count(), 1);
+        assert_eq!(row.query_summary.count(), 1);
+        assert_eq!(row.failed_latency_us.count(), 1);
+    }
+
+    #[test]
+    fn generous_deadline_job_runs_normally() {
+        let service = QueryService::new(ServiceConfig::with_workers(2));
+        let j = job(7).with_deadline(std::time::Duration::from_secs(3600));
+        let want = j.execute();
+        let got = reports(service.submit(vec![j]).unwrap().wait());
+        assert_eq!(got, vec![want]);
+    }
+
+    #[test]
+    fn queue_wait_counts_against_the_deadline() {
+        // Wedge the only worker, let a deadlined job age in the queue past
+        // its deadline, then release the worker: the job must expire even
+        // though the worker was free the moment it claimed it.
+        let service = QueryService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let gate: Box<dyn FnOnce() -> JobOutput + Send> = Box::new(move || {
+            rx.recv().ok();
+            JobOutput::Value(0.0)
+        });
+        let gate_batch = service.submit_tasks("gate", vec![gate]).unwrap();
+        let deadlined = service
+            .submit(vec![
+                job(3).with_deadline(std::time::Duration::from_millis(5))
+            ])
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(()).unwrap();
+        gate_batch.wait();
+        let results = deadlined.wait();
+        assert!(
+            matches!(results[0], Err(JobError::DeadlineExceeded)),
+            "got {:?}",
+            results[0]
+        );
+    }
+
+    #[test]
+    fn lossy_retry_jobs_surface_retry_metrics() {
+        use tcast::{LossConfig, RetryPolicy};
+        let loss = LossConfig {
+            reply_miss_prob: 1.0,
+            false_activity_prob: 0.0,
+        };
+        let spec = ChannelSpec::lossy(16, 16, CollisionModel::OnePlus, loss)
+            .seeded(1, 2)
+            .with_retry(RetryPolicy::verified(1));
+        let jobs = vec![QueryJob::new(AlgorithmSpec::TwoTBins, spec, 4, 3)];
+        let service = QueryService::new(ServiceConfig::with_workers(2));
+        service.submit(jobs).unwrap().wait();
+        let snap = service.metrics();
+        let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
+        assert!(row.retries > 0, "certain loss must force retries");
+        assert_eq!(row.retry_hist.total(), 1);
+    }
+
+    #[test]
     fn metrics_report_per_algorithm_activity() {
         let service = QueryService::new(ServiceConfig::with_workers(4));
         let mut jobs = Vec::new();
         for (i, alg) in AlgorithmSpec::ALL.iter().enumerate() {
-            jobs.push(QueryJob {
-                algorithm: *alg,
-                channel: ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i as u64, 99),
-                t: 8,
-                session_seed: i as u64,
-            });
+            jobs.push(QueryJob::new(
+                *alg,
+                ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(i as u64, 99),
+                8,
+                i as u64,
+            ));
         }
         service.submit(jobs).unwrap().wait();
         let snap = service.metrics();

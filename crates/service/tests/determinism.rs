@@ -22,13 +22,13 @@ fn full_coverage_batch(n: usize, x: usize, t: usize, base_seed: u64) -> Vec<Quer
     for (mi, model) in MODELS.into_iter().enumerate() {
         for (ai, algorithm) in AlgorithmSpec::ALL.into_iter().enumerate() {
             let k = (mi * AlgorithmSpec::ALL.len() + ai) as u64;
-            jobs.push(QueryJob {
+            jobs.push(QueryJob::new(
                 algorithm,
-                channel: ChannelSpec::ideal(n, x, model)
+                ChannelSpec::ideal(n, x, model)
                     .seeded(base_seed ^ (k << 8), base_seed.wrapping_add(k)),
                 t,
-                session_seed: base_seed.rotate_left(k as u32),
-            });
+                base_seed.rotate_left(k as u32),
+            ));
         }
     }
     jobs

@@ -28,15 +28,15 @@ fn station_traffic(algorithm: AlgorithmSpec, station: u64) -> Vec<QueryJob> {
     (0..SESSIONS_PER_ALGORITHM)
         .map(|i| {
             let x = (i * 5) % (3 * T);
-            QueryJob {
+            QueryJob::new(
                 algorithm,
-                channel: ChannelSpec::ideal(N, x, models[i % models.len()]).seeded(
+                ChannelSpec::ideal(N, x, models[i % models.len()]).seeded(
                     station << 32 | i as u64,
                     station ^ (i as u64).rotate_left(13),
                 ),
-                t: T,
-                session_seed: 0xA076_1D64_78BD_642F ^ (station << 24) ^ i as u64,
-            }
+                T,
+                0xA076_1D64_78BD_642F ^ (station << 24) ^ i as u64,
+            )
         })
         .collect()
 }

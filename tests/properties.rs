@@ -330,6 +330,84 @@ proptest! {
         prop_assert_eq!(monitor.epochs(), xs.len() as u64);
     }
 
+    /// The lossy channel's fault counters match a ground-truth recount of
+    /// the query log: a false negative is exactly a final `Silent` on a
+    /// group with >= 1 positive, a false positive exactly a final
+    /// `Activity` on a group with none.
+    #[test]
+    fn lossy_fault_counters_match_ground_truth_recount(
+        n in 1usize..32,
+        x_frac in 0.0f64..=1.0,
+        miss in 0.0f64..=1.0,
+        false_activity in 0.0f64..=1.0,
+        seed in any::<u64>(),
+        queries in 1usize..80,
+    ) {
+        use tcast::{random_positive_set, GroupQueryChannel, LossConfig, LossyChannel, Observation};
+        let x = ((n as f64) * x_frac).round() as usize;
+        let loss = LossConfig {
+            reply_miss_prob: miss,
+            false_activity_prob: false_activity,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ch = LossyChannel::new(n, CollisionModel::OnePlus, loss, seed ^ 0x517c_c1b7);
+        let positives = random_positive_set(n, x, &mut rng);
+        ch.set_positives(&positives);
+
+        let nodes = population(n);
+        let (mut expect_fn, mut expect_fp) = (0u64, 0u64);
+        for _ in 0..queries {
+            use rand::Rng;
+            let members: Vec<_> = nodes
+                .iter()
+                .copied()
+                .filter(|_| rng.random_bool(0.5))
+                .collect();
+            let truly_positive = members.iter().any(|id| ch.is_positive(*id));
+            match ch.query(&members) {
+                Observation::Silent if truly_positive => expect_fn += 1,
+                Observation::Activity if !truly_positive => expect_fp += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(ch.false_negative_groups(), expect_fn);
+        prop_assert_eq!(ch.false_positive_groups(), expect_fp);
+    }
+
+    /// Retry accounting invariants hold for every algorithm on lossy
+    /// channels at any retry count (rounds == trace length, queries ==
+    /// first queries + retries, etc. — see `QueryReport::assert_consistent`).
+    #[test]
+    fn retry_accounting_is_consistent_on_lossy_channels(
+        n in 1usize..48,
+        x_frac in 0.0f64..=1.0,
+        t in 0usize..24,
+        retries in 0u32..3,
+        miss in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        use tcast::{ChannelSpec, LossConfig, RetryPolicy};
+        let x = ((n as f64) * x_frac).round() as usize;
+        let loss = LossConfig {
+            reply_miss_prob: miss,
+            false_activity_prob: 0.0,
+        };
+        let spec = ChannelSpec::lossy(n, x, CollisionModel::OnePlus, loss)
+            .seeded(seed, seed ^ 0xDEAD_BEEF);
+        for alg in all_algorithms() {
+            let (mut ch, _) = spec.build_with_truth();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let report = alg.run_with_retry(
+                &population(n),
+                t,
+                ch.as_mut(),
+                &mut rng,
+                RetryPolicy::verified(retries),
+            );
+            report.assert_consistent();
+        }
+    }
+
     /// Determinism: the same seed reproduces the same session exactly.
     #[test]
     fn sessions_are_deterministic(
