@@ -47,6 +47,7 @@
 pub mod abns;
 pub mod baselines;
 pub mod channel;
+pub mod codec;
 pub mod counting;
 pub mod engine;
 pub mod exp_increase;
@@ -65,6 +66,7 @@ pub use abns::{Abns, InitialEstimate};
 pub use channel::{
     random_positive_set, ChannelSpec, GroupQueryChannel, IdealChannel, LossConfig, LossyChannel,
 };
+pub use codec::{DecodeError, WireDecode, WireEncode};
 pub use counting::{count_positives, CountReport};
 pub use engine::{RoundOutcome, RoundStats, Session};
 pub use exp_increase::{ExpIncrease, GrowthVariant};

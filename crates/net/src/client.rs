@@ -1,0 +1,584 @@
+//! `NetClient` — a pooled, pipelined client for [`NetServer`].
+//!
+//! The client mirrors the in-process `Service` submit/wait shape: a
+//! [`NetClient::submit`] call returns a [`NetBatch`] of
+//! [`NetJobHandle`]s immediately, with every job already on the wire.
+//! Many jobs ride one connection concurrently; a background reader
+//! thread matches responses to handles by request id, so responses may
+//! arrive in any order.
+//!
+//! `Busy` error frames (admission backpressure) are retried
+//! transparently with linear backoff up to a configurable budget; a
+//! dead connection is re-dialed once per submit before the affected
+//! handles fail with [`NetError::ConnectionLost`].
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
+
+use tcast::QueryReport;
+use tcast_service::{JobError, QueryJob};
+
+use crate::frame::{
+    write_frame, ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
+};
+
+/// Tuning knobs for [`NetClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetClientConfig {
+    /// Number of TCP connections to spread submitted jobs across.
+    pub pool_size: usize,
+    /// How many times a `Busy` rejection is retried before the handle
+    /// resolves to [`NetError::Busy`].
+    pub busy_retries: u32,
+    /// Base backoff between `Busy` retries; the k-th retry sleeps
+    /// `k * busy_backoff`.
+    pub busy_backoff: Duration,
+    /// Deadline for connect + version negotiation on each connection.
+    pub handshake_timeout: Duration,
+    /// Frames whose payload exceeds this are rejected as malformed.
+    pub max_frame_payload: u32,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        Self {
+            pool_size: 1,
+            busy_retries: 16,
+            busy_backoff: Duration::from_millis(2),
+            handshake_timeout: Duration::from_secs(5),
+            max_frame_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// What a remote job resolved to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// The job ran remotely and failed (panic or deadline).
+    Job(JobError),
+    /// The server rejected the job as busy and the retry budget ran out.
+    Busy,
+    /// The server is draining and refused the job.
+    ServerShutdown,
+    /// The connection died before a response arrived.
+    ConnectionLost(String),
+    /// The peer violated the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Job(e) => write!(f, "remote job failed: {e}"),
+            Self::Busy => write!(f, "server busy: retry budget exhausted"),
+            Self::ServerShutdown => write!(f, "server is shutting down"),
+            Self::ConnectionLost(detail) => write!(f, "connection lost: {detail}"),
+            Self::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result of one remote job.
+pub type NetJobResult = Result<QueryReport, NetError>;
+
+/// One-shot slot a reader thread resolves and a waiter blocks on.
+///
+/// Built on `std::sync` rather than `parking_lot` because the waiter
+/// needs a timed condvar wait.
+struct Slot {
+    state: StdMutex<Option<NetJobResult>>,
+    cv: StdCondvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: StdMutex::new(None),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<NetJobResult>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn resolve(&self, result: NetJobResult) {
+        let mut state = self.lock();
+        if state.is_none() {
+            *state = Some(result);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> NetJobResult {
+        let mut state = self.lock();
+        while state.is_none() {
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state.clone().expect("slot resolved")
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<NetJobResult> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.lock();
+        while state.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+        }
+        state.clone()
+    }
+}
+
+/// A handle to one in-flight remote job.
+#[must_use = "a network job handle does nothing unless waited on"]
+pub struct NetJobHandle {
+    slot: Arc<Slot>,
+}
+
+impl NetJobHandle {
+    /// Blocks until the response frame arrives (or the connection dies).
+    pub fn wait(self) -> NetJobResult {
+        self.slot.wait()
+    }
+
+    /// Blocks up to `timeout`; returns `None` if no response arrived in
+    /// time (the handle is consumed — the response, if it later arrives,
+    /// is dropped).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<NetJobResult> {
+        self.slot.wait_timeout(timeout)
+    }
+}
+
+/// A batch of in-flight remote jobs, in submission order.
+#[must_use = "a network batch does nothing unless waited on"]
+pub struct NetBatch {
+    handles: Vec<NetJobHandle>,
+}
+
+impl NetBatch {
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the batch carries no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Consumes the batch into per-job handles, in submission order.
+    pub fn handles(self) -> Vec<NetJobHandle> {
+        self.handles
+    }
+
+    /// Blocks until every response arrived; results in submission order.
+    pub fn wait(self) -> Vec<NetJobResult> {
+        self.handles.into_iter().map(NetJobHandle::wait).collect()
+    }
+}
+
+/// A pending request: the slot to resolve plus everything needed to
+/// resend the job after a `Busy` rejection.
+struct Pending {
+    slot: Arc<Slot>,
+    job: QueryJob,
+    busy_retries_left: u32,
+    busy_attempt: u32,
+}
+
+/// Shared state of one pooled connection.
+struct Conn {
+    addr: SocketAddr,
+    config: NetClientConfig,
+    /// Write half; `None` while the connection is down.
+    write: Mutex<Option<TcpStream>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    dead: AtomicBool,
+    closing: AtomicBool,
+    /// Highest request id seen in a response, for the out-of-order stat.
+    last_arrived: AtomicU64,
+    out_of_order: AtomicU64,
+    busy_resends: AtomicU64,
+}
+
+impl Conn {
+    fn dial(addr: SocketAddr, config: NetClientConfig) -> Result<Arc<Self>, NetError> {
+        let conn = Arc::new(Self {
+            addr,
+            config,
+            write: Mutex::new(None),
+            pending: Mutex::new(HashMap::new()),
+            reader: Mutex::new(None),
+            dead: AtomicBool::new(true),
+            closing: AtomicBool::new(false),
+            last_arrived: AtomicU64::new(0),
+            out_of_order: AtomicU64::new(0),
+            busy_resends: AtomicU64::new(0),
+        });
+        conn.reconnect()?;
+        Ok(conn)
+    }
+
+    /// (Re-)establishes the TCP connection and negotiates the protocol
+    /// version, replacing the reader thread.
+    fn reconnect(self: &Arc<Self>) -> Result<(), NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.handshake_timeout)
+            .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(self.config.handshake_timeout))
+            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+
+        let mut handshake = stream
+            .try_clone()
+            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+        write_frame(
+            &mut handshake,
+            &Frame::Hello {
+                min_version: PROTOCOL_V1,
+                max_version: PROTOCOL_V1,
+            },
+        )
+        .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
+
+        let mut reader = FrameReader::new();
+        match reader.read_from(&mut handshake, self.config.max_frame_payload) {
+            Ok(None) => {
+                return Err(NetError::ConnectionLost("handshake timed out".into()));
+            }
+            Ok(Some((Frame::HelloAck { version }, _))) => {
+                if version != PROTOCOL_V1 {
+                    return Err(NetError::Protocol(format!(
+                        "server acknowledged unsupported version {version}"
+                    )));
+                }
+            }
+            Ok(Some((Frame::Error { code, detail, .. }, _))) => {
+                return Err(NetError::Protocol(format!(
+                    "handshake rejected ({code:?}): {detail}"
+                )));
+            }
+            Ok(Some((other, _))) => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected handshake frame: {other:?}"
+                )));
+            }
+            Err(e) => {
+                return Err(NetError::ConnectionLost(format!("handshake failed: {e}")));
+            }
+        }
+
+        // Switch to a short poll timeout so the reader can notice
+        // `closing` while idle without losing partial frames.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+        *self.write.lock() = Some(
+            stream
+                .try_clone()
+                .map_err(|e| NetError::ConnectionLost(e.to_string()))?,
+        );
+        self.dead.store(false, Ordering::SeqCst);
+
+        let conn = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("tcast-net-client-reader".into())
+            .spawn(move || conn.read_loop(stream, reader))
+            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+        if let Some(old) = self.reader.lock().replace(handle) {
+            // The previous reader has already exited (it died with the old
+            // socket); reap it.
+            let _ = old.join();
+        }
+        Ok(())
+    }
+
+    fn send(&self, frame: &Frame) -> Result<(), NetError> {
+        let mut guard = self.write.lock();
+        let stream = guard
+            .as_mut()
+            .ok_or_else(|| NetError::ConnectionLost("connection is down".into()))?;
+        match write_frame(stream, frame).and_then(|_| stream.flush()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                *guard = None;
+                self.dead.store(true, Ordering::SeqCst);
+                Err(NetError::ConnectionLost(format!("write failed: {e}")))
+            }
+        }
+    }
+
+    fn register(&self, request_id: u64, job: QueryJob) -> Arc<Slot> {
+        let slot = Slot::new();
+        self.pending.lock().insert(
+            request_id,
+            Pending {
+                slot: slot.clone(),
+                job,
+                busy_retries_left: self.config.busy_retries,
+                busy_attempt: 0,
+            },
+        );
+        slot
+    }
+
+    fn read_loop(self: Arc<Self>, mut stream: TcpStream, mut reader: FrameReader) {
+        let reason = loop {
+            if self.closing.load(Ordering::SeqCst) && self.pending.lock().is_empty() {
+                break None;
+            }
+            match reader.read_from(&mut stream, self.config.max_frame_payload) {
+                Ok(None) => continue,
+                Ok(Some((frame, _))) => match frame {
+                    Frame::JobOk { request_id, report } => {
+                        self.track_arrival(request_id);
+                        self.take_pending(request_id, |p| p.slot.resolve(Ok(report)));
+                    }
+                    Frame::JobFailed { request_id, error } => {
+                        self.track_arrival(request_id);
+                        self.take_pending(request_id, |p| {
+                            p.slot.resolve(Err(NetError::Job(error)));
+                        });
+                    }
+                    Frame::Error {
+                        request_id,
+                        code: ErrorCode::Busy,
+                        ..
+                    } => {
+                        self.track_arrival(request_id);
+                        self.handle_busy(request_id);
+                    }
+                    Frame::Error {
+                        request_id,
+                        code: ErrorCode::ShuttingDown,
+                        ..
+                    } => {
+                        self.track_arrival(request_id);
+                        self.take_pending(request_id, |p| {
+                            p.slot.resolve(Err(NetError::ServerShutdown));
+                        });
+                    }
+                    Frame::Error {
+                        request_id,
+                        code,
+                        detail,
+                    } => {
+                        if request_id == 0 {
+                            // Connection-scoped error: everything in flight
+                            // is lost.
+                            break Some(NetError::Protocol(format!("{code:?}: {detail}")));
+                        }
+                        self.take_pending(request_id, |p| {
+                            p.slot
+                                .resolve(Err(NetError::Protocol(format!("{code:?}: {detail}"))));
+                        });
+                    }
+                    Frame::Goodbye => break None,
+                    other => {
+                        break Some(NetError::Protocol(format!(
+                            "unexpected server frame: {other:?}"
+                        )));
+                    }
+                },
+                Err(FrameReadError::Malformed(m)) => {
+                    break Some(NetError::Protocol(m.to_string()));
+                }
+                Err(FrameReadError::Io(e)) => {
+                    break Some(NetError::ConnectionLost(e.to_string()));
+                }
+            }
+        };
+        self.dead.store(true, Ordering::SeqCst);
+        *self.write.lock() = None;
+        let error = reason.unwrap_or_else(|| NetError::ConnectionLost("connection closed".into()));
+        let drained: Vec<Pending> = self.pending.lock().drain().map(|(_, p)| p).collect();
+        for p in drained {
+            p.slot.resolve(Err(error.clone()));
+        }
+    }
+
+    fn track_arrival(&self, request_id: u64) {
+        let prev = self.last_arrived.fetch_max(request_id, Ordering::AcqRel);
+        if request_id < prev {
+            self.out_of_order.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn take_pending(&self, request_id: u64, f: impl FnOnce(Pending)) {
+        if let Some(p) = self.pending.lock().remove(&request_id) {
+            f(p);
+        }
+    }
+
+    /// Resends a `Busy`-rejected job after a linear backoff, off-thread
+    /// so the reader keeps draining responses meanwhile.
+    fn handle_busy(self: &Arc<Self>, request_id: u64) {
+        let resend = {
+            let mut pending = self.pending.lock();
+            match pending.get_mut(&request_id) {
+                None => return,
+                Some(p) if p.busy_retries_left == 0 => {
+                    let p = pending.remove(&request_id).expect("entry present");
+                    p.slot.resolve(Err(NetError::Busy));
+                    return;
+                }
+                Some(p) => {
+                    p.busy_retries_left -= 1;
+                    p.busy_attempt += 1;
+                    (p.job, p.busy_attempt)
+                }
+            }
+        };
+        self.busy_resends.fetch_add(1, Ordering::Relaxed);
+        let (job, attempt) = resend;
+        let conn = self.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(conn.config.busy_backoff * attempt);
+            let frame = Frame::Submit { request_id, job };
+            if let Err(e) = conn.send(&frame) {
+                conn.take_pending(request_id, |p| p.slot.resolve(Err(e)));
+            }
+        });
+    }
+
+    fn close(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        let _ = self.send(&Frame::Goodbye);
+        // Half-close so the server sees EOF after our Goodbye; the reader
+        // exits on the server's Goodbye (or the poll tick + empty pending).
+        if let Some(stream) = self.write.lock().take() {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        let handle = self.reader.lock().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pooled, pipelined TCP client for a [`crate::NetServer`].
+///
+/// Cloneable via `Arc` by callers; all methods take `&self`.
+pub struct NetClient {
+    conns: Vec<Arc<Conn>>,
+    next_conn: AtomicUsize,
+    next_request_id: AtomicU64,
+}
+
+impl NetClient {
+    /// Connects `config.pool_size` connections to `addr` and negotiates
+    /// the protocol version on each.
+    pub fn connect(addr: impl ToSocketAddrs, config: NetClientConfig) -> Result<Self, NetError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| NetError::ConnectionLost(format!("address resolution failed: {e}")))?
+            .next()
+            .ok_or_else(|| NetError::ConnectionLost("address resolved to nothing".into()))?;
+        let pool_size = config.pool_size.max(1);
+        let mut conns = Vec::with_capacity(pool_size);
+        for _ in 0..pool_size {
+            conns.push(Conn::dial(addr, config)?);
+        }
+        Ok(Self {
+            conns,
+            next_conn: AtomicUsize::new(0),
+            next_request_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Submits `jobs` across the pool, pipelined: every job is written
+    /// to the wire before this returns, and responses resolve the
+    /// returned handles as they arrive — in any order.
+    ///
+    /// A dead connection is re-dialed once; jobs whose connection cannot
+    /// be revived resolve to [`NetError::ConnectionLost`] rather than
+    /// failing the whole batch.
+    pub fn submit(&self, jobs: Vec<QueryJob>) -> NetBatch {
+        let mut handles = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+            let conn =
+                &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
+            if conn.dead.load(Ordering::SeqCst) {
+                if let Err(e) = conn.reconnect() {
+                    let slot = Slot::new();
+                    slot.resolve(Err(e));
+                    handles.push(NetJobHandle { slot });
+                    continue;
+                }
+            }
+            let slot = conn.register(request_id, job);
+            if let Err(e) = conn.send(&Frame::Submit { request_id, job }) {
+                conn.take_pending(request_id, |p| p.slot.resolve(Err(e)));
+            }
+            handles.push(NetJobHandle { slot });
+        }
+        NetBatch { handles }
+    }
+
+    /// Convenience: submit one job and return its handle.
+    pub fn submit_one(&self, job: QueryJob) -> NetJobHandle {
+        self.submit(vec![job])
+            .handles()
+            .pop()
+            .expect("one handle per job")
+    }
+
+    /// Total responses that arrived with a lower request id than an
+    /// earlier response on the same connection — direct evidence of
+    /// out-of-order pipelined completion.
+    pub fn out_of_order_responses(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| c.out_of_order.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total `Busy` rejections that were transparently resent.
+    pub fn busy_resends(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| c.busy_resends.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Says `Goodbye` on every connection and joins the reader threads.
+    pub fn close(self) {
+        for conn in &self.conns {
+            conn.close();
+        }
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        for conn in &self.conns {
+            if !conn.closing.load(Ordering::SeqCst) {
+                conn.close();
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) over frame bytes.
+//!
+//! Hand-rolled so the wire layer stays dependency-free: a 256-entry
+//! lookup table built at compile time from the reversed polynomial
+//! `0xEDB88320`, processed byte-at-a-time. Matches the ubiquitous
+//! zlib/Ethernet CRC-32, so captures of the protocol check out against
+//! standard tooling.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = crc32(b"tcast frame payload");
+        let mut bytes = b"tcast frame payload".to_vec();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[i] ^= 1 << bit;
+                assert_ne!(crc32(&bytes), base, "flip at byte {i} bit {bit}");
+                bytes[i] ^= 1 << bit;
+            }
+        }
+    }
+}

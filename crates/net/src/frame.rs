@@ -1,0 +1,687 @@
+//! The versioned, CRC-checked binary wire protocol.
+//!
+//! Every frame is laid out as:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "TCQW" (0x54 0x43 0x51 0x57)
+//! 4       1     frame type
+//! 5       1     protocol version (1; ignored on Hello, see below)
+//! 6       8     request id, u64 LE (0 when not request-scoped)
+//! 14      4     payload length, u32 LE
+//! 18      len   payload (type-specific, see `codec` in tcast core)
+//! 18+len  4     CRC-32 (IEEE) over bytes 0..18+len, u32 LE
+//! ```
+//!
+//! Integers are little-endian throughout; `f64`s travel as IEEE-754 bits,
+//! so payloads round-trip bit-identically. The CRC covers header *and*
+//! payload: a flipped bit anywhere in the frame is rejected before any
+//! payload field is interpreted.
+//!
+//! ## Version negotiation
+//!
+//! A connection opens with the client's [`Frame::Hello`] carrying the
+//! inclusive `[min_version, max_version]` range it speaks. The server
+//! answers [`Frame::HelloAck`] with the highest version both sides
+//! support, or an [`ErrorCode::UnsupportedVersion`] error frame and
+//! closes. The header's version byte is checked on every subsequent
+//! frame but deliberately *ignored on Hello*, so a future client can
+//! still open negotiation with a server that only speaks version 1.
+//!
+//! ## Request scoping
+//!
+//! `Submit`, `JobOk`, `JobFailed`, and request-level `Error` frames carry
+//! the client-chosen request id; responses may arrive in any order and
+//! are matched by that id (pipelining). Connection-level frames (`Hello`,
+//! `HelloAck`, `Goodbye`, connection `Error`s) use id 0.
+
+use std::io::{self, Read, Write};
+
+use tcast::codec::{put_option, put_u32, put_u64, put_usize, Reader, WireDecode, WireEncode};
+use tcast::ChannelSpec;
+use tcast::QueryReport;
+use tcast_service::{AlgorithmSpec, JobError, QueryJob};
+
+use crate::crc::crc32;
+
+/// Frame magic: "TCQW" (Threshold-Cast Query Wire).
+pub const MAGIC: [u8; 4] = *b"TCQW";
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_V1: u8 = 1;
+
+/// Fixed header size in bytes (magic + type + version + request id + length).
+pub const HEADER_LEN: usize = 18;
+
+/// CRC trailer size in bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// Default cap on payload size; a length prefix beyond this is treated as
+/// corruption (or abuse) rather than an allocation request.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+
+mod frame_type {
+    pub const HELLO: u8 = 0x01;
+    pub const HELLO_ACK: u8 = 0x02;
+    pub const SUBMIT: u8 = 0x03;
+    pub const JOB_OK: u8 = 0x04;
+    pub const JOB_FAILED: u8 = 0x05;
+    pub const ERROR: u8 = 0x06;
+    pub const GOODBYE: u8 = 0x07;
+}
+
+/// Typed error frame codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission rejected: the service queue or the connection's in-flight
+    /// window is full. The request may be retried.
+    Busy,
+    /// The peer sent a frame that failed CRC or payload decoding. The
+    /// sender of this error closes the connection afterwards (framing is
+    /// no longer trustworthy).
+    Malformed,
+    /// No overlap between the peers' protocol version ranges.
+    UnsupportedVersion,
+    /// The server is draining and accepts no new requests.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_wire_tag(self) -> u8 {
+        match self {
+            ErrorCode::Busy => 1,
+            ErrorCode::Malformed => 2,
+            ErrorCode::UnsupportedVersion => 3,
+            ErrorCode::ShuttingDown => 4,
+        }
+    }
+
+    fn from_wire_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            1 => ErrorCode::Busy,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::UnsupportedVersion,
+            4 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Malformed => "malformed frame",
+            ErrorCode::UnsupportedVersion => "unsupported protocol version",
+            ErrorCode::ShuttingDown => "server shutting down",
+        })
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: opens version negotiation with the inclusive
+    /// range of protocol versions the client speaks.
+    Hello {
+        /// Lowest version the client accepts.
+        min_version: u8,
+        /// Highest version the client accepts.
+        max_version: u8,
+    },
+    /// Server → client: negotiation result — the version both sides will
+    /// speak for the rest of the connection.
+    HelloAck {
+        /// The agreed protocol version.
+        version: u8,
+    },
+    /// Client → server: run one query job.
+    Submit {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+        /// The job to run, complete with channel spec and seeds.
+        job: QueryJob,
+    },
+    /// Server → client: the job finished with a report.
+    JobOk {
+        /// Id of the `Submit` this answers.
+        request_id: u64,
+        /// The session report, bit-identical to an in-process run.
+        report: QueryReport,
+    },
+    /// Server → client: the job ran but failed (panic, expired deadline).
+    JobFailed {
+        /// Id of the `Submit` this answers.
+        request_id: u64,
+        /// Why the job failed.
+        error: JobError,
+    },
+    /// Typed error. With a non-zero `request_id` it answers one `Submit`
+    /// (e.g. [`ErrorCode::Busy`]); with id 0 it describes the connection.
+    Error {
+        /// Scoping id (0 = connection-level).
+        request_id: u64,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail, possibly empty.
+        detail: String,
+    },
+    /// Orderly close: the sender will write nothing further.
+    Goodbye,
+}
+
+/// Why a fully-received frame was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MalformedFrame {
+    /// The first four bytes were not the protocol magic.
+    BadMagic([u8; 4]),
+    /// The CRC trailer did not match the header + payload bytes.
+    BadCrc {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried in the trailer.
+        received: u32,
+    },
+    /// The header named a protocol version this build does not speak
+    /// (on a non-Hello frame).
+    Version(u8),
+    /// The header named an unknown frame type.
+    UnknownType(u8),
+    /// The payload length exceeded the configured cap.
+    Oversized {
+        /// Length the header claimed.
+        len: u32,
+        /// Cap in force.
+        max: u32,
+    },
+    /// The payload failed to decode for this frame type.
+    Payload(String),
+}
+
+impl std::fmt::Display for MalformedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MalformedFrame::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            MalformedFrame::BadCrc { computed, received } => {
+                write!(
+                    f,
+                    "CRC mismatch: computed {computed:#010x}, received {received:#010x}"
+                )
+            }
+            MalformedFrame::Version(v) => write!(f, "unsupported protocol version {v}"),
+            MalformedFrame::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            MalformedFrame::Oversized { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            MalformedFrame::Payload(what) => write!(f, "payload decode failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MalformedFrame {}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => frame_type::HELLO,
+            Frame::HelloAck { .. } => frame_type::HELLO_ACK,
+            Frame::Submit { .. } => frame_type::SUBMIT,
+            Frame::JobOk { .. } => frame_type::JOB_OK,
+            Frame::JobFailed { .. } => frame_type::JOB_FAILED,
+            Frame::Error { .. } => frame_type::ERROR,
+            Frame::Goodbye => frame_type::GOODBYE,
+        }
+    }
+
+    /// The request id this frame is scoped to (0 = connection-level).
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Frame::Submit { request_id, .. }
+            | Frame::JobOk { request_id, .. }
+            | Frame::JobFailed { request_id, .. }
+            | Frame::Error { request_id, .. } => *request_id,
+            Frame::Hello { .. } | Frame::HelloAck { .. } | Frame::Goodbye => 0,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello {
+                min_version,
+                max_version,
+            } => {
+                out.push(*min_version);
+                out.push(*max_version);
+            }
+            Frame::HelloAck { version } => out.push(*version),
+            Frame::Submit { job, .. } => encode_job(job, out),
+            Frame::JobOk { report, .. } => report.encode(out),
+            Frame::JobFailed { error, .. } => match error {
+                JobError::Panicked(msg) => {
+                    out.push(1);
+                    msg.encode(out);
+                }
+                JobError::DeadlineExceeded => out.push(2),
+            },
+            Frame::Error { code, detail, .. } => {
+                out.push(code.to_wire_tag());
+                detail.encode(out);
+            }
+            Frame::Goodbye => {}
+        }
+    }
+
+    /// Serializes the frame to its full wire representation (header,
+    /// payload, CRC trailer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes, which no legal
+    /// frame can reach.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 64);
+        out.extend_from_slice(&MAGIC);
+        out.push(self.type_byte());
+        out.push(PROTOCOL_V1);
+        put_u64(&mut out, self.request_id());
+        put_u32(&mut out, 0); // payload length backpatched below
+        self.encode_payload(&mut out);
+        let payload_len = out.len() - HEADER_LEN;
+        let len32 = u32::try_from(payload_len).expect("payload exceeds u32::MAX");
+        out[14..18].copy_from_slice(&len32.to_le_bytes());
+        let crc = crc32(&out[..HEADER_LEN + payload_len]);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Parses one complete frame (header + payload + CRC) from `bytes`.
+    pub fn from_bytes(bytes: &[u8], max_payload: u32) -> Result<Frame, MalformedFrame> {
+        let malformed = |what: &str| MalformedFrame::Payload(what.to_string());
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(malformed("frame shorter than header + trailer"));
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+        if magic != MAGIC {
+            return Err(MalformedFrame::BadMagic(magic));
+        }
+        let frame_type = bytes[4];
+        let version = bytes[5];
+        let request_id = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[14..18].try_into().unwrap());
+        if len > max_payload {
+            return Err(MalformedFrame::Oversized {
+                len,
+                max: max_payload,
+            });
+        }
+        if bytes.len() != HEADER_LEN + len as usize + TRAILER_LEN {
+            return Err(malformed("frame length disagrees with header"));
+        }
+        let body_end = HEADER_LEN + len as usize;
+        let received = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+        let computed = crc32(&bytes[..body_end]);
+        if received != computed {
+            return Err(MalformedFrame::BadCrc { computed, received });
+        }
+        if frame_type != frame_type::HELLO && version != PROTOCOL_V1 {
+            return Err(MalformedFrame::Version(version));
+        }
+        let mut r = Reader::new(&bytes[HEADER_LEN..body_end]);
+        let frame = match frame_type {
+            frame_type::HELLO => Frame::Hello {
+                min_version: r.u8().map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+                max_version: r.u8().map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+            },
+            frame_type::HELLO_ACK => Frame::HelloAck {
+                version: r.u8().map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+            },
+            frame_type::SUBMIT => Frame::Submit {
+                request_id,
+                job: decode_job(&mut r).map_err(MalformedFrame::Payload)?,
+            },
+            frame_type::JOB_OK => Frame::JobOk {
+                request_id,
+                report: QueryReport::decode(&mut r)
+                    .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+            },
+            frame_type::JOB_FAILED => {
+                let error = match r.u8().map_err(|e| MalformedFrame::Payload(e.to_string()))? {
+                    1 => JobError::Panicked(
+                        String::decode(&mut r)
+                            .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+                    ),
+                    2 => JobError::DeadlineExceeded,
+                    tag => return Err(malformed(&format!("job error tag {tag}"))),
+                };
+                Frame::JobFailed { request_id, error }
+            }
+            frame_type::ERROR => {
+                let tag = r.u8().map_err(|e| MalformedFrame::Payload(e.to_string()))?;
+                let code = ErrorCode::from_wire_tag(tag)
+                    .ok_or_else(|| malformed(&format!("error code tag {tag}")))?;
+                Frame::Error {
+                    request_id,
+                    code,
+                    detail: String::decode(&mut r)
+                        .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+                }
+            }
+            frame_type::GOODBYE => Frame::Goodbye,
+            other => return Err(MalformedFrame::UnknownType(other)),
+        };
+        r.finish()
+            .map_err(|e| MalformedFrame::Payload(e.to_string()))?;
+        Ok(frame)
+    }
+}
+
+fn encode_job(job: &QueryJob, out: &mut Vec<u8>) {
+    let algorithm = AlgorithmSpec::ALL
+        .iter()
+        .position(|a| *a == job.algorithm)
+        .expect("algorithm registered in AlgorithmSpec::ALL") as u8;
+    out.push(algorithm);
+    job.channel.encode(out);
+    put_usize(out, job.t);
+    put_u64(out, job.session_seed);
+    put_option(out, &job.deadline, |out, d| {
+        put_u64(out, d.as_nanos() as u64)
+    });
+    put_option(out, &job.retry_budget, |out, b| put_u64(out, *b));
+}
+
+fn decode_job(r: &mut Reader<'_>) -> Result<QueryJob, String> {
+    let tag = r.u8().map_err(|e| e.to_string())?;
+    let algorithm = *AlgorithmSpec::ALL
+        .get(tag as usize)
+        .ok_or_else(|| format!("algorithm tag {tag}"))?;
+    let channel = ChannelSpec::decode(r).map_err(|e| e.to_string())?;
+    let t = r.usize().map_err(|e| e.to_string())?;
+    let session_seed = r.u64().map_err(|e| e.to_string())?;
+    let deadline = r
+        .option(|r| r.u64().map(std::time::Duration::from_nanos))
+        .map_err(|e| e.to_string())?;
+    let retry_budget = r.option(|r| r.u64()).map_err(|e| e.to_string())?;
+    let mut job = QueryJob::new(algorithm, channel, t, session_seed);
+    job.deadline = deadline;
+    job.retry_budget = retry_budget;
+    Ok(job)
+}
+
+/// Writes `frame` to `w` and returns the number of wire bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+    let bytes = frame.to_bytes();
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Why reading a frame from a stream failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The underlying transport failed (includes clean EOF as
+    /// `UnexpectedEof`).
+    Io(io::Error),
+    /// The bytes arrived but did not form a valid frame. The stream can
+    /// no longer be trusted to be frame-aligned.
+    Malformed(MalformedFrame),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "transport error: {e}"),
+            FrameReadError::Malformed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+/// Incremental frame reader that survives read timeouts.
+///
+/// Socket read timeouts implement idle detection, but a timeout can fire
+/// with a frame half-received; naive `read_exact` would drop the partial
+/// bytes and desynchronize the stream. This reader keeps the partial
+/// frame across calls: [`FrameReader::read_from`] returns `Ok(None)` on a
+/// timeout and resumes exactly where it left off next call.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Total frame size once the header is complete.
+    target: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pulls bytes from `r` until a full frame is assembled, the read
+    /// times out, or the transport fails.
+    ///
+    /// Returns `Ok(Some((frame, wire_bytes)))` on a complete frame,
+    /// `Ok(None)` when the read timed out mid-wait (idle tick; partial
+    /// state is retained), and `Err` on transport failure or a malformed
+    /// frame.
+    pub fn read_from(
+        &mut self,
+        r: &mut impl Read,
+        max_payload: u32,
+    ) -> Result<Option<(Frame, usize)>, FrameReadError> {
+        let target = match self.target {
+            Some(t) => t,
+            None => {
+                if self.buf.len() < HEADER_LEN && !self.fill_to(r, HEADER_LEN)? {
+                    return Ok(None);
+                }
+                // Validate the prefix before waiting on the payload, so
+                // garbage is rejected without stalling for bytes that
+                // will never come.
+                let magic: [u8; 4] = self.buf[0..4].try_into().unwrap();
+                if magic != MAGIC {
+                    return Err(FrameReadError::Malformed(MalformedFrame::BadMagic(magic)));
+                }
+                let len = u32::from_le_bytes(self.buf[14..18].try_into().unwrap());
+                if len > max_payload {
+                    return Err(FrameReadError::Malformed(MalformedFrame::Oversized {
+                        len,
+                        max: max_payload,
+                    }));
+                }
+                let t = HEADER_LEN + len as usize + TRAILER_LEN;
+                self.target = Some(t);
+                t
+            }
+        };
+        if self.buf.len() < target && !self.fill_to(r, target)? {
+            return Ok(None);
+        }
+        let frame = Frame::from_bytes(&self.buf[..target], max_payload)
+            .map_err(FrameReadError::Malformed)?;
+        let wire_bytes = target;
+        self.buf.clear();
+        self.target = None;
+        Ok(Some((frame, wire_bytes)))
+    }
+
+    /// Grows the buffer to `target` bytes. Returns `false` on a read
+    /// timeout (partial state kept), errors on EOF or transport failure.
+    fn fill_to(&mut self, r: &mut impl Read, target: usize) -> Result<bool, FrameReadError> {
+        let mut chunk = [0u8; 4096];
+        while self.buf.len() < target {
+            let want = (target - self.buf.len()).min(chunk.len());
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(FrameReadError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    )))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(FrameReadError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use tcast::CollisionModel;
+
+    fn sample_job() -> QueryJob {
+        QueryJob::new(
+            AlgorithmSpec::AbnsP02T,
+            ChannelSpec::ideal(64, 20, CollisionModel::two_plus_default()).seeded(3, 4),
+            8,
+            99,
+        )
+        .with_deadline(std::time::Duration::from_millis(250))
+        .with_retry_budget(12)
+    }
+
+    #[test]
+    fn frames_roundtrip_through_bytes() {
+        let frames = [
+            Frame::Hello {
+                min_version: 1,
+                max_version: 3,
+            },
+            Frame::HelloAck { version: 1 },
+            Frame::Submit {
+                request_id: 42,
+                job: sample_job(),
+            },
+            Frame::JobOk {
+                request_id: 42,
+                report: QueryReport::trivial(true),
+            },
+            Frame::JobFailed {
+                request_id: 7,
+                error: JobError::Panicked("boom".into()),
+            },
+            Frame::Error {
+                request_id: 0,
+                code: ErrorCode::ShuttingDown,
+                detail: "draining".into(),
+            },
+            Frame::Goodbye,
+        ];
+        for frame in frames {
+            let bytes = frame.to_bytes();
+            assert_eq!(
+                Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD).unwrap(),
+                frame,
+                "roundtrip failed"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_reassembles_across_split_reads() {
+        // A reader fed one byte at a time must produce the same frames.
+        struct OneByte<R>(R);
+        impl<R: Read> Read for OneByte<R> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let a = Frame::Submit {
+            request_id: 1,
+            job: sample_job(),
+        };
+        let b = Frame::Goodbye;
+        let mut wire = a.to_bytes();
+        wire.extend_from_slice(&b.to_bytes());
+        let mut reader = FrameReader::new();
+        let mut src = OneByte(Cursor::new(wire));
+        let (got_a, _) = reader
+            .read_from(&mut src, DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        let (got_b, n_b) = reader
+            .read_from(&mut src, DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got_a, a);
+        assert_eq!(got_b, b);
+        assert_eq!(n_b, HEADER_LEN + TRAILER_LEN, "goodbye has no payload");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_before_payload_wait() {
+        let mut bytes = Frame::Goodbye.to_bytes();
+        bytes[0] = b'X';
+        let mut reader = FrameReader::new();
+        let err = reader
+            .read_from(&mut Cursor::new(bytes), DEFAULT_MAX_PAYLOAD)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FrameReadError::Malformed(MalformedFrame::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = Frame::Goodbye.to_bytes();
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new();
+        let err = reader.read_from(&mut Cursor::new(bytes), 1024).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameReadError::Malformed(MalformedFrame::Oversized { max: 1024, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let bytes = Frame::HelloAck { version: 1 }.to_bytes();
+        let mut reader = FrameReader::new();
+        let err = reader
+            .read_from(
+                &mut Cursor::new(&bytes[..bytes.len() - 1]),
+                DEFAULT_MAX_PAYLOAD,
+            )
+            .unwrap_err();
+        assert!(matches!(err, FrameReadError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn version_is_checked_on_all_frames_but_hello() {
+        let mut ack = Frame::HelloAck { version: 1 }.to_bytes();
+        ack[5] = 9; // claim protocol version 9
+        let body_end = ack.len() - TRAILER_LEN;
+        let fixed_crc = crc32(&ack[..body_end]).to_le_bytes();
+        ack[body_end..].copy_from_slice(&fixed_crc);
+        assert_eq!(
+            Frame::from_bytes(&ack, DEFAULT_MAX_PAYLOAD),
+            Err(MalformedFrame::Version(9))
+        );
+
+        let mut hello = Frame::Hello {
+            min_version: 1,
+            max_version: 9,
+        }
+        .to_bytes();
+        hello[5] = 9;
+        let body_end = hello.len() - TRAILER_LEN;
+        let fixed_crc = crc32(&hello[..body_end]).to_le_bytes();
+        hello[body_end..].copy_from_slice(&fixed_crc);
+        assert!(
+            Frame::from_bytes(&hello, DEFAULT_MAX_PAYLOAD).is_ok(),
+            "hello must decode regardless of header version"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! tcast-net: a wire protocol, TCP front-end, and pipelined client for
+//! the query service.
+//!
+//! The crate is std-only blocking I/O — no async runtime, no serde —
+//! and splits into three layers:
+//!
+//! - [`frame`]: the versioned, length-prefixed, CRC-checked binary wire
+//!   protocol. Frames carry [`tcast_service::QueryJob`] specs out and
+//!   [`tcast::QueryReport`] / [`tcast_service::JobError`] payloads back,
+//!   plus typed error frames and the `Hello`/`HelloAck` version
+//!   negotiation pair.
+//! - [`server`]: [`NetServer`], a TCP front-end wrapping a
+//!   [`tcast_service::QueryService`]. Connections pipeline many jobs;
+//!   responses stream back in completion order matched by request id.
+//!   Admission backpressure surfaces as explicit `Busy` error frames,
+//!   and shutdown drains in-flight work before closing.
+//! - [`client`]: [`NetClient`], a pooled, pipelined client whose
+//!   submit/wait API mirrors the in-process `Batch`/`JobHandle` shape.
+//!
+//! Because job execution is fully deterministic (every seed travels in
+//! the job spec), a report computed remotely is bit-identical to one
+//! computed in-process — the loopback integration tests assert exactly
+//! that.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tcast::{ChannelSpec, CollisionModel};
+//! use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
+//! use tcast_net::{NetClient, NetClientConfig, NetServer, NetServerConfig};
+//!
+//! let service = Arc::new(QueryService::new(ServiceConfig::default()));
+//! let server = NetServer::bind("127.0.0.1:0", service, NetServerConfig::default()).unwrap();
+//!
+//! let client = NetClient::connect(server.local_addr(), NetClientConfig::default()).unwrap();
+//! let job = QueryJob::new(
+//!     AlgorithmSpec::TwoTBins,
+//!     ChannelSpec::ideal(256, 40, CollisionModel::OnePlus),
+//!     32,
+//!     7,
+//! );
+//! let report = client.submit_one(job).wait().unwrap();
+//! assert!(report.answer);
+//! client.close();
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod crc;
+pub mod frame;
+pub mod server;
+
+pub use client::{NetBatch, NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult};
+pub use frame::{
+    ErrorCode, Frame, FrameReadError, FrameReader, MalformedFrame, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
+};
+pub use server::{NetServer, NetServerConfig};

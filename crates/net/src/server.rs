@@ -1,0 +1,411 @@
+//! `NetServer` — the TCP front-end wrapping a [`QueryService`].
+//!
+//! One acceptor thread polls the listener; each connection gets a reader
+//! thread (decodes frames, admits jobs) and a writer thread (serializes
+//! responses from an mpsc channel). Responses are produced by completion
+//! watchers running on the service's workers, so a connection can keep
+//! hundreds of jobs in flight with exactly two threads: results stream
+//! back in *completion* order, matched by request id, never by arrival
+//! order.
+//!
+//! Backpressure is explicit: when the service queue or the connection's
+//! in-flight window is full, the request is answered with a
+//! [`ErrorCode::Busy`] error frame instead of buffering unboundedly.
+//! Shutdown drains: the acceptor stops, every connection refuses new
+//! submits with [`ErrorCode::ShuttingDown`], in-flight jobs finish and
+//! their responses are written, then each connection says `Goodbye` and
+//! closes.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tcast_service::{JobError, JobOutput, NetCounters, QueryService, SubmitError};
+
+use crate::frame::{
+    write_frame, ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
+};
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Maximum jobs one connection may have in flight before further
+    /// submits are answered with `Busy`.
+    pub max_inflight_per_conn: usize,
+    /// A connection with no traffic and no in-flight jobs for this long
+    /// is closed with a `Goodbye`.
+    pub idle_timeout: Duration,
+    /// A connection that has not completed version negotiation within
+    /// this window is dropped.
+    pub handshake_timeout: Duration,
+    /// Frames whose payload exceeds this are rejected as malformed.
+    pub max_frame_payload: u32,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight_per_conn: 256,
+            idle_timeout: Duration::from_secs(30),
+            handshake_timeout: Duration::from_secs(5),
+            max_frame_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// How often blocked reads wake up to check shutdown/idle state.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// A TCP front-end serving one [`QueryService`] to remote clients.
+///
+/// Dropping the server performs the same graceful drain as
+/// [`NetServer::shutdown`]. The wrapped service itself is *not* shut
+/// down — it belongs to the caller and may outlive the front-end.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections that submit jobs to `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<QueryService>,
+        config: NetServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("tcast-net-acceptor".into())
+                .spawn(move || accept_loop(&listener, &service, config, &shutdown))?
+        };
+        Ok(Self {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address the server is listening on (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful drain: stop accepting, refuse new submits, finish every
+    /// in-flight job and write its response, then close all connections.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<QueryService>,
+    config: NetServerConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut conn_seq = 0u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let label = format!("net/conn-{conn_seq}");
+                conn_seq += 1;
+                let service = service.clone();
+                let shutdown = shutdown.clone();
+                let handle = std::thread::Builder::new()
+                    .name(label.clone())
+                    .spawn(move || {
+                        let counters = service.metrics_registry().net_counters(&label);
+                        serve_connection(stream, &service, &config, &shutdown, &counters);
+                    })
+                    .expect("spawn connection thread");
+                conns.push(handle);
+                // Reap finished connections so the handle list stays small
+                // on long-lived servers.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Runs version negotiation. Returns `false` when the connection should
+/// be dropped without entering the request loop.
+fn negotiate(
+    reader: &mut FrameReader,
+    stream: &mut TcpStream,
+    tx: &mpsc::Sender<Frame>,
+    config: &NetServerConfig,
+    shutdown: &AtomicBool,
+    counters: &NetCounters,
+) -> bool {
+    let started = Instant::now();
+    loop {
+        if shutdown.load(Ordering::SeqCst) || started.elapsed() > config.handshake_timeout {
+            return false;
+        }
+        match reader.read_from(stream, config.max_frame_payload) {
+            Ok(None) => continue,
+            Ok(Some((
+                Frame::Hello {
+                    min_version,
+                    max_version,
+                },
+                n,
+            ))) => {
+                counters.frame_in(n as u64);
+                if (min_version..=max_version).contains(&PROTOCOL_V1) {
+                    let _ = tx.send(Frame::HelloAck {
+                        version: PROTOCOL_V1,
+                    });
+                    return true;
+                }
+                let _ = tx.send(Frame::Error {
+                    request_id: 0,
+                    code: ErrorCode::UnsupportedVersion,
+                    detail: format!(
+                        "server speaks only version {PROTOCOL_V1}, client offered \
+                         {min_version}..={max_version}"
+                    ),
+                });
+                return false;
+            }
+            Ok(Some((_, n))) => {
+                counters.frame_in(n as u64);
+                counters.decode_error();
+                let _ = tx.send(Frame::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    detail: "expected Hello as the first frame".into(),
+                });
+                return false;
+            }
+            Err(FrameReadError::Malformed(m)) => {
+                counters.decode_error();
+                let _ = tx.send(Frame::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    detail: m.to_string(),
+                });
+                return false;
+            }
+            Err(FrameReadError::Io(_)) => return false,
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &Arc<QueryService>,
+    config: &NetServerConfig,
+    shutdown: &AtomicBool,
+    counters: &Arc<NetCounters>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+
+    // Writer thread: the single place that touches the socket's write
+    // half. Reader and completion watchers all funnel frames through it.
+    let (tx, rx) = mpsc::channel::<Frame>();
+    let writer = {
+        let Ok(mut wstream) = stream.try_clone() else {
+            return;
+        };
+        let counters = counters.clone();
+        std::thread::Builder::new()
+            .name("tcast-net-writer".into())
+            .spawn(move || {
+                for frame in rx {
+                    match write_frame(&mut wstream, &frame) {
+                        Ok(n) => counters.frame_out(n as u64),
+                        Err(_) => break,
+                    }
+                }
+                let _ = wstream.shutdown(Shutdown::Write);
+            })
+            .expect("spawn writer thread")
+    };
+
+    let mut reader = FrameReader::new();
+    if negotiate(&mut reader, &mut stream, &tx, config, shutdown, counters) {
+        request_loop(
+            &mut reader,
+            &mut stream,
+            &tx,
+            service,
+            config,
+            shutdown,
+            counters,
+        );
+    }
+
+    // Dropping our sender ends the writer once every in-flight watcher's
+    // clone is gone too, i.e. after the last response is written.
+    drop(tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn request_loop(
+    reader: &mut FrameReader,
+    stream: &mut TcpStream,
+    tx: &mpsc::Sender<Frame>,
+    service: &Arc<QueryService>,
+    config: &NetServerConfig,
+    shutdown: &AtomicBool,
+    counters: &Arc<NetCounters>,
+) {
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let mut last_activity = Instant::now();
+    let mut peer_done = false;
+
+    loop {
+        let draining = shutdown.load(Ordering::SeqCst);
+        match reader.read_from(stream, config.max_frame_payload) {
+            Ok(None) => {
+                let quiet = inflight.load(Ordering::Acquire) == 0;
+                if quiet && (draining || peer_done) {
+                    let _ = tx.send(Frame::Goodbye);
+                    return;
+                }
+                if quiet && last_activity.elapsed() >= config.idle_timeout {
+                    let _ = tx.send(Frame::Goodbye);
+                    return;
+                }
+            }
+            Ok(Some((frame, n))) => {
+                counters.frame_in(n as u64);
+                last_activity = Instant::now();
+                match frame {
+                    Frame::Submit { request_id, job } => {
+                        if draining {
+                            let _ = tx.send(shutting_down(request_id));
+                            continue;
+                        }
+                        if inflight.load(Ordering::Acquire) >= config.max_inflight_per_conn {
+                            counters.busy_rejection();
+                            let _ = tx.send(busy(request_id, "connection in-flight window full"));
+                            continue;
+                        }
+                        submit(service, request_id, job, tx, &inflight, counters);
+                    }
+                    Frame::Goodbye => peer_done = true,
+                    _ => {
+                        counters.decode_error();
+                        let _ = tx.send(Frame::Error {
+                            request_id: 0,
+                            code: ErrorCode::Malformed,
+                            detail: "unexpected client frame".into(),
+                        });
+                        return;
+                    }
+                }
+            }
+            Err(FrameReadError::Malformed(m)) => {
+                // Framing is broken: report and close rather than guess at
+                // resynchronization.
+                counters.decode_error();
+                let _ = tx.send(Frame::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    detail: m.to_string(),
+                });
+                return;
+            }
+            Err(FrameReadError::Io(_)) => return,
+        }
+    }
+}
+
+fn submit(
+    service: &Arc<QueryService>,
+    request_id: u64,
+    job: tcast_service::QueryJob,
+    tx: &mpsc::Sender<Frame>,
+    inflight: &Arc<AtomicUsize>,
+    counters: &Arc<NetCounters>,
+) {
+    // Count the job before the pool can complete it; decrement happens in
+    // the watcher after the response frame is queued, so drain never
+    // closes the writer underneath a pending response.
+    inflight.fetch_add(1, Ordering::AcqRel);
+    let watcher = {
+        let tx = tx.clone();
+        let inflight = inflight.clone();
+        Arc::new(move |_index: usize, result: &tcast_service::JobResult| {
+            let frame = match result {
+                Ok(JobOutput::Report(report)) => Frame::JobOk {
+                    request_id,
+                    report: report.clone(),
+                },
+                Ok(other) => Frame::JobFailed {
+                    request_id,
+                    error: JobError::Panicked(format!("non-report job output: {other:?}")),
+                },
+                Err(e) => Frame::JobFailed {
+                    request_id,
+                    error: e.clone(),
+                },
+            };
+            let _ = tx.send(frame);
+            inflight.fetch_sub(1, Ordering::AcqRel);
+        })
+    };
+    match service.try_submit_watched(vec![job], watcher) {
+        Ok(_batch) => {} // responses flow through the watcher
+        Err(SubmitError::QueueFull(_)) => {
+            inflight.fetch_sub(1, Ordering::AcqRel);
+            counters.busy_rejection();
+            let _ = tx.send(busy(request_id, "service admission queue full"));
+        }
+        Err(SubmitError::Closed(_)) => {
+            inflight.fetch_sub(1, Ordering::AcqRel);
+            let _ = tx.send(shutting_down(request_id));
+        }
+    }
+}
+
+fn busy(request_id: u64, detail: &str) -> Frame {
+    Frame::Error {
+        request_id,
+        code: ErrorCode::Busy,
+        detail: detail.into(),
+    }
+}
+
+fn shutting_down(request_id: u64) -> Frame {
+    Frame::Error {
+        request_id,
+        code: ErrorCode::ShuttingDown,
+        detail: String::new(),
+    }
+}

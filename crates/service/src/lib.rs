@@ -42,5 +42,7 @@ mod metrics;
 mod service;
 
 pub use job::{AlgorithmSpec, JobError, JobOutput, JobResult, QueryJob};
-pub use metrics::{MetricsRegistry, MetricsRow, MetricsSnapshot};
-pub use service::{Batch, JobHandle, QueryService, ServiceClosed, ServiceConfig, SubmitError};
+pub use metrics::{MetricsRegistry, MetricsRow, MetricsSnapshot, NetCounters, NetMetricsRow};
+pub use service::{
+    Batch, CompletionWatcher, JobHandle, QueryService, ServiceClosed, ServiceConfig, SubmitError,
+};

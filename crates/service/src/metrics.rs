@@ -72,10 +72,82 @@ struct Entry {
     dists: Mutex<Distributions>,
 }
 
+/// Live connection-level counters for one network peer, registered by the
+/// `tcast-net` front-end so socket activity lands in the same registry —
+/// and the same CSV/markdown dumps — as the per-algorithm job metrics.
+///
+/// All fields are relaxed atomics: transports bump them on the I/O hot
+/// path without locking.
+#[derive(Default)]
+pub struct NetCounters {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    decode_errors: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+impl NetCounters {
+    /// Records one decoded inbound frame of `bytes` total wire bytes.
+    pub fn frame_in(&self, bytes: u64) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one written outbound frame of `bytes` total wire bytes.
+    pub fn frame_out(&self, bytes: u64) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one inbound frame that failed to decode.
+    pub fn decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request rejected with a `Busy` error frame.
+    pub fn busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, label: &str) -> NetMetricsRow {
+        NetMetricsRow {
+            label: label.to_string(),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen connection counters for one label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetMetricsRow {
+    /// Connection label (e.g. `net/conn-0`).
+    pub label: String,
+    /// Frames decoded from the peer.
+    pub frames_in: u64,
+    /// Frames written to the peer.
+    pub frames_out: u64,
+    /// Wire bytes received (decoded frames only).
+    pub bytes_in: u64,
+    /// Wire bytes sent.
+    pub bytes_out: u64,
+    /// Inbound frames that failed CRC or payload decoding.
+    pub decode_errors: u64,
+    /// Requests rejected with a `Busy` error frame (admission backpressure).
+    pub busy_rejections: u64,
+}
+
 /// Per-label service metrics, shared by all workers.
 #[derive(Default)]
 pub struct MetricsRegistry {
     entries: Mutex<BTreeMap<String, Arc<Entry>>>,
+    net: Mutex<BTreeMap<String, Arc<NetCounters>>>,
 }
 
 impl MetricsRegistry {
@@ -148,8 +220,25 @@ impl MetricsRegistry {
         }
     }
 
+    /// Returns (registering on first use) the live connection counters for
+    /// `label`. The returned handle is bumped lock-free by the transport;
+    /// snapshots pick the values up under the same label.
+    pub fn net_counters(&self, label: &str) -> Arc<NetCounters> {
+        let mut net = self.net.lock();
+        if let Some(c) = net.get(label) {
+            return c.clone();
+        }
+        let c = Arc::new(NetCounters::default());
+        net.insert(label.to_string(), c.clone());
+        c
+    }
+
     /// A consistent point-in-time copy of every label's metrics.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let net_rows = {
+            let net = self.net.lock();
+            net.iter().map(|(label, c)| c.snapshot(label)).collect()
+        };
         let entries = self.entries.lock();
         let rows = entries
             .iter()
@@ -174,7 +263,7 @@ impl MetricsRegistry {
                 }
             })
             .collect();
-        MetricsSnapshot { rows }
+        MetricsSnapshot { rows, net_rows }
     }
 }
 
@@ -220,6 +309,10 @@ pub struct MetricsRow {
 pub struct MetricsSnapshot {
     /// Rows ordered by label.
     pub rows: Vec<MetricsRow>,
+    /// Connection-counter rows ordered by label; empty unless a network
+    /// front-end registered connections via
+    /// [`MetricsRegistry::net_counters`].
+    pub net_rows: Vec<NetMetricsRow>,
 }
 
 impl MetricsSnapshot {
@@ -261,6 +354,24 @@ impl MetricsSnapshot {
                 mean_retries,
             ));
         }
+        if !self.net_rows.is_empty() {
+            out.push_str(
+                "\nlabel,frames_in,frames_out,bytes_in,bytes_out,\
+                 decode_errors,busy_rejections\n",
+            );
+            for r in &self.net_rows {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{}\n",
+                    r.label,
+                    r.frames_in,
+                    r.frames_out,
+                    r.bytes_in,
+                    r.bytes_out,
+                    r.decode_errors,
+                    r.busy_rejections,
+                ));
+            }
+        }
         out
     }
 
@@ -297,6 +408,26 @@ impl MetricsSnapshot {
                 lat,
                 qpj,
             ));
+        }
+        if !self.net_rows.is_empty() {
+            out.push_str(
+                "\n| connection | frames in | frames out | bytes in | bytes out \
+                 | decode errs | busy |\n\
+                 |------------|----------:|-----------:|---------:|----------:\
+                 |------------:|-----:|\n",
+            );
+            for r in &self.net_rows {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {} |\n",
+                    r.label,
+                    r.frames_in,
+                    r.frames_out,
+                    r.bytes_in,
+                    r.bytes_out,
+                    r.decode_errors,
+                    r.busy_rejections,
+                ));
+            }
         }
         out
     }
@@ -455,5 +586,42 @@ mod tests {
             assert!(md.contains(label), "markdown missing {label}");
         }
         assert_eq!(csv.lines().count(), 3, "header + 2 rows");
+    }
+
+    #[test]
+    fn net_counters_surface_in_snapshot_and_dumps() {
+        let m = MetricsRegistry::new();
+        let conn = m.net_counters("net/conn-0");
+        conn.frame_in(64);
+        conn.frame_in(128);
+        conn.frame_out(300);
+        conn.decode_error();
+        conn.busy_rejection();
+        // Same label returns the same live handle.
+        m.net_counters("net/conn-0").frame_out(50);
+        let snap = m.snapshot();
+        assert_eq!(snap.net_rows.len(), 1);
+        let r = &snap.net_rows[0];
+        assert_eq!(
+            (r.frames_in, r.frames_out, r.bytes_in, r.bytes_out),
+            (2, 2, 192, 350)
+        );
+        assert_eq!((r.decode_errors, r.busy_rejections), (1, 1));
+        let csv = snap.to_csv();
+        assert!(csv.contains("net/conn-0,2,2,192,350,1,1"), "csv: {csv}");
+        assert!(snap
+            .to_markdown()
+            .contains("| net/conn-0 | 2 | 2 | 192 | 350 | 1 | 1 |"));
+    }
+
+    #[test]
+    fn job_dumps_are_unchanged_without_net_counters() {
+        // The job-metrics CSV schema is snapshot-tested above; a registry
+        // with no registered connections must not grow a net section.
+        let m = MetricsRegistry::new();
+        m.record("x", &report(true, 4, 1), Duration::from_micros(100));
+        let snap = m.snapshot();
+        assert!(snap.net_rows.is_empty());
+        assert_eq!(snap.to_csv().lines().count(), 2, "header + 1 row only");
     }
 }

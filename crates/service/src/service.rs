@@ -47,11 +47,19 @@ impl Default for ServiceConfig {
 
 impl ServiceConfig {
     /// Config with an explicit worker count.
+    #[must_use = "the config does nothing until passed to QueryService::new"]
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers,
             ..Self::default()
         }
+    }
+
+    /// Returns the config with an explicit admission-queue capacity.
+    #[must_use = "builder methods return a new config; the original is unchanged"]
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
     }
 }
 
@@ -76,6 +84,14 @@ pub enum SubmitError {
     /// The service is shutting down; contains the rejected jobs.
     Closed(Vec<QueryJob>),
 }
+
+/// Completion hook invoked on the worker thread as each job of a watched
+/// batch finishes, with the job's index within its batch and its result.
+///
+/// Callbacks run on worker threads and must be cheap and panic-free —
+/// typically handing the result to a channel, as the network front-end
+/// does to stream responses in completion order.
+pub type CompletionWatcher = Arc<dyn Fn(usize, &JobResult) + Send + Sync>;
 
 /// A job ready to execute on a worker.
 enum Payload {
@@ -103,10 +119,12 @@ struct WorkUnit {
     submitted_at: Instant,
     results: Mutex<ResultSet>,
     done: Condvar,
+    /// Completion hook for watched batches; `None` for plain submits.
+    watcher: Option<CompletionWatcher>,
 }
 
 impl WorkUnit {
-    fn new(payloads: Vec<Payload>) -> Arc<Self> {
+    fn new(payloads: Vec<Payload>, watcher: Option<CompletionWatcher>) -> Arc<Self> {
         let n = payloads.len();
         Arc::new(Self {
             slots: payloads.into_iter().map(|p| Mutex::new(Some(p))).collect(),
@@ -117,6 +135,7 @@ impl WorkUnit {
                 completed: 0,
             }),
             done: Condvar::new(),
+            watcher,
         })
     }
 
@@ -154,7 +173,7 @@ struct Inner {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// Handle to one batch of submitted jobs.
@@ -195,6 +214,7 @@ impl Batch {
 }
 
 /// Completion handle for a single job within a batch.
+#[must_use = "a job handle does nothing unless waited on"]
 pub struct JobHandle {
     unit: Arc<WorkUnit>,
     index: usize,
@@ -262,7 +282,7 @@ impl QueryService {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: config.queue_capacity,
-            metrics: MetricsRegistry::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -289,32 +309,83 @@ impl QueryService {
         self.inner.metrics.snapshot()
     }
 
+    /// Shared handle to the live metrics registry, so front-ends (e.g. the
+    /// network layer) can fold their own counters into the same snapshots
+    /// and dumps.
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        self.inner.metrics.clone()
+    }
+
+    /// Jobs enqueued but not yet claimed by a worker. A drain loop can
+    /// poll this together with its own in-flight accounting to decide
+    /// when the pool has gone quiet.
+    pub fn queued_jobs(&self) -> usize {
+        self.inner.state.lock().queued_jobs
+    }
+
     /// Submits a batch of query jobs, blocking while the admission queue
     /// is over capacity (backpressure). A batch larger than the whole
     /// queue capacity is admitted once the queue is empty.
     pub fn submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, ServiceClosed> {
-        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), true)
+        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), true, None)
             .map_err(|_| ServiceClosed)
+    }
+
+    /// Like [`submit`](Self::submit), additionally invoking `on_complete`
+    /// on the worker thread as each job finishes (in completion order,
+    /// which may differ from submission order). The returned [`Batch`]
+    /// still resolves in submission order; callers that only consume the
+    /// callback may drop it.
+    pub fn submit_watched(
+        &self,
+        jobs: Vec<QueryJob>,
+        on_complete: CompletionWatcher,
+    ) -> Result<Batch, ServiceClosed> {
+        self.enqueue(
+            jobs.into_iter().map(Payload::Query).collect(),
+            true,
+            Some(on_complete),
+        )
+        .map_err(|_| ServiceClosed)
+    }
+
+    /// Like [`try_submit`](Self::try_submit) with a completion callback;
+    /// see [`submit_watched`](Self::submit_watched). The network front-end
+    /// uses this to pipeline responses without one blocked thread per
+    /// in-flight request.
+    pub fn try_submit_watched(
+        &self,
+        jobs: Vec<QueryJob>,
+        on_complete: CompletionWatcher,
+    ) -> Result<Batch, SubmitError> {
+        self.enqueue(
+            jobs.into_iter().map(Payload::Query).collect(),
+            false,
+            Some(on_complete),
+        )
+        .map_err(Self::submit_error)
     }
 
     /// Like [`submit`](Self::submit) but never blocks: a full queue hands
     /// the jobs back in [`SubmitError::QueueFull`].
     pub fn try_submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, SubmitError> {
-        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), false)
-            .map_err(|(payloads, closed)| {
-                let jobs = payloads
-                    .into_iter()
-                    .map(|p| match p {
-                        Payload::Query(j) => j,
-                        Payload::Custom { .. } => unreachable!("query-only batch"),
-                    })
-                    .collect();
-                if closed {
-                    SubmitError::Closed(jobs)
-                } else {
-                    SubmitError::QueueFull(jobs)
-                }
+        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), false, None)
+            .map_err(Self::submit_error)
+    }
+
+    fn submit_error((payloads, closed): (Vec<Payload>, bool)) -> SubmitError {
+        let jobs = payloads
+            .into_iter()
+            .map(|p| match p {
+                Payload::Query(j) => j,
+                Payload::Custom { .. } => unreachable!("query-only batch"),
             })
+            .collect();
+        if closed {
+            SubmitError::Closed(jobs)
+        } else {
+            SubmitError::QueueFull(jobs)
+        }
     }
 
     /// Submits arbitrary closures as jobs; their metrics are recorded
@@ -332,11 +403,17 @@ impl QueryService {
                 task,
             })
             .collect();
-        self.enqueue(payloads, true).map_err(|_| ServiceClosed)
+        self.enqueue(payloads, true, None)
+            .map_err(|_| ServiceClosed)
     }
 
-    fn enqueue(&self, payloads: Vec<Payload>, block: bool) -> Result<Batch, (Vec<Payload>, bool)> {
-        let unit = WorkUnit::new(payloads);
+    fn enqueue(
+        &self,
+        payloads: Vec<Payload>,
+        block: bool,
+        watcher: Option<CompletionWatcher>,
+    ) -> Result<Batch, (Vec<Payload>, bool)> {
+        let unit = WorkUnit::new(payloads, watcher);
         if unit.len() == 0 {
             return Ok(Batch { unit });
         }
@@ -459,6 +536,13 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
         }
     };
     inner.metrics.record(&label, &result, started.elapsed());
+    // Invoke the watcher before publishing to the result board, so a
+    // callback that triggers a response cannot race a `wait()` caller
+    // into observing completion twice. A panicking watcher must not take
+    // the worker (or the batch's remaining jobs) down with it.
+    if let Some(watcher) = &unit.watcher {
+        let _ = catch_unwind(AssertUnwindSafe(|| watcher(index, &result)));
+    }
     let mut rs = unit.results.lock();
     rs.slots[index] = Some(result);
     rs.completed += 1;
@@ -682,6 +766,52 @@ mod tests {
         let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
         assert!(row.retries > 0, "certain loss must force retries");
         assert_eq!(row.retry_hist.total(), 1);
+    }
+
+    #[test]
+    fn watched_batches_invoke_the_callback_once_per_job() {
+        let service = QueryService::new(ServiceConfig::with_workers(4));
+        let jobs: Vec<QueryJob> = (0..16).map(job).collect();
+        let expected: Vec<_> = jobs.iter().map(|j| j.execute()).collect();
+        let seen = Arc::new(Mutex::new(Vec::<(usize, tcast::QueryReport)>::new()));
+        let sink = seen.clone();
+        let batch = service
+            .submit_watched(
+                jobs,
+                Arc::new(move |index, result| {
+                    let Ok(JobOutput::Report(rep)) = result else {
+                        panic!("unexpected {result:?}");
+                    };
+                    sink.lock().push((index, rep.clone()));
+                }),
+            )
+            .unwrap();
+        // The batch API still works alongside the callback.
+        assert_eq!(reports(batch.wait()), expected);
+        let mut seen = Arc::try_unwrap(seen)
+            .unwrap_or_else(|_| panic!("callbacks still live"))
+            .into_inner();
+        assert_eq!(seen.len(), 16, "one callback per job");
+        seen.sort_by_key(|(i, _)| *i);
+        for (i, (index, rep)) in seen.into_iter().enumerate() {
+            assert_eq!(index, i);
+            assert_eq!(rep, expected[i]);
+        }
+    }
+
+    #[test]
+    fn a_panicking_watcher_does_not_kill_the_worker() {
+        let service = QueryService::new(ServiceConfig::with_workers(1));
+        let batch = service
+            .submit_watched(vec![job(1)], Arc::new(|_, _| panic!("watcher bug")))
+            .unwrap();
+        // The result board still resolves, and the single worker survives
+        // to run a second batch.
+        assert_eq!(batch.wait().len(), 1);
+        assert_eq!(
+            reports(service.submit(vec![job(2)]).unwrap().wait()).len(),
+            1
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use tcast::{CaptureModel, ChannelSpec, CollisionModel, QueryReport};
-use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig};
+use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig, SubmitError};
 
 const MODELS: [CollisionModel; 3] = [
     CollisionModel::OnePlus,
@@ -44,6 +44,68 @@ fn run_at(workers: usize, jobs: &[QueryJob]) -> Vec<QueryReport> {
             other => panic!("query job produced {other:?}"),
         })
         .collect()
+}
+
+#[test]
+fn batch_len_and_is_empty_track_the_submitted_jobs() {
+    let service = QueryService::new(ServiceConfig::with_workers(2));
+    let empty = service.submit(Vec::new()).expect("service open");
+    assert_eq!(empty.len(), 0);
+    assert!(empty.is_empty());
+    assert!(empty.wait().is_empty());
+
+    let jobs = full_coverage_batch(32, 10, 4, 99);
+    let n = jobs.len();
+    let batch = service.submit(jobs).expect("service open");
+    assert_eq!(batch.len(), n);
+    assert!(!batch.is_empty());
+    assert_eq!(batch.handles().len(), n);
+    assert_eq!(batch.wait().len(), n);
+}
+
+#[test]
+fn shutdown_after_try_submit_rejection_loses_no_jobs() {
+    // Regression: a batch bounced by `try_submit` must leave no residue in
+    // the queue accounting — after the service drains and shuts down, the
+    // metrics must account for exactly the accepted jobs, and the rejected
+    // jobs must come back intact for resubmission elsewhere.
+    let service = QueryService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+    });
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    let gate: Box<dyn FnOnce() -> tcast_service::JobOutput + Send> = Box::new(move || {
+        rx.recv().ok();
+        JobOutput::Value(0.0)
+    });
+    let gate_batch = service.submit_tasks("gate", vec![gate]).expect("open");
+
+    let accepted = full_coverage_batch(16, 4, 2, 7);
+    let accepted_count = accepted.len() as u64;
+    let accepted_batch = service.submit(accepted).expect("open");
+
+    let rejected_jobs = full_coverage_batch(16, 8, 2, 8);
+    let handed_back = match service.try_submit(rejected_jobs.clone()) {
+        Err(SubmitError::QueueFull(jobs)) => jobs,
+        Err(other) => panic!("expected QueueFull, got {other:?}"),
+        Ok(_) => panic!("expected QueueFull, got acceptance"),
+    };
+    assert_eq!(handed_back, rejected_jobs, "rejected jobs returned intact");
+
+    tx.send(()).unwrap();
+    gate_batch.wait();
+    assert_eq!(accepted_batch.wait().len(), accepted_count as usize);
+
+    let snap = service.shutdown();
+    let query_jobs: u64 = snap
+        .rows
+        .iter()
+        .filter(|r| r.label != "gate")
+        .map(|r| r.jobs)
+        .sum();
+    assert_eq!(query_jobs, accepted_count, "every accepted job ran");
+    let panics: u64 = snap.rows.iter().map(|r| r.panics).sum();
+    assert_eq!(panics, 0);
 }
 
 proptest! {
