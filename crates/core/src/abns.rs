@@ -13,7 +13,7 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy_retry;
+use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
 use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
@@ -105,17 +105,24 @@ impl ThresholdQuerier for Abns {
         retry: RetryPolicy,
     ) -> QueryReport {
         let mut p = self.initial_p(t).max(0.0);
-        run_with_policy_retry(nodes, t, channel, rng, retry, move |session, last| {
-            if let Some(stats) = last {
-                p = estimate_p(
-                    stats.silent_bins,
-                    stats.queried_bins,
-                    session.remaining_len(),
-                );
-            }
-            // Line 6: b_i = p_i + 1.
-            (p.round() as usize).saturating_add(1)
-        })
+        drive(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            RunOptions::retrying(retry),
+            move |session, last| {
+                if let Some(stats) = last {
+                    p = estimate_p(
+                        stats.silent_bins,
+                        stats.queried_bins,
+                        session.remaining_len(),
+                    );
+                }
+                // Line 6: b_i = p_i + 1.
+                (p.round() as usize).saturating_add(1)
+            },
+        )
     }
 }
 

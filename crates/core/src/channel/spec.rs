@@ -102,6 +102,20 @@ impl ChannelSpec {
         self
     }
 
+    /// Appends this spec's full cache identity to `out`.
+    ///
+    /// Two specs append identical bytes iff rebuilding them yields
+    /// bit-identical channels *and* identical session retry behaviour:
+    /// every field participates (population, truth count, model, loss,
+    /// both seeds, retry policy). Session caches extend the buffer with
+    /// the job's own fields (algorithm, threshold, session seed) and use
+    /// the exact bytes as the key, so a cache hit can never return a
+    /// report the job would not have produced itself.
+    pub fn cache_key_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::WireEncode;
+        self.encode(out);
+    }
+
     /// Builds the channel described by this spec from its stored seeds.
     pub fn build(&self) -> Box<dyn GroupQueryChannel + Send> {
         self.build_with_truth().0

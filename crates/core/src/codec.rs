@@ -159,6 +159,22 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// FNV-1a 64-bit fingerprint of `bytes`.
+///
+/// Deterministic across processes and platforms (no per-process hasher
+/// seed), so it is usable wherever two machines must agree on a hash of
+/// the same encoded value — rendezvous shard weights, cache key
+/// digests, log correlation. Not collision-resistant against an
+/// adversary; exact-match keys should keep the full encoding.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Types that can append their wire encoding to a byte buffer.
 pub trait WireEncode {
     /// Appends the encoding of `self` to `out`.

@@ -514,13 +514,136 @@ fn absorb_bin(
     }
 }
 
+/// A mutable borrow of either channel flavour, for [`drive`].
+///
+/// The engine's round loop is identical for sequential and paired
+/// execution; only the per-round primitive differs. `ChannelMut` carries
+/// that one distinction so a single driver serves both. Construct it with
+/// [`ChannelMut::single`] / [`ChannelMut::paired`] for concrete channel
+/// types, or wrap an existing trait object in the variant directly.
+pub enum ChannelMut<'a> {
+    /// Query bins one at a time over a [`GroupQueryChannel`].
+    Single(&'a mut dyn GroupQueryChannel),
+    /// Query bins two at a time over a [`PairedGroupQueryChannel`]
+    /// (the CC2420 dual-address backcast, Section IV-D).
+    Paired(&'a mut dyn PairedGroupQueryChannel),
+}
+
+impl<'a> ChannelMut<'a> {
+    /// Wraps a concrete sequential channel.
+    pub fn single<C: GroupQueryChannel>(channel: &'a mut C) -> Self {
+        ChannelMut::Single(channel)
+    }
+
+    /// Wraps a concrete paired channel.
+    pub fn paired<C: PairedGroupQueryChannel>(channel: &'a mut C) -> Self {
+        ChannelMut::Paired(channel)
+    }
+
+    /// Views the wrapped channel as a plain [`GroupQueryChannel`] (the
+    /// retry layer and pool checks always query bins singly).
+    fn as_single(&mut self) -> &mut dyn GroupQueryChannel {
+        match self {
+            ChannelMut::Single(ch) => *ch,
+            ChannelMut::Paired(ch) => &mut **ch as &mut dyn GroupQueryChannel,
+        }
+    }
+}
+
+impl std::fmt::Debug for ChannelMut<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelMut::Single(_) => f.write_str("ChannelMut::Single"),
+            ChannelMut::Paired(_) => f.write_str("ChannelMut::Paired"),
+        }
+    }
+}
+
+/// Execution options for [`drive`]. Today that is just the
+/// verified-silence [`RetryPolicy`]; the struct leaves room for future
+/// knobs without another entrypoint explosion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RunOptions {
+    /// Verified-silence policy (default: [`RetryPolicy::none`] — silence
+    /// is trusted query for query, as on an ideal channel).
+    pub retry: RetryPolicy,
+}
+
+impl RunOptions {
+    /// Options for an ideal channel: no retries.
+    pub fn new() -> Self {
+        Self {
+            retry: RetryPolicy::none(),
+        }
+    }
+
+    /// Options with the given verified-silence policy.
+    pub fn retrying(retry: RetryPolicy) -> Self {
+        Self { retry }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Drives a session to completion with a per-round bin-count policy.
 ///
-/// This is the generic skeleton instantiated by every algorithm: the policy
-/// receives the session state and the previous round's statistics and
-/// returns the next round's bin count. Equivalent to
-/// [`run_with_policy_retry`] with [`RetryPolicy::none`] — silence is
-/// trusted, query for query, as on an ideal channel.
+/// This is the single engine entrypoint behind every algorithm: the
+/// policy receives the session state and the previous round's statistics
+/// and returns the next round's bin count. The channel flavour
+/// (sequential or paired) rides in [`ChannelMut`]; retry behaviour rides
+/// in [`RunOptions`].
+///
+/// With retries enabled, rounds re-query silent bins per
+/// `options.retry` before eliminating members, and a pending `false`
+/// verdict is only finalized once [`Session::confirm_false`] clears the
+/// eliminated pool — an activity observation there re-admits the pool
+/// and resumes querying (`true` verdicts need no confirmation: under
+/// loss without false activity, evidence only ever goes missing, never
+/// appears). Retries and pool checks always query bins singly; on a
+/// paired channel only the first pass rides the paired primitive.
+pub fn drive(
+    nodes: &[NodeId],
+    t: usize,
+    mut channel: ChannelMut<'_>,
+    rng: &mut dyn RngCore,
+    options: RunOptions,
+    mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> QueryReport {
+    let mut session = Session::with_retry(nodes, t, options.retry);
+    let mut last_stats: Option<RoundStats> = None;
+    loop {
+        if let Some(answer) = session.precheck() {
+            if answer || session.confirm_false(channel.as_single()) {
+                return session.into_report(answer);
+            }
+            last_stats = None;
+            continue;
+        }
+        let bins = policy(&session, last_stats.as_ref());
+        let outcome = match &mut channel {
+            ChannelMut::Single(ch) => session.run_round(bins, *ch, rng),
+            ChannelMut::Paired(ch) => session.run_round_paired(bins, *ch, rng),
+        };
+        match outcome {
+            RoundOutcome::Decided(true) => return session.into_report(true),
+            RoundOutcome::Decided(false) => {
+                if session.confirm_false(channel.as_single()) {
+                    return session.into_report(false);
+                }
+                last_stats = None;
+            }
+            RoundOutcome::Undecided(stats) => last_stats = Some(stats),
+        }
+    }
+}
+
+/// Drives a session over a sequential channel without retries.
+#[deprecated(note = "use `engine::drive` with `ChannelMut::Single`")]
 pub fn run_with_policy(
     nodes: &[NodeId],
     t: usize,
@@ -528,51 +651,39 @@ pub fn run_with_policy(
     rng: &mut dyn RngCore,
     policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    run_with_policy_retry(nodes, t, channel, rng, RetryPolicy::none(), policy)
+    drive(
+        nodes,
+        t,
+        ChannelMut::Single(channel),
+        rng,
+        RunOptions::new(),
+        policy,
+    )
 }
 
-/// [`run_with_policy`] with verified-silence retries.
-///
-/// Two additions over the plain driver: rounds re-query silent bins per
-/// `retry` before eliminating members, and a pending `false` verdict is
-/// only finalized once [`Session::confirm_false`] clears the eliminated
-/// pool — an activity observation there re-admits the pool and resumes
-/// querying (`true` verdicts need no confirmation: under loss without
-/// false activity, evidence only ever goes missing, never appears).
+/// Drives a session over a sequential channel with verified-silence
+/// retries.
+#[deprecated(note = "use `engine::drive` with `ChannelMut::Single` and `RunOptions::retrying`")]
 pub fn run_with_policy_retry(
     nodes: &[NodeId],
     t: usize,
     channel: &mut dyn GroupQueryChannel,
     rng: &mut dyn RngCore,
     retry: RetryPolicy,
-    mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    let mut session = Session::with_retry(nodes, t, retry);
-    let mut last_stats: Option<RoundStats> = None;
-    loop {
-        if let Some(answer) = session.precheck() {
-            if answer || session.confirm_false(channel) {
-                return session.into_report(answer);
-            }
-            last_stats = None;
-            continue;
-        }
-        let bins = policy(&session, last_stats.as_ref());
-        match session.run_round(bins, channel, rng) {
-            RoundOutcome::Decided(true) => return session.into_report(true),
-            RoundOutcome::Decided(false) => {
-                if session.confirm_false(channel) {
-                    return session.into_report(false);
-                }
-                last_stats = None;
-            }
-            RoundOutcome::Undecided(stats) => last_stats = Some(stats),
-        }
-    }
+    drive(
+        nodes,
+        t,
+        ChannelMut::Single(channel),
+        rng,
+        RunOptions::retrying(retry),
+        policy,
+    )
 }
 
-/// Paired variant of [`run_with_policy`]: same control flow, but rounds
-/// execute over a [`PairedGroupQueryChannel`].
+/// Drives a session over a paired channel without retries.
+#[deprecated(note = "use `engine::drive` with `ChannelMut::Paired`")]
 pub fn run_with_policy_paired(
     nodes: &[NodeId],
     t: usize,
@@ -580,41 +691,34 @@ pub fn run_with_policy_paired(
     rng: &mut dyn RngCore,
     policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    run_with_policy_paired_retry(nodes, t, channel, rng, RetryPolicy::none(), policy)
+    drive(
+        nodes,
+        t,
+        ChannelMut::Paired(channel),
+        rng,
+        RunOptions::new(),
+        policy,
+    )
 }
 
-/// Paired variant of [`run_with_policy_retry`]. Retries and pool checks
-/// re-query bins singly; only the first pass rides the paired primitive.
+/// Drives a session over a paired channel with verified-silence retries.
+#[deprecated(note = "use `engine::drive` with `ChannelMut::Paired` and `RunOptions::retrying`")]
 pub fn run_with_policy_paired_retry(
     nodes: &[NodeId],
     t: usize,
     channel: &mut dyn PairedGroupQueryChannel,
     rng: &mut dyn RngCore,
     retry: RetryPolicy,
-    mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    let mut session = Session::with_retry(nodes, t, retry);
-    let mut last_stats: Option<RoundStats> = None;
-    loop {
-        if let Some(answer) = session.precheck() {
-            if answer || session.confirm_false(&mut *channel as &mut dyn GroupQueryChannel) {
-                return session.into_report(answer);
-            }
-            last_stats = None;
-            continue;
-        }
-        let bins = policy(&session, last_stats.as_ref());
-        match session.run_round_paired(bins, channel, rng) {
-            RoundOutcome::Decided(true) => return session.into_report(true),
-            RoundOutcome::Decided(false) => {
-                if session.confirm_false(&mut *channel as &mut dyn GroupQueryChannel) {
-                    return session.into_report(false);
-                }
-                last_stats = None;
-            }
-            RoundOutcome::Undecided(stats) => last_stats = Some(stats),
-        }
-    }
+    drive(
+        nodes,
+        t,
+        ChannelMut::Paired(channel),
+        rng,
+        RunOptions::retrying(retry),
+        policy,
+    )
 }
 
 /// Returns `true` when `model` can ever produce captures (used by tests).
@@ -750,7 +854,14 @@ mod tests {
             let positives: Vec<u32> = (0..x as u32).collect();
             let mut ch = ideal(32, &positives, CollisionModel::OnePlus);
             let mut rng = SmallRng::seed_from_u64(7 + x as u64);
-            let report = run_with_policy(&nodes, 8, &mut ch, &mut rng, |s, _| 2 * s.threshold());
+            let report = drive(
+                &nodes,
+                8,
+                ChannelMut::single(&mut ch),
+                &mut rng,
+                RunOptions::new(),
+                |s, _| 2 * s.threshold(),
+            );
             assert_eq!(report.answer, x >= 8, "x={x}");
         }
     }
@@ -767,10 +878,14 @@ mod tests {
                 let positives: Vec<u32> = (0..x as u32).collect();
                 let mut ch = ideal(n, &positives, CollisionModel::OnePlus);
                 let mut rng = SmallRng::seed_from_u64(seed);
-                let report =
-                    run_with_policy_paired(&population(n), t, &mut ch, &mut rng, |s, _| {
-                        2 * s.threshold()
-                    });
+                let report = drive(
+                    &population(n),
+                    t,
+                    ChannelMut::paired(&mut ch),
+                    &mut rng,
+                    RunOptions::new(),
+                    |s, _| 2 * s.threshold(),
+                );
                 assert_eq!(report.answer, x >= t, "n={n} x={x} t={t} seed={seed}");
             }
         }
@@ -882,12 +997,12 @@ mod tests {
         let nodes = population(8);
         let mut ch = Scripted::new(&[]);
         let mut rng = SmallRng::seed_from_u64(1);
-        let report = run_with_policy_retry(
+        let report = drive(
             &nodes,
             1,
-            &mut ch,
+            ChannelMut::single(&mut ch),
             &mut rng,
-            crate::retry::RetryPolicy::verified(2),
+            RunOptions::retrying(crate::retry::RetryPolicy::verified(2)),
             |_, _| 1,
         );
         assert!(!report.answer);
@@ -907,12 +1022,12 @@ mod tests {
         let nodes = population(4);
         let mut ch = Scripted::new(&[Silent, Silent, Activity, Activity]);
         let mut rng = SmallRng::seed_from_u64(2);
-        let report = run_with_policy_retry(
+        let report = drive(
             &nodes,
             1,
-            &mut ch,
+            ChannelMut::single(&mut ch),
             &mut rng,
-            crate::retry::RetryPolicy::verified(1),
+            RunOptions::retrying(crate::retry::RetryPolicy::verified(1)),
             |_, _| 1,
         );
         assert!(report.answer, "rescued positives flip the verdict");
@@ -931,12 +1046,12 @@ mod tests {
         let nodes = population(4);
         let mut ch = Scripted::new(&[]);
         let mut rng = SmallRng::seed_from_u64(3);
-        let report = run_with_policy_retry(
+        let report = drive(
             &nodes,
             1,
-            &mut ch,
+            ChannelMut::single(&mut ch),
             &mut rng,
-            crate::retry::RetryPolicy::verified(5).with_budget(3),
+            RunOptions::retrying(crate::retry::RetryPolicy::verified(5).with_budget(3)),
             |_, _| 1,
         );
         assert!(!report.answer);
@@ -955,12 +1070,12 @@ mod tests {
         let nodes = population(8);
         let mut ch = ideal(8, &[], CollisionModel::OnePlus);
         let mut rng = SmallRng::seed_from_u64(4);
-        let report = run_with_policy_paired_retry(
+        let report = drive(
             &nodes,
             2,
-            &mut ch,
+            ChannelMut::paired(&mut ch),
             &mut rng,
-            crate::retry::RetryPolicy::verified(1),
+            RunOptions::retrying(crate::retry::RetryPolicy::verified(1)),
             |_, _| 2,
         );
         assert!(!report.answer);

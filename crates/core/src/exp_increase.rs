@@ -10,7 +10,7 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy_retry;
+use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
 use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
@@ -100,38 +100,45 @@ impl ThresholdQuerier for ExpIncrease {
         let mut bin_num = self.initial_bins.max(1);
         let variant = self.variant;
         let mut first = true;
-        run_with_policy_retry(nodes, t, channel, rng, retry, move |session, last| {
-            if first {
-                first = false;
-            } else if let Some(stats) = last {
-                let before = session.remaining_len() + stats.eliminated + stats.captured;
-                let grow = match variant {
-                    GrowthVariant::Double => 2,
-                    GrowthVariant::PauseAndContinue { pause_fraction } => {
-                        let frac = if before == 0 {
-                            0.0
-                        } else {
-                            stats.eliminated as f64 / before as f64
-                        };
-                        if frac >= pause_fraction {
-                            1 // significant elimination: keep the bin count
-                        } else {
-                            2
+        drive(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            RunOptions::retrying(retry),
+            move |session, last| {
+                if first {
+                    first = false;
+                } else if let Some(stats) = last {
+                    let before = session.remaining_len() + stats.eliminated + stats.captured;
+                    let grow = match variant {
+                        GrowthVariant::Double => 2,
+                        GrowthVariant::PauseAndContinue { pause_fraction } => {
+                            let frac = if before == 0 {
+                                0.0
+                            } else {
+                                stats.eliminated as f64 / before as f64
+                            };
+                            if frac >= pause_fraction {
+                                1 // significant elimination: keep the bin count
+                            } else {
+                                2
+                            }
                         }
-                    }
-                    GrowthVariant::FourFold => {
-                        if stats.silent_bins == 0 && stats.queried_bins > 0 {
-                            4
-                        } else {
-                            2
+                        GrowthVariant::FourFold => {
+                            if stats.silent_bins == 0 && stats.queried_bins > 0 {
+                                4
+                            } else {
+                                2
+                            }
                         }
-                    }
-                };
-                bin_num = bin_num.saturating_mul(grow);
-            }
-            // More bins than nodes adds nothing (zero-member bins are free).
-            bin_num.min(session.remaining_len().max(1))
-        })
+                    };
+                    bin_num = bin_num.saturating_mul(grow);
+                }
+                // More bins than nodes adds nothing (zero-member bins are free).
+                bin_num.min(session.remaining_len().max(1))
+            },
+        )
     }
 }
 

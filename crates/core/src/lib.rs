@@ -66,9 +66,9 @@ pub use abns::{Abns, InitialEstimate};
 pub use channel::{
     random_positive_set, ChannelSpec, GroupQueryChannel, IdealChannel, LossConfig, LossyChannel,
 };
-pub use codec::{DecodeError, WireDecode, WireEncode};
+pub use codec::{fingerprint64, DecodeError, WireDecode, WireEncode};
 pub use counting::{count_positives, CountReport};
-pub use engine::{RoundOutcome, RoundStats, Session};
+pub use engine::{drive, ChannelMut, RoundOutcome, RoundStats, RunOptions, Session};
 pub use exp_increase::{ExpIncrease, GrowthVariant};
 pub use interval::{classify, interval_query, ClassReport, IntervalReport, IntervalVerdict};
 pub use monitor::{MonitorConfig, ThresholdMonitor};

@@ -16,7 +16,7 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy_retry;
+use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
 use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
@@ -75,15 +75,22 @@ impl ThresholdQuerier for OracleBins {
         rng: &mut dyn RngCore,
         retry: RetryPolicy,
     ) -> QueryReport {
-        run_with_policy_retry(nodes, t, channel, rng, retry, |session, _| {
-            let x = self.count_positives(session.remaining());
-            // Captured positives reduce the evidence still needed.
-            let t_eff = session
-                .threshold()
-                .saturating_sub(session.confirmed())
-                .max(1);
-            oracle_bins(session.remaining_len(), t_eff, x)
-        })
+        drive(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            RunOptions::retrying(retry),
+            |session, _| {
+                let x = self.count_positives(session.remaining());
+                // Captured positives reduce the evidence still needed.
+                let t_eff = session
+                    .threshold()
+                    .saturating_sub(session.confirmed())
+                    .max(1);
+                oracle_bins(session.remaining_len(), t_eff, x)
+            },
+        )
     }
 }
 

@@ -9,7 +9,7 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
-use crate::engine::run_with_policy_retry;
+use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
 use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
@@ -32,9 +32,14 @@ impl ThresholdQuerier for TwoTBins {
         rng: &mut dyn RngCore,
         retry: RetryPolicy,
     ) -> QueryReport {
-        run_with_policy_retry(nodes, t, channel, rng, retry, |session, _| {
-            2 * session.threshold()
-        })
+        drive(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            RunOptions::retrying(retry),
+            |session, _| 2 * session.threshold(),
+        )
     }
 }
 

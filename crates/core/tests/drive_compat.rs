@@ -1,0 +1,209 @@
+//! The unified `engine::drive` entrypoint must be bit-for-bit equivalent
+//! to the four deprecated wrappers it replaced.
+//!
+//! Two angles:
+//!
+//! 1. **Generic equivalence** (proptest): for arbitrary policies, seeds,
+//!    channel configurations (ideal and lossy) and retry settings, each
+//!    deprecated wrapper returns a `QueryReport` identical to the
+//!    corresponding `drive` call — answers, query counts, and the full
+//!    round trace.
+//! 2. **All seven exact algorithms**: every algorithm now runs on
+//!    `drive` internally. Its report's trace records the bin count of
+//!    each policy round, so replaying those bin counts through the
+//!    deprecated `run_with_policy_retry` with identical seeds must
+//!    reproduce the exact same report — proving the migration changed
+//!    nothing about any algorithm's behaviour.
+
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::engine::{
+    drive, run_with_policy, run_with_policy_paired, run_with_policy_paired_retry,
+    run_with_policy_retry, ChannelMut, RunOptions, Session,
+};
+use tcast::{
+    population, Abns, ChannelSpec, CollisionModel, ExpIncrease, LossConfig, OracleBins,
+    QueryReport, RetryPolicy, RoundStats, ThresholdQuerier, TwoTBins,
+};
+
+/// A small family of policies spanning the shapes real algorithms use:
+/// constant, threshold-proportional, and stateful doubling driven by the
+/// previous round's statistics.
+///
+/// Every member requests at least `t` bins once it stops adapting — a
+/// policy stuck below `t` can loop forever on a channel whose positives
+/// outnumber its bins (all bins stay active, nothing is eliminated, and
+/// per-round evidence never reaches `t`), which is exactly the paper's
+/// argument for scaling bin counts with the threshold.
+fn policy(kind: u8) -> impl FnMut(&Session, Option<&RoundStats>) -> usize {
+    let mut bins = 1usize;
+    move |session, last| match kind % 3 {
+        0 => 2 * session.threshold(),
+        1 => session.threshold() + 3,
+        _ => {
+            if let Some(stats) = last {
+                bins = bins.saturating_mul(if stats.silent_bins == 0 { 4 } else { 2 });
+            }
+            bins.min(session.remaining_len().max(1))
+        }
+    }
+}
+
+fn spec(n: usize, x: usize, lossy: bool, seed: u64) -> ChannelSpec {
+    let base = if lossy {
+        ChannelSpec::lossy(n, x, CollisionModel::OnePlus, LossConfig::default())
+    } else {
+        ChannelSpec::ideal(n, x, CollisionModel::two_plus_default())
+    };
+    base.seeded(seed, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sequential wrappers (with and without retry) == `drive`.
+    #[test]
+    fn sequential_wrappers_match_drive(
+        n in 1usize..64,
+        x_frac in 0.0f64..=1.0,
+        t in 0usize..70,
+        seed in any::<u64>(),
+        kind in 0u8..3,
+        lossy in any::<bool>(),
+    ) {
+        let x = ((n as f64) * x_frac).round() as usize;
+        let retry = if lossy { RetryPolicy::verified(2) } else { RetryPolicy::none() };
+
+        let (mut ch_a, _) = spec(n, x, lossy, seed).build_with_truth();
+        let mut rng_a = SmallRng::seed_from_u64(seed);
+        let via_wrapper = if lossy {
+            run_with_policy_retry(&population(n), t, ch_a.as_mut(), &mut rng_a, retry, policy(kind))
+        } else {
+            run_with_policy(&population(n), t, ch_a.as_mut(), &mut rng_a, policy(kind))
+        };
+
+        let (mut ch_b, _) = spec(n, x, lossy, seed).build_with_truth();
+        let mut rng_b = SmallRng::seed_from_u64(seed);
+        let via_drive = drive(
+            &population(n),
+            t,
+            ChannelMut::Single(ch_b.as_mut()),
+            &mut rng_b,
+            RunOptions::retrying(retry),
+            policy(kind),
+        );
+
+        prop_assert_eq!(via_wrapper, via_drive);
+    }
+
+    /// Paired wrappers (with and without retry) == `drive` over
+    /// `ChannelMut::Paired`.
+    #[test]
+    fn paired_wrappers_match_drive(
+        n in 1usize..64,
+        x_frac in 0.0f64..=1.0,
+        t in 0usize..70,
+        seed in any::<u64>(),
+        kind in 0u8..3,
+        with_retry in any::<bool>(),
+    ) {
+        let x = ((n as f64) * x_frac).round() as usize;
+        let retry = if with_retry { RetryPolicy::verified(1) } else { RetryPolicy::none() };
+
+        // IdealChannel implements the paired primitive; lossy channels are
+        // sequential-only, so the paired arm sweeps retry settings instead.
+        let (positives, _) = spec(n, x, false, seed).build_with_truth();
+        drop(positives);
+        let mk = || {
+            let s = spec(n, x, false, seed);
+            let mut rng = SmallRng::seed_from_u64(s.placement_seed);
+            tcast::IdealChannel::with_random_positives(n, x, s.model, s.channel_seed, &mut rng)
+        };
+
+        let mut ch_a = mk();
+        let mut rng_a = SmallRng::seed_from_u64(seed);
+        let via_wrapper = if with_retry {
+            run_with_policy_paired_retry(
+                &population(n), t, &mut ch_a, &mut rng_a, retry, policy(kind))
+        } else {
+            run_with_policy_paired(&population(n), t, &mut ch_a, &mut rng_a, policy(kind))
+        };
+
+        let mut ch_b = mk();
+        let mut rng_b = SmallRng::seed_from_u64(seed);
+        let via_drive = drive(
+            &population(n),
+            t,
+            ChannelMut::paired(&mut ch_b),
+            &mut rng_b,
+            RunOptions::retrying(retry),
+            policy(kind),
+        );
+
+        prop_assert_eq!(via_wrapper, via_drive);
+    }
+
+    /// Every one of the seven exact algorithms, on ideal and lossy
+    /// channels: replaying the algorithm's recorded per-round bin counts
+    /// through the deprecated wrapper reproduces its report exactly.
+    #[test]
+    fn all_seven_algorithms_replay_through_deprecated_wrapper(
+        n in 1usize..48,
+        x_frac in 0.0f64..=1.0,
+        t in 0usize..52,
+        seed in any::<u64>(),
+        lossy in any::<bool>(),
+    ) {
+        let x = ((n as f64) * x_frac).round() as usize;
+        let retry = if lossy { RetryPolicy::verified(2) } else { RetryPolicy::none() };
+        let s = spec(n, x, lossy, seed);
+        let (_, truth) = s.build_with_truth();
+
+        let algorithms: Vec<Box<dyn ThresholdQuerier>> = vec![
+            Box::new(TwoTBins),
+            Box::new(ExpIncrease::standard()),
+            Box::new(ExpIncrease::pause_and_continue(0.4)),
+            Box::new(ExpIncrease::four_fold()),
+            Box::new(Abns::p0_t()),
+            Box::new(Abns::p0_2t()),
+            Box::new(OracleBins::new(truth)),
+        ];
+
+        for alg in algorithms {
+            let (mut ch, _) = s.build_with_truth();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let original =
+                alg.run_with_retry(&population(n), t, ch.as_mut(), &mut rng, retry);
+
+            // Policy rounds are the trace entries that actually queried
+            // bins; verification episodes (queried_bins == 0) happen
+            // inside the driver and never consult the policy.
+            let bins: Vec<usize> = original
+                .trace
+                .iter()
+                .filter(|r| r.queried_bins > 0)
+                .map(|r| r.bins)
+                .collect();
+            let mut replay = bins.into_iter();
+
+            let (mut ch, _) = s.build_with_truth();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let replayed: QueryReport = run_with_policy_retry(
+                &population(n),
+                t,
+                ch.as_mut(),
+                &mut rng,
+                retry,
+                |_, _| replay.next().expect("replay ran out of rounds"),
+            );
+            prop_assert_eq!(
+                &original, &replayed,
+                "{} diverged from its bin-count replay", alg.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! `cluster` — drive a sharded multi-server query cluster and report
+//! per-shard wire traffic.
+//!
+//! With `--servers host:port,...` the command connects a
+//! [`ShardedClient`] to running `tcast-net` servers; without it, three
+//! loopback servers are spun up in-process so the command is
+//! self-contained (and doubles as a cluster smoke test in CI). Every
+//! job's report is checked bit-for-bit against an in-process run of the
+//! same spec — the cluster must change *where* work runs, never what it
+//! answers.
+
+use std::sync::Arc;
+
+use tcast::{CaptureModel, ChannelSpec, CollisionModel, QueryReport};
+use tcast_net::{ClusterConfig, NetServer, NetServerConfig, ShardedClient};
+use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig};
+
+use crate::Table;
+
+/// Parameters for one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Jobs to fan across the cluster.
+    pub jobs: usize,
+    /// Population size per job.
+    pub n: usize,
+    /// Query threshold per job.
+    pub t: usize,
+    /// Base seed; every job derives its own seeds from it.
+    pub seed: u64,
+    /// `host:port` endpoints; empty means "self-host three loopback
+    /// servers for the duration of the run".
+    pub servers: Vec<String>,
+}
+
+const MODELS: [CollisionModel; 3] = [
+    CollisionModel::OnePlus,
+    CollisionModel::TwoPlus(CaptureModel::Never),
+    CollisionModel::TwoPlus(CaptureModel::Geometric { alpha: 0.5 }),
+];
+
+/// The job mix: distinct seeds, all models × algorithms, x sweeping
+/// both sides of the threshold so both verdicts occur.
+fn job_mix(spec: &ClusterSpec) -> Vec<QueryJob> {
+    (0..spec.jobs as u64)
+        .map(|k| {
+            let model = MODELS[(k % MODELS.len() as u64) as usize];
+            let algorithm = AlgorithmSpec::ALL[(k % AlgorithmSpec::ALL.len() as u64) as usize];
+            let x = (k as usize * 7 + 1) % (spec.n + 1);
+            QueryJob::new(
+                algorithm,
+                ChannelSpec::ideal(spec.n, x, model)
+                    .seeded(spec.seed ^ (k << 8), spec.seed.wrapping_add(k)),
+                spec.t,
+                spec.seed.rotate_left(k as u32),
+            )
+        })
+        .collect()
+}
+
+fn in_process(jobs: &[QueryJob]) -> Result<Vec<QueryReport>, String> {
+    let service = QueryService::new(ServiceConfig::default());
+    service
+        .submit(jobs.to_vec())
+        .map_err(|e| e.to_string())?
+        .wait()
+        .into_iter()
+        .map(|r| match r {
+            Ok(JobOutput::Report(report)) => Ok(report),
+            other => Err(format!("in-process job produced {other:?}")),
+        })
+        .collect()
+}
+
+/// Runs the cluster sweep and tabulates per-shard wire traffic.
+///
+/// # Errors
+///
+/// Fails when no shard is reachable, any job fails remotely, or a
+/// remote report differs from the in-process run.
+pub fn run(spec: &ClusterSpec) -> Result<Table, String> {
+    // Self-hosted loopback trio when no endpoints were given; the
+    // servers live until the end of this function.
+    let mut hosted: Vec<(NetServer, Arc<QueryService>)> = Vec::new();
+    let endpoints: Vec<String> = if spec.servers.is_empty() {
+        (0..3)
+            .map(|_| {
+                let service = Arc::new(QueryService::new(ServiceConfig::with_workers(2)));
+                let server =
+                    NetServer::bind("127.0.0.1:0", service.clone(), NetServerConfig::default())
+                        .map_err(|e| format!("self-host bind failed: {e}"))?;
+                let addr = server.local_addr().to_string();
+                hosted.push((server, service));
+                Ok(addr)
+            })
+            .collect::<Result<_, String>>()?
+    } else {
+        spec.servers.clone()
+    };
+
+    let cluster = ShardedClient::connect(endpoints.iter().map(String::as_str), {
+        ClusterConfig::default()
+    })
+    .map_err(|e| format!("cluster connect failed: {e}"))?;
+
+    let jobs = job_mix(spec);
+    let routed: Vec<Option<usize>> = jobs.iter().map(|j| cluster.route_of(j)).collect();
+    let expected = in_process(&jobs)?;
+    let results = cluster.submit(jobs).wait();
+
+    let mut yes = 0usize;
+    for (k, (result, expected)) in results.into_iter().zip(&expected).enumerate() {
+        let report = result.map_err(|e| format!("job {k} failed on the cluster: {e}"))?;
+        if report != *expected {
+            return Err(format!(
+                "job {k}: cluster report differs from in-process run"
+            ));
+        }
+        yes += usize::from(report.answer);
+    }
+
+    let snapshot = cluster.metrics();
+    let mut table = Table::new(
+        "cluster",
+        &format!(
+            "{} jobs over {} shards ({} healthy) — {} yes / {} no, all bit-identical to local",
+            spec.jobs,
+            cluster.shards(),
+            cluster.healthy_shards(),
+            yes,
+            expected.len() - yes,
+        ),
+        &[
+            "shard",
+            "endpoint",
+            "jobs",
+            "frames out",
+            "frames in",
+            "bytes out",
+            "bytes in",
+            "busy",
+        ],
+    );
+    for (shard, endpoint) in endpoints.iter().enumerate() {
+        let label = format!("cluster/shard-{shard}");
+        let row = snapshot.net_rows.iter().find(|r| r.label == label);
+        let jobs_here = routed.iter().filter(|r| **r == Some(shard)).count();
+        table.push_row(vec![
+            shard.to_string(),
+            endpoint.clone(),
+            jobs_here.to_string(),
+            row.map_or(0, |r| r.frames_out).to_string(),
+            row.map_or(0, |r| r.frames_in).to_string(),
+            row.map_or(0, |r| r.bytes_out).to_string(),
+            row.map_or(0, |r| r.bytes_in).to_string(),
+            row.map_or(0, |r| r.busy_rejections).to_string(),
+        ]);
+    }
+
+    cluster.close();
+    for (server, _service) in hosted {
+        server.shutdown();
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_hosted_cluster_run_verifies_and_tabulates() {
+        let table = run(&ClusterSpec {
+            jobs: 24,
+            n: 32,
+            t: 4,
+            seed: 7,
+            servers: Vec::new(),
+        })
+        .expect("self-hosted cluster run");
+        assert_eq!(table.rows.len(), 3, "one row per shard");
+        let total_jobs: usize = table
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total_jobs, 24, "every job routed somewhere");
+    }
+
+    #[test]
+    fn unreachable_servers_error_out() {
+        let err = run(&ClusterSpec {
+            jobs: 1,
+            n: 8,
+            t: 2,
+            seed: 1,
+            servers: vec!["127.0.0.1:1".into()],
+        })
+        .unwrap_err();
+        assert!(err.contains("cluster connect failed"), "{err}");
+    }
+}

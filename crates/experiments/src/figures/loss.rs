@@ -11,7 +11,7 @@
 //!   the verdict), and
 //! * **loss-overhead** — the mean query cost of the same sessions.
 //!
-//! The two figures share series names on purpose: [`crate::sweep`]
+//! The two figures share series names on purpose: [`crate::seeding`]
 //! derives per-run seeds from the series name, so "retries=1" in the
 //! error figure and "retries=1" in the overhead figure replay the *same*
 //! sessions — the overhead curve prices exactly the errors the other

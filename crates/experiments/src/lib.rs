@@ -25,6 +25,7 @@
 //! | [`figures::fig11`] | Fig. 11 — the bimodal x distribution |
 
 pub mod chart;
+pub mod cluster;
 pub mod extensions;
 pub mod figures;
 pub mod output;

@@ -19,6 +19,7 @@ use std::env;
 use std::process::ExitCode;
 
 use tcast_experiments::chart::render_chart;
+use tcast_experiments::cluster;
 use tcast_experiments::extensions::{counting, energy, interference, monitoring};
 use tcast_experiments::figures::{
     fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, loss,
@@ -38,6 +39,7 @@ struct Options {
     csv: bool,
     ascii: bool,
     out: Option<String>,
+    servers: Vec<String>,
 }
 
 impl Default for Options {
@@ -53,6 +55,7 @@ impl Default for Options {
             csv: false,
             ascii: false,
             out: None,
+            servers: Vec::new(),
         }
     }
 }
@@ -130,6 +133,16 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
                 opts.threads = take("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--servers" => {
+                opts.servers = take("--servers")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if opts.servers.is_empty() {
+                    return Err("--servers: expected host:port[,host:port...]".into());
+                }
             }
             "--fast" => opts.fast = true,
             "--csv" => opts.csv = true,
@@ -259,6 +272,20 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             };
             emit_table(&energy::build(&sweep), opts);
         }
+        "cluster" => {
+            let spec = cluster::ClusterSpec {
+                jobs: if opts.fast {
+                    opts.runs.min(100)
+                } else {
+                    opts.runs
+                },
+                n: opts.n.unwrap_or(64),
+                t: opts.t.unwrap_or(8),
+                seed: opts.seed,
+                servers: opts.servers.clone(),
+            };
+            emit_table(&cluster::run(&spec)?, opts);
+        }
         "ext" => {
             for c in ["interference", "counting", "monitoring", "energy"] {
                 eprintln!("[tcast-experiments] running {c} ...");
@@ -333,11 +360,14 @@ commands:
   monitoring   warm-started epoch monitoring (extension)
   energy       full-stack time & energy comparison (extension)
   ext          all four extension studies
+  cluster      fan `--runs` jobs across a sharded server cluster
+               (--servers host:port,... or a self-hosted loopback trio)
+               and verify every report against an in-process run
   trace        print one annotated session per algorithm
 
 options:
   --runs N   --n N   --t T   --seed S   --testbed-runs R   --threads N
-  --fast   --csv   --ascii   --out DIR";
+  --servers host:port,...   --fast   --csv   --ascii   --out DIR";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -402,6 +432,17 @@ mod tests {
         let (_, opts) = parse(&args(&["fig1"])).unwrap();
         assert_eq!(opts.threads, 0, "default: one worker per core");
         assert!(parse(&args(&["--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn servers_flag_splits_on_commas() {
+        let (cmds, opts) = parse(&args(&["cluster", "--servers", "a:1,b:2"])).unwrap();
+        assert_eq!(cmds, ["cluster"]);
+        assert_eq!(opts.servers, ["a:1", "b:2"]);
+        let (_, opts) = parse(&args(&["cluster"])).unwrap();
+        assert!(opts.servers.is_empty(), "default: self-hosted loopback");
+        assert!(parse(&args(&["--servers", ","])).is_err(), "empty list");
+        assert!(parse(&args(&["--servers"])).is_err(), "missing value");
     }
 
     #[test]

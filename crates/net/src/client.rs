@@ -1,4 +1,4 @@
-//! `NetClient` — a pooled, pipelined client for [`NetServer`].
+//! `NetClient` — a pooled, pipelined client for [`crate::NetServer`].
 //!
 //! The client mirrors the in-process `Service` submit/wait shape: a
 //! [`NetClient::submit`] call returns a [`NetBatch`] of
@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
 
 use tcast::QueryReport;
-use tcast_service::{JobError, QueryJob};
+use tcast_service::{JobError, NetCounters, QueryJob};
 
 use crate::frame::{
     write_frame, ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
@@ -158,6 +158,14 @@ pub struct NetJobHandle {
 }
 
 impl NetJobHandle {
+    /// A handle that is already resolved to `err` — used when a job
+    /// could not even be written to a connection.
+    pub(crate) fn failed(err: NetError) -> Self {
+        let slot = Slot::new();
+        slot.resolve(Err(err));
+        Self { slot }
+    }
+
     /// Blocks until the response frame arrives (or the connection dies).
     pub fn wait(self) -> NetJobResult {
         self.slot.wait()
@@ -188,14 +196,36 @@ impl NetBatch {
         self.handles.is_empty()
     }
 
-    /// Consumes the batch into per-job handles, in submission order.
-    pub fn handles(self) -> Vec<NetJobHandle> {
+    /// Per-job completion handles, in submission order — non-consuming,
+    /// mirroring the in-process `Batch::handles`. The batch itself can
+    /// still be waited on afterwards; handles and batch share the
+    /// underlying slots.
+    pub fn handles(&self) -> Vec<NetJobHandle> {
         self.handles
+            .iter()
+            .map(|h| NetJobHandle {
+                slot: h.slot.clone(),
+            })
+            .collect()
     }
 
     /// Blocks until every response arrived; results in submission order.
     pub fn wait(self) -> Vec<NetJobResult> {
         self.handles.into_iter().map(NetJobHandle::wait).collect()
+    }
+
+    /// Blocks up to `timeout` for the *whole batch*; returns `None` if
+    /// any response was still missing at the deadline (the batch is
+    /// consumed, and late responses are dropped — same contract as
+    /// [`NetJobHandle::wait_timeout`]).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Vec<NetJobResult>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut results = Vec::with_capacity(self.handles.len());
+        for handle in self.handles {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            results.push(handle.wait_timeout(left)?);
+        }
+        Some(results)
     }
 }
 
@@ -222,10 +252,17 @@ struct Conn {
     last_arrived: AtomicU64,
     out_of_order: AtomicU64,
     busy_resends: AtomicU64,
+    /// Optional wire counters (frames/bytes in and out, decode errors,
+    /// busy rejections), shared with a metrics registry by the caller.
+    counters: Option<Arc<NetCounters>>,
 }
 
 impl Conn {
-    fn dial(addr: SocketAddr, config: NetClientConfig) -> Result<Arc<Self>, NetError> {
+    fn dial(
+        addr: SocketAddr,
+        config: NetClientConfig,
+        counters: Option<Arc<NetCounters>>,
+    ) -> Result<Arc<Self>, NetError> {
         let conn = Arc::new(Self {
             addr,
             config,
@@ -237,6 +274,7 @@ impl Conn {
             last_arrived: AtomicU64::new(0),
             out_of_order: AtomicU64::new(0),
             busy_resends: AtomicU64::new(0),
+            counters,
         });
         conn.reconnect()?;
         Ok(conn)
@@ -255,7 +293,7 @@ impl Conn {
         let mut handshake = stream
             .try_clone()
             .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
-        write_frame(
+        let hello_bytes = write_frame(
             &mut handshake,
             &Frame::Hello {
                 min_version: PROTOCOL_V1,
@@ -263,13 +301,19 @@ impl Conn {
             },
         )
         .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
+        if let Some(c) = &self.counters {
+            c.frame_out(hello_bytes as u64);
+        }
 
         let mut reader = FrameReader::new();
         match reader.read_from(&mut handshake, self.config.max_frame_payload) {
             Ok(None) => {
                 return Err(NetError::ConnectionLost("handshake timed out".into()));
             }
-            Ok(Some((Frame::HelloAck { version }, _))) => {
+            Ok(Some((Frame::HelloAck { version }, n))) => {
+                if let Some(c) = &self.counters {
+                    c.frame_in(n as u64);
+                }
                 if version != PROTOCOL_V1 {
                     return Err(NetError::Protocol(format!(
                         "server acknowledged unsupported version {version}"
@@ -321,8 +365,13 @@ impl Conn {
         let stream = guard
             .as_mut()
             .ok_or_else(|| NetError::ConnectionLost("connection is down".into()))?;
-        match write_frame(stream, frame).and_then(|_| stream.flush()) {
-            Ok(()) => Ok(()),
+        match write_frame(stream, frame).and_then(|n| stream.flush().map(|()| n)) {
+            Ok(n) => {
+                if let Some(c) = &self.counters {
+                    c.frame_out(n as u64);
+                }
+                Ok(())
+            }
             Err(e) => {
                 *guard = None;
                 self.dead.store(true, Ordering::SeqCst);
@@ -352,58 +401,70 @@ impl Conn {
             }
             match reader.read_from(&mut stream, self.config.max_frame_payload) {
                 Ok(None) => continue,
-                Ok(Some((frame, _))) => match frame {
-                    Frame::JobOk { request_id, report } => {
-                        self.track_arrival(request_id);
-                        self.take_pending(request_id, |p| p.slot.resolve(Ok(report)));
+                Ok(Some((frame, n))) => {
+                    if let Some(c) = &self.counters {
+                        c.frame_in(n as u64);
                     }
-                    Frame::JobFailed { request_id, error } => {
-                        self.track_arrival(request_id);
-                        self.take_pending(request_id, |p| {
-                            p.slot.resolve(Err(NetError::Job(error)));
-                        });
-                    }
-                    Frame::Error {
-                        request_id,
-                        code: ErrorCode::Busy,
-                        ..
-                    } => {
-                        self.track_arrival(request_id);
-                        self.handle_busy(request_id);
-                    }
-                    Frame::Error {
-                        request_id,
-                        code: ErrorCode::ShuttingDown,
-                        ..
-                    } => {
-                        self.track_arrival(request_id);
-                        self.take_pending(request_id, |p| {
-                            p.slot.resolve(Err(NetError::ServerShutdown));
-                        });
-                    }
-                    Frame::Error {
-                        request_id,
-                        code,
-                        detail,
-                    } => {
-                        if request_id == 0 {
-                            // Connection-scoped error: everything in flight
-                            // is lost.
-                            break Some(NetError::Protocol(format!("{code:?}: {detail}")));
+                    match frame {
+                        Frame::JobOk { request_id, report } => {
+                            self.track_arrival(request_id);
+                            self.take_pending(request_id, |p| p.slot.resolve(Ok(report)));
                         }
-                        self.take_pending(request_id, |p| {
-                            p.slot
-                                .resolve(Err(NetError::Protocol(format!("{code:?}: {detail}"))));
-                        });
+                        Frame::JobFailed { request_id, error } => {
+                            self.track_arrival(request_id);
+                            self.take_pending(request_id, |p| {
+                                p.slot.resolve(Err(NetError::Job(error)));
+                            });
+                        }
+                        Frame::Error {
+                            request_id,
+                            code: ErrorCode::Busy,
+                            ..
+                        } => {
+                            if let Some(c) = &self.counters {
+                                c.busy_rejection();
+                            }
+                            self.track_arrival(request_id);
+                            self.handle_busy(request_id);
+                        }
+                        Frame::Error {
+                            request_id,
+                            code: ErrorCode::ShuttingDown,
+                            ..
+                        } => {
+                            self.track_arrival(request_id);
+                            self.take_pending(request_id, |p| {
+                                p.slot.resolve(Err(NetError::ServerShutdown));
+                            });
+                        }
+                        Frame::Error {
+                            request_id,
+                            code,
+                            detail,
+                        } => {
+                            if request_id == 0 {
+                                // Connection-scoped error: everything in flight
+                                // is lost.
+                                break Some(NetError::Protocol(format!("{code:?}: {detail}")));
+                            }
+                            self.take_pending(request_id, |p| {
+                                p.slot.resolve(Err(NetError::Protocol(format!(
+                                    "{code:?}: {detail}"
+                                ))));
+                            });
+                        }
+                        Frame::Goodbye => break None,
+                        other => {
+                            break Some(NetError::Protocol(format!(
+                                "unexpected server frame: {other:?}"
+                            )));
+                        }
                     }
-                    Frame::Goodbye => break None,
-                    other => {
-                        break Some(NetError::Protocol(format!(
-                            "unexpected server frame: {other:?}"
-                        )));
-                    }
-                },
+                }
                 Err(FrameReadError::Malformed(m)) => {
+                    if let Some(c) = &self.counters {
+                        c.decode_error();
+                    }
                     break Some(NetError::Protocol(m.to_string()));
                 }
                 Err(FrameReadError::Io(e)) => {
@@ -492,6 +553,28 @@ impl NetClient {
     /// Connects `config.pool_size` connections to `addr` and negotiates
     /// the protocol version on each.
     pub fn connect(addr: impl ToSocketAddrs, config: NetClientConfig) -> Result<Self, NetError> {
+        Self::connect_inner(addr, config, None)
+    }
+
+    /// Like [`NetClient::connect`], but every connection reports its wire
+    /// traffic (frames/bytes in and out, decode errors, `Busy`
+    /// rejections) into `counters` — typically obtained from a
+    /// [`tcast_service::MetricsRegistry`] so client-side traffic shows up
+    /// next to service metrics. The cluster front-end uses this to keep
+    /// one counter set per shard.
+    pub fn connect_instrumented(
+        addr: impl ToSocketAddrs,
+        config: NetClientConfig,
+        counters: Arc<NetCounters>,
+    ) -> Result<Self, NetError> {
+        Self::connect_inner(addr, config, Some(counters))
+    }
+
+    fn connect_inner(
+        addr: impl ToSocketAddrs,
+        config: NetClientConfig,
+        counters: Option<Arc<NetCounters>>,
+    ) -> Result<Self, NetError> {
         let addr = addr
             .to_socket_addrs()
             .map_err(|e| NetError::ConnectionLost(format!("address resolution failed: {e}")))?
@@ -500,7 +583,7 @@ impl NetClient {
         let pool_size = config.pool_size.max(1);
         let mut conns = Vec::with_capacity(pool_size);
         for _ in 0..pool_size {
-            conns.push(Conn::dial(addr, config)?);
+            conns.push(Conn::dial(addr, config, counters.clone())?);
         }
         Ok(Self {
             conns,
@@ -524,9 +607,7 @@ impl NetClient {
                 &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
             if conn.dead.load(Ordering::SeqCst) {
                 if let Err(e) = conn.reconnect() {
-                    let slot = Slot::new();
-                    slot.resolve(Err(e));
-                    handles.push(NetJobHandle { slot });
+                    handles.push(NetJobHandle::failed(e));
                     continue;
                 }
             }
@@ -542,7 +623,7 @@ impl NetClient {
     /// Convenience: submit one job and return its handle.
     pub fn submit_one(&self, job: QueryJob) -> NetJobHandle {
         self.submit(vec![job])
-            .handles()
+            .handles
             .pop()
             .expect("one handle per job")
     }

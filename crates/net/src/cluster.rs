@@ -1,0 +1,496 @@
+//! `ShardedClient` — a cluster front-end that fans query jobs across
+//! several [`NetServer`](crate::NetServer) endpoints.
+//!
+//! Routing is rendezvous (highest-random-weight) hashing over the job's
+//! identity bytes ([`QueryJob::cache_key`]): every shard label is
+//! fingerprinted together with the job key and the healthy shard with
+//! the highest weight wins. Rendezvous hashing gives the two properties
+//! a deterministic query cluster needs:
+//!
+//! - **Stability** — the same job always routes to the same shard while
+//!   the healthy set is unchanged, so per-shard session caches stay hot.
+//! - **Minimal disruption** — when a shard dies, only *its* jobs move
+//!   (each re-hashes among the survivors); jobs on healthy shards do
+//!   not reshuffle.
+//!
+//! Failure handling is transparent: a handle that resolves to
+//! [`NetError::ConnectionLost`] or [`NetError::ServerShutdown`] marks
+//! the shard down, re-routes the job to the best surviving shard, and
+//! resubmits — the caller just sees the report. Because execution is
+//! fully deterministic (all seeds travel in the job spec), a re-routed
+//! job produces a bit-identical report on any shard. A background
+//! prober re-dials down shards with exponential backoff and puts them
+//! back into rotation once the `Hello`/`HelloAck` round trip succeeds.
+//!
+//! Everything observable is recorded: shard state transitions and
+//! re-routes in an event log ([`ShardedClient::events`]), per-shard
+//! wire traffic as [`tcast_service::NetCounters`] rows in the client's
+//! own metrics registry ([`ShardedClient::metrics`]).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use tcast::fingerprint64;
+use tcast_service::{MetricsRegistry, MetricsSnapshot, QueryJob};
+
+use crate::client::{NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult};
+
+/// How often the prober thread wakes to check for due re-dials.
+const PROBE_TICK: Duration = Duration::from_millis(10);
+
+/// Tuning knobs for [`ShardedClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Per-shard connection settings (pool size, busy retries, ...).
+    pub client: NetClientConfig,
+    /// Backoff before the first re-dial of a down shard; doubles on
+    /// every failed probe.
+    pub probe_backoff: Duration,
+    /// Upper bound on the probe backoff.
+    pub probe_max_backoff: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            client: NetClientConfig::default(),
+            probe_backoff: Duration::from_millis(50),
+            probe_max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One entry in the cluster's observable history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A shard stopped answering (dial failure, lost connection, or
+    /// drain) and was taken out of rotation.
+    ShardDown {
+        /// Index of the shard in the address list passed to
+        /// [`ShardedClient::connect`].
+        shard: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A down shard answered a probe and is back in rotation.
+    ShardUp {
+        /// Index of the recovered shard.
+        shard: usize,
+    },
+    /// A job was moved off a failed shard onto a survivor.
+    Rerouted {
+        /// Shard the job was on when it failed; `None` when the job had
+        /// not been placed at all (no shard was healthy at submit).
+        from: Option<usize>,
+        /// Shard the job was resubmitted to.
+        to: usize,
+    },
+}
+
+/// Mutable per-shard state, guarded by one mutex per shard.
+struct ShardState {
+    /// Live client, or `None` while the shard is down.
+    client: Option<NetClient>,
+    /// Current probe backoff (zero until the first probe failure).
+    backoff: Duration,
+    /// Earliest instant the prober may try this shard again.
+    next_probe: Instant,
+}
+
+struct ClusterInner {
+    addrs: Vec<SocketAddr>,
+    /// Stable per-shard identity fed into the rendezvous hash.
+    labels: Vec<String>,
+    shards: Vec<Mutex<ShardState>>,
+    /// Health flags readable without touching a shard lock, so routing
+    /// never blocks on a shard that is mid-(re)connect.
+    healthy: Vec<AtomicBool>,
+    events: Mutex<Vec<ClusterEvent>>,
+    metrics: MetricsRegistry,
+    config: ClusterConfig,
+    closing: AtomicBool,
+}
+
+impl ClusterInner {
+    fn push_event(&self, event: ClusterEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Rendezvous-hashes `job` over the healthy, non-excluded shards.
+    fn route(&self, job: &QueryJob, excluded: &[bool]) -> Option<usize> {
+        let key = job.cache_key();
+        let mut best: Option<(u64, usize)> = None;
+        for (shard, label) in self.labels.iter().enumerate() {
+            if excluded[shard] || !self.healthy[shard].load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut buf = Vec::with_capacity(label.len() + key.len());
+            buf.extend_from_slice(label.as_bytes());
+            buf.extend_from_slice(&key);
+            let weight = fingerprint64(&buf);
+            // Strict `>` keeps ties deterministic (lowest index wins).
+            if best.is_none_or(|(w, _)| weight > w) {
+                best = Some((weight, shard));
+            }
+        }
+        best.map(|(_, shard)| shard)
+    }
+
+    /// Writes `job` to `shard`'s connection; `None` when the shard has
+    /// no live client (lost a race with [`ClusterInner::mark_down`]).
+    fn submit_to(&self, shard: usize, job: QueryJob) -> Option<NetJobHandle> {
+        let state = self.shards[shard].lock();
+        let client = state.client.as_ref()?;
+        Some(client.submit_one(job))
+    }
+
+    /// Routes and submits `job`, excluding shards as placements fail.
+    /// Returns `true` once the job is on some wire.
+    fn place(&self, cj: &mut ClusterJob) -> bool {
+        loop {
+            let Some(next) = self.route(&cj.job, &cj.excluded) else {
+                return false;
+            };
+            match self.submit_to(next, cj.job) {
+                Some(handle) => {
+                    cj.shard = Some(next);
+                    cj.handle = Some(handle);
+                    return true;
+                }
+                None => cj.excluded[next] = true,
+            }
+        }
+    }
+
+    /// Takes `shard` out of rotation (idempotent) and schedules an
+    /// immediate probe.
+    fn mark_down(&self, shard: usize, detail: &str) {
+        if self.healthy[shard].swap(false, Ordering::SeqCst) {
+            let client = {
+                let mut state = self.shards[shard].lock();
+                state.backoff = Duration::ZERO;
+                state.next_probe = Instant::now();
+                state.client.take()
+            };
+            if let Some(client) = client {
+                client.close();
+            }
+            self.push_event(ClusterEvent::ShardDown {
+                shard,
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// One prober pass: re-dial every down shard whose backoff expired.
+    fn probe_down_shards(&self) {
+        for shard in 0..self.addrs.len() {
+            if self.healthy[shard].load(Ordering::SeqCst) || self.closing.load(Ordering::SeqCst) {
+                continue;
+            }
+            let due = { self.shards[shard].lock().next_probe <= Instant::now() };
+            if !due {
+                continue;
+            }
+            // Dial outside the shard lock: a handshake can take up to
+            // `handshake_timeout` and must not block routing decisions.
+            let counters = self.metrics.net_counters(&format!("cluster/shard-{shard}"));
+            match NetClient::connect_instrumented(self.addrs[shard], self.config.client, counters) {
+                Ok(client) => {
+                    let mut state = self.shards[shard].lock();
+                    if self.closing.load(Ordering::SeqCst) {
+                        drop(state);
+                        client.close();
+                        return;
+                    }
+                    state.client = Some(client);
+                    state.backoff = Duration::ZERO;
+                    drop(state);
+                    self.healthy[shard].store(true, Ordering::SeqCst);
+                    self.push_event(ClusterEvent::ShardUp { shard });
+                }
+                Err(_) => {
+                    let mut state = self.shards[shard].lock();
+                    state.backoff = if state.backoff.is_zero() {
+                        self.config.probe_backoff
+                    } else {
+                        (state.backoff * 2).min(self.config.probe_max_backoff)
+                    };
+                    state.next_probe = Instant::now() + state.backoff;
+                }
+            }
+        }
+    }
+}
+
+/// One job tracked by a [`ClusterBatch`]: where it currently lives and
+/// which shards already failed it.
+struct ClusterJob {
+    job: QueryJob,
+    shard: Option<usize>,
+    excluded: Vec<bool>,
+    handle: Option<NetJobHandle>,
+}
+
+/// A batch of in-flight cluster jobs, in submission order.
+///
+/// Waiting re-routes transparently: a job whose shard dies mid-flight
+/// is resubmitted to the best surviving shard (at most once per shard)
+/// before its result is reported.
+#[must_use = "a cluster batch does nothing unless waited on"]
+pub struct ClusterBatch {
+    inner: Arc<ClusterInner>,
+    jobs: Vec<ClusterJob>,
+}
+
+impl ClusterBatch {
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch carries no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Blocks until every job resolved, re-routing jobs off failed
+    /// shards as needed; results in submission order.
+    pub fn wait(self) -> Vec<NetJobResult> {
+        let inner = self.inner;
+        self.jobs
+            .into_iter()
+            .map(|job| Self::resolve(&inner, job))
+            .collect()
+    }
+
+    fn resolve(inner: &ClusterInner, mut cj: ClusterJob) -> NetJobResult {
+        loop {
+            let result = match cj.handle.take() {
+                Some(handle) => handle.wait(),
+                None => Err(NetError::ConnectionLost(
+                    "no healthy shard to route to".into(),
+                )),
+            };
+            match &result {
+                Err(NetError::ConnectionLost(detail)) => {
+                    if let Some(shard) = cj.shard {
+                        inner.mark_down(shard, detail);
+                        cj.excluded[shard] = true;
+                    }
+                }
+                Err(NetError::ServerShutdown) => {
+                    if let Some(shard) = cj.shard {
+                        inner.mark_down(shard, "server is draining");
+                        cj.excluded[shard] = true;
+                    }
+                }
+                // Every other outcome (a report, a remote job failure, a
+                // busy budget blown, a protocol error) is an answer from
+                // a live shard — re-running elsewhere cannot improve it.
+                _ => return result,
+            }
+            let from = cj.shard.take();
+            if !inner.place(&mut cj) {
+                // Nowhere left to go: report the original failure.
+                return result;
+            }
+            inner.push_event(ClusterEvent::Rerouted {
+                from,
+                to: cj.shard.expect("placed job has a shard"),
+            });
+        }
+    }
+}
+
+/// A sharded front-end over several [`NetServer`](crate::NetServer)
+/// endpoints, routing jobs by rendezvous hashing with transparent
+/// failover and background shard recovery.
+pub struct ShardedClient {
+    inner: Arc<ClusterInner>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl ShardedClient {
+    /// Connects to every address in `addrs` (one shard each, in order).
+    ///
+    /// Shards that cannot be dialed start out down — recorded as
+    /// [`ClusterEvent::ShardDown`] and retried by the prober — but at
+    /// least one shard must come up or the connect fails with the last
+    /// dial error.
+    pub fn connect(
+        addrs: impl IntoIterator<Item = impl ToSocketAddrs>,
+        config: ClusterConfig,
+    ) -> Result<Self, NetError> {
+        let mut resolved = Vec::new();
+        for addr in addrs {
+            let addr = addr
+                .to_socket_addrs()
+                .map_err(|e| NetError::ConnectionLost(format!("address resolution failed: {e}")))?
+                .next()
+                .ok_or_else(|| NetError::ConnectionLost("address resolved to nothing".into()))?;
+            resolved.push(addr);
+        }
+        if resolved.is_empty() {
+            return Err(NetError::ConnectionLost("no shard addresses given".into()));
+        }
+
+        let metrics = MetricsRegistry::new();
+        let mut shards = Vec::with_capacity(resolved.len());
+        let mut healthy = Vec::with_capacity(resolved.len());
+        let mut events = Vec::new();
+        let mut last_error = None;
+        for (shard, addr) in resolved.iter().enumerate() {
+            let counters = metrics.net_counters(&format!("cluster/shard-{shard}"));
+            let (client, up) = match NetClient::connect_instrumented(*addr, config.client, counters)
+            {
+                Ok(client) => (Some(client), true),
+                Err(e) => {
+                    events.push(ClusterEvent::ShardDown {
+                        shard,
+                        detail: e.to_string(),
+                    });
+                    last_error = Some(e);
+                    (None, false)
+                }
+            };
+            shards.push(Mutex::new(ShardState {
+                client,
+                backoff: Duration::ZERO,
+                next_probe: Instant::now(),
+            }));
+            healthy.push(AtomicBool::new(up));
+        }
+        if !healthy.iter().any(|h| h.load(Ordering::SeqCst)) {
+            return Err(
+                last_error.unwrap_or_else(|| NetError::ConnectionLost("no shard reachable".into()))
+            );
+        }
+
+        let labels = resolved
+            .iter()
+            .enumerate()
+            .map(|(shard, addr)| format!("{shard}:{addr}"))
+            .collect();
+        let inner = Arc::new(ClusterInner {
+            addrs: resolved,
+            labels,
+            shards,
+            healthy,
+            events: Mutex::new(events),
+            metrics,
+            config,
+            closing: AtomicBool::new(false),
+        });
+
+        let prober = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("tcast-cluster-prober".into())
+                .spawn(move || {
+                    while !inner.closing.load(Ordering::SeqCst) {
+                        inner.probe_down_shards();
+                        std::thread::sleep(PROBE_TICK);
+                    }
+                })
+                .map_err(|e| NetError::ConnectionLost(format!("spawn prober: {e}")))?
+        };
+
+        Ok(Self {
+            inner,
+            prober: Some(prober),
+        })
+    }
+
+    /// Number of shards (healthy or not) in the cluster.
+    pub fn shards(&self) -> usize {
+        self.inner.addrs.len()
+    }
+
+    /// Number of shards currently in rotation.
+    pub fn healthy_shards(&self) -> usize {
+        self.inner
+            .healthy
+            .iter()
+            .filter(|h| h.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// The shard `job` would route to right now, or `None` when no
+    /// shard is healthy. Stable while the healthy set is unchanged.
+    pub fn route_of(&self, job: &QueryJob) -> Option<usize> {
+        let excluded = vec![false; self.inner.addrs.len()];
+        self.inner.route(job, &excluded)
+    }
+
+    /// Submits `jobs` across the cluster, pipelined: every job is
+    /// routed and written to its shard's wire before this returns.
+    pub fn submit(&self, jobs: Vec<QueryJob>) -> ClusterBatch {
+        let shard_count = self.inner.addrs.len();
+        let jobs = jobs
+            .into_iter()
+            .map(|job| {
+                let mut cj = ClusterJob {
+                    job,
+                    shard: None,
+                    excluded: vec![false; shard_count],
+                    handle: None,
+                };
+                // Failure to place here is not final: `wait` retries the
+                // routing (the prober may have revived a shard by then).
+                self.inner.place(&mut cj);
+                cj
+            })
+            .collect();
+        ClusterBatch {
+            inner: self.inner.clone(),
+            jobs,
+        }
+    }
+
+    /// Events recorded so far (shard transitions and re-routes), oldest
+    /// first.
+    pub fn events(&self) -> Vec<ClusterEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Snapshot of the cluster's own metrics registry: one
+    /// [`tcast_service::NetMetricsRow`] per shard (labelled
+    /// `cluster/shard-N`) counting frames, bytes, decode errors, and
+    /// busy rejections on that shard's connections.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Stops the prober, says `Goodbye` on every live shard connection,
+    /// and joins all background threads.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.closing.store(true, Ordering::SeqCst);
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+        for state in &self.inner.shards {
+            let client = state.lock().client.take();
+            if let Some(client) = client {
+                client.close();
+            }
+        }
+    }
+}
+
+impl Drop for ShardedClient {
+    fn drop(&mut self) {
+        if !self.inner.closing.load(Ordering::SeqCst) {
+            self.shutdown();
+        }
+    }
+}

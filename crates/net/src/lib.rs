@@ -16,6 +16,10 @@
 //!   and shutdown drains in-flight work before closing.
 //! - [`client`]: [`NetClient`], a pooled, pipelined client whose
 //!   submit/wait API mirrors the in-process `Batch`/`JobHandle` shape.
+//! - [`cluster`]: [`ShardedClient`], a front-end fanning jobs across
+//!   several servers by rendezvous hashing on each job's identity
+//!   bytes, with transparent failover to surviving shards and
+//!   background recovery probing.
 //!
 //! Because job execution is fully deterministic (every seed travels in
 //! the job spec), a report computed remotely is bit-identical to one
@@ -47,11 +51,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod crc;
 pub mod frame;
 pub mod server;
 
 pub use client::{NetBatch, NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult};
+pub use cluster::{ClusterBatch, ClusterConfig, ClusterEvent, ShardedClient};
 pub use frame::{
     ErrorCode, Frame, FrameReadError, FrameReader, MalformedFrame, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
 };

@@ -78,6 +78,38 @@ fn remote_verdicts_are_bit_identical_to_in_process_runs() {
 }
 
 #[test]
+fn batch_handles_are_non_consuming_and_wait_timeout_resolves() {
+    let jobs = full_coverage_batch(32, 10, 5, 0xAB);
+    let local = in_process(&jobs);
+
+    let (server, _service) = start_server(2, NetServerConfig::default());
+    let client =
+        NetClient::connect(server.local_addr(), NetClientConfig::default()).expect("connect");
+    let batch = client.submit(jobs);
+
+    // `handles(&self)` mirrors the in-process `Batch`: taking per-job
+    // handles does not consume the batch, and both views resolve to the
+    // same responses.
+    let handles = batch.handles();
+    assert_eq!(handles.len(), batch.len());
+    let via_handles: Vec<QueryReport> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("remote job succeeded"))
+        .collect();
+    let via_batch: Vec<QueryReport> = batch
+        .wait_timeout(Duration::from_secs(30))
+        .expect("responses already arrived")
+        .into_iter()
+        .map(|r| r.expect("remote job succeeded"))
+        .collect();
+    assert_eq!(via_handles, local);
+    assert_eq!(via_batch, local);
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
 fn a_connection_pipelines_64_inflight_requests_with_out_of_order_completion() {
     let (server, _service) = start_server(
         4,

@@ -163,15 +163,20 @@ mod tests {
 
     #[test]
     fn paired_backcast_session_is_exact_and_faster() {
-        use tcast::engine::run_with_policy_paired;
+        use tcast::engine::{drive, ChannelMut, RunOptions};
         let positives: Vec<usize> = (0..6).collect();
         for &(t, expect) in &[(4usize, true), (8, false)] {
             // Paired session.
             let mut ch = channel(12, &positives, Primitive::Backcast);
             let mut rng = SmallRng::seed_from_u64(5);
-            let report = run_with_policy_paired(&population(12), t, &mut ch, &mut rng, |s, _| {
-                2 * s.threshold()
-            });
+            let report = drive(
+                &population(12),
+                t,
+                ChannelMut::paired(&mut ch),
+                &mut rng,
+                RunOptions::new(),
+                |s, _| 2 * s.threshold(),
+            );
             assert_eq!(report.answer, expect, "t={t}");
             let paired_elapsed = ch.stack().stats.elapsed;
             let paired_queries = report.queries;

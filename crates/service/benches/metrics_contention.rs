@@ -1,0 +1,75 @@
+//! Contention on the metrics hot path: many worker threads recording
+//! results into the *same* label concurrently.
+//!
+//! Before sharding, every `MetricsRegistry::record` serialized on one
+//! registry-wide mutex, so a worker pool hammering a single algorithm
+//! label spent its time queueing on the lock rather than recording. The
+//! sharded registry pins each thread to one of its internal shards and
+//! folds them at snapshot time, so same-label recording from different
+//! threads touches different locks. This bench measures aggregate record
+//! throughput at 1/2/4/8 recording threads — scaling (rather than
+//! inverse scaling) with thread count is the sharding payoff.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tcast::QueryReport;
+use tcast_service::{JobOutput, JobResult, MetricsRegistry};
+
+/// Total records per measured iteration, split across the threads.
+const RECORDS: usize = 8_192;
+
+fn sample_result(i: usize) -> JobResult {
+    Ok(JobOutput::Report(QueryReport {
+        answer: !i.is_multiple_of(3),
+        queries: 20 + (i % 13) as u64,
+        rounds: 1 + (i % 4) as u32,
+        retry_queries: (i % 5) as u64,
+        confirmed_positives: 0,
+        trace: Vec::new(),
+    }))
+}
+
+fn metrics_contention(c: &mut Criterion) {
+    let results: Vec<JobResult> = (0..RECORDS).map(sample_result).collect();
+
+    let mut g = c.benchmark_group("metrics_record_same_label");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(RECORDS as u64));
+
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let registry = MetricsRegistry::new();
+                    std::thread::scope(|scope| {
+                        for worker in 0..threads {
+                            let registry = &registry;
+                            let results = &results;
+                            scope.spawn(move || {
+                                for (i, result) in
+                                    results.iter().skip(worker).step_by(threads).enumerate()
+                                {
+                                    registry.record(
+                                        "2tBins",
+                                        result,
+                                        Duration::from_micros(50 + (i % 7) as u64),
+                                    );
+                                }
+                            });
+                        }
+                    });
+                    black_box(registry.snapshot())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, metrics_contention);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Bounded LRU cache of finished session reports.
+//!
+//! Job execution is a pure function of the job's spec, so a report
+//! produced once is valid forever: a cache hit returns bytes the worker
+//! would have recomputed identically. Keys are the job's exact encoded
+//! identity ([`crate::QueryJob::cache_key`]) — full bytes, not a hash, so
+//! a hit can never be a collision.
+//!
+//! The cache is an opt-in (`ServiceConfig::with_session_cache`); the
+//! service consults it on the worker thread right before executing a
+//! query job and records hits in the metrics registry. Eviction is
+//! least-recently-used over a monotonic clock: a `BTreeMap` keyed by the
+//! last-touch stamp gives O(log n) victim selection without unsafe
+//! intrusive lists.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tcast::QueryReport;
+
+/// A report plus the clock stamp of its last touch.
+struct CacheSlot {
+    report: QueryReport,
+    stamp: u64,
+}
+
+/// Bounded least-recently-used map from exact job identity bytes to the
+/// job's report.
+pub(crate) struct SessionCache {
+    capacity: usize,
+    map: HashMap<Vec<u8>, CacheSlot>,
+    /// Last-touch stamp -> key, for LRU victim selection. Stamps come
+    /// from a monotonic counter, so they are unique.
+    order: BTreeMap<u64, Vec<u8>>,
+    clock: u64,
+}
+
+impl SessionCache {
+    /// An empty cache holding at most `capacity` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0` — the service represents "no cache"
+    /// as the absence of a `SessionCache`, never as an empty one.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "session cache capacity must be positive");
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub(crate) fn get(&mut self, key: &[u8]) -> Option<QueryReport> {
+        let slot = self.map.get_mut(key)?;
+        self.order.remove(&slot.stamp);
+        self.clock += 1;
+        slot.stamp = self.clock;
+        self.order.insert(self.clock, key.to_vec());
+        Some(slot.report.clone())
+    }
+
+    /// Stores `report` under `key`, evicting the least-recently-used
+    /// entry when the cache is full. Re-inserting an existing key just
+    /// refreshes its recency (the report is identical by construction).
+    pub(crate) fn insert(&mut self, key: Vec<u8>, report: QueryReport) {
+        self.clock += 1;
+        if let Some(slot) = self.map.get_mut(&key) {
+            self.order.remove(&slot.stamp);
+            slot.stamp = self.clock;
+            self.order.insert(self.clock, key);
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            let (_, victim) = self
+                .order
+                .pop_first()
+                .expect("order tracks every cached key");
+            self.map.remove(&victim);
+        }
+        self.order.insert(self.clock, key.clone());
+        self.map.insert(
+            key,
+            CacheSlot {
+                report,
+                stamp: self.clock,
+            },
+        );
+    }
+
+    /// Number of cached reports.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(queries: u64) -> QueryReport {
+        QueryReport {
+            answer: true,
+            queries,
+            rounds: 1,
+            retry_queries: 0,
+            confirmed_positives: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let mut c = SessionCache::new(4);
+        assert_eq!(c.get(b"a"), None);
+        c.insert(b"a".to_vec(), report(7));
+        assert_eq!(c.get(b"a"), Some(report(7)));
+        assert_eq!(c.get(b"b"), None);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = SessionCache::new(2);
+        c.insert(b"a".to_vec(), report(1));
+        c.insert(b"b".to_vec(), report(2));
+        // Touch `a`: `b` becomes the LRU victim.
+        assert!(c.get(b"a").is_some());
+        c.insert(b"c".to_vec(), report(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(b"b").is_none(), "b was evicted");
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_growth() {
+        let mut c = SessionCache::new(2);
+        c.insert(b"a".to_vec(), report(1));
+        c.insert(b"b".to_vec(), report(2));
+        c.insert(b"a".to_vec(), report(1));
+        assert_eq!(c.len(), 2);
+        // `b` is now the oldest untouched entry.
+        c.insert(b"c".to_vec(), report(3));
+        assert!(c.get(b"b").is_none());
+        assert!(c.get(b"a").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SessionCache::new(0);
+    }
+}

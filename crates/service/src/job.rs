@@ -135,6 +135,37 @@ impl QueryJob {
         self
     }
 
+    /// This job's exact result identity, as bytes: every field that
+    /// shapes the produced [`QueryReport`] participates — the algorithm,
+    /// the full channel spec (both seeds, model, loss, retry policy), the
+    /// threshold, the session seed, and the retry budget. The deadline is
+    /// deliberately excluded: it decides *whether* a session runs, never
+    /// what it reports, so a resubmission under a different deadline can
+    /// still be served from a session cache.
+    ///
+    /// Two jobs with equal keys produce bit-identical reports (execution
+    /// is a pure function of the spec), which is what makes the key safe
+    /// as an exact-match cache key: no hashing, no collisions.
+    pub fn cache_key(&self) -> Vec<u8> {
+        let mut key = Vec::with_capacity(64);
+        let algorithm = AlgorithmSpec::ALL
+            .iter()
+            .position(|a| *a == self.algorithm)
+            .expect("algorithm registered in AlgorithmSpec::ALL") as u8;
+        key.push(algorithm);
+        self.channel.cache_key_into(&mut key);
+        key.extend_from_slice(&(self.t as u64).to_le_bytes());
+        key.extend_from_slice(&self.session_seed.to_le_bytes());
+        match self.retry_budget {
+            None => key.push(0),
+            Some(b) => {
+                key.push(1);
+                key.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        key
+    }
+
     /// The effective retry policy: the channel's, tightened by the job's
     /// own budget when one is set.
     pub fn retry_policy(&self) -> RetryPolicy {
@@ -260,6 +291,45 @@ mod tests {
         let report = QueryJob::new(AlgorithmSpec::TwoTBins, spec, 4, 3).execute();
         assert!(report.retry_queries > 0);
         report.assert_consistent();
+    }
+
+    #[test]
+    fn cache_key_separates_every_report_shaping_field() {
+        let base = QueryJob::new(
+            AlgorithmSpec::TwoTBins,
+            ChannelSpec::ideal(64, 20, CollisionModel::OnePlus).seeded(1, 2),
+            8,
+            3,
+        );
+        let mut variants = vec![base];
+        variants.push(QueryJob {
+            algorithm: AlgorithmSpec::ExpIncrease,
+            ..base
+        });
+        variants.push(QueryJob { t: 9, ..base });
+        variants.push(QueryJob {
+            session_seed: 4,
+            ..base
+        });
+        variants.push(QueryJob {
+            channel: base.channel.seeded(1, 3),
+            ..base
+        });
+        variants.push(QueryJob {
+            channel: base.channel.with_retry(RetryPolicy::verified(1)),
+            ..base
+        });
+        variants.push(base.with_retry_budget(5));
+        let mut keys: Vec<_> = variants.iter().map(QueryJob::cache_key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), variants.len(), "every field must separate");
+
+        // The deadline must NOT separate: it never changes the report.
+        assert_eq!(
+            base.cache_key(),
+            base.with_deadline(Duration::from_secs(1)).cache_key()
+        );
     }
 
     #[test]

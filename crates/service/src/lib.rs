@@ -37,6 +37,7 @@
 //! through this service; see `examples/service.rs` for a mixed-traffic
 //! demo.
 
+mod cache;
 mod job;
 mod metrics;
 mod service;
@@ -45,4 +46,5 @@ pub use job::{AlgorithmSpec, JobError, JobOutput, JobResult, QueryJob};
 pub use metrics::{MetricsRegistry, MetricsRow, MetricsSnapshot, NetCounters, NetMetricsRow};
 pub use service::{
     Batch, CompletionWatcher, JobHandle, QueryService, ServiceClosed, ServiceConfig, SubmitError,
+    SubmitOptions,
 };

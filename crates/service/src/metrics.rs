@@ -32,6 +32,16 @@ const QUERIES_BINS: usize = 64;
 const RETRIES_HI: f64 = 256.0;
 const RETRIES_BINS: usize = 32;
 
+/// Number of counter shards in a [`MetricsRegistry`].
+///
+/// Each worker thread is pinned (round-robin) to one shard and records
+/// into that shard's own label map, entries, and distribution mutexes, so
+/// concurrent workers never contend on a shared lock or cache line in
+/// `record`. Shards are folded back together at snapshot time. Sixteen
+/// shards cover typical worker counts; beyond that, threads share shards
+/// and still only pay intra-shard contention.
+const METRICS_SHARDS: usize = 16;
+
 #[derive(Default)]
 struct Counters {
     jobs: AtomicU64,
@@ -42,6 +52,7 @@ struct Counters {
     rounds: AtomicU64,
     verdict_yes: AtomicU64,
     verdict_no: AtomicU64,
+    cache_hits: AtomicU64,
 }
 
 struct Distributions {
@@ -70,6 +81,47 @@ impl Default for Distributions {
 struct Entry {
     counters: Counters,
     dists: Mutex<Distributions>,
+}
+
+impl Entry {
+    fn to_row(&self, label: &str) -> MetricsRow {
+        let d = self.dists.lock();
+        MetricsRow {
+            label: label.to_string(),
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
+            deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            rounds: self.counters.rounds.load(Ordering::Relaxed),
+            verdict_yes: self.counters.verdict_yes.load(Ordering::Relaxed),
+            verdict_no: self.counters.verdict_no.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            latency_us: d.latency_us,
+            latency_hist: d.latency_hist.clone(),
+            failed_latency_us: d.failed_latency_us,
+            query_summary: d.query_summary,
+            query_hist: d.query_hist.clone(),
+            retry_hist: d.retry_hist.clone(),
+        }
+    }
+}
+
+/// One counter shard: a private label map so the owning threads never
+/// contend with other shards' threads.
+#[derive(Default)]
+struct Shard {
+    entries: Mutex<BTreeMap<String, Arc<Entry>>>,
+}
+
+/// Round-robin shard assignment, fixed per thread on first use.
+fn current_shard() -> usize {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static SHARD: usize =
+            (NEXT.fetch_add(1, Ordering::Relaxed) as usize) % METRICS_SHARDS;
+    }
+    SHARD.with(|s| *s)
 }
 
 /// Live connection-level counters for one network peer, registered by the
@@ -144,19 +196,36 @@ pub struct NetMetricsRow {
 }
 
 /// Per-label service metrics, shared by all workers.
-#[derive(Default)]
+///
+/// The hot path is sharded: each recording thread is pinned to one of
+/// a fixed number of internal shards holding their own label map and
+/// distribution locks, so workers never contend with each other in
+/// [`MetricsRegistry::record`]. Snapshots fold the shards back into one
+/// row per label; totals are exactly what an unsharded registry would
+/// have accumulated.
 pub struct MetricsRegistry {
-    entries: Mutex<BTreeMap<String, Arc<Entry>>>,
+    shards: Vec<Shard>,
     net: Mutex<BTreeMap<String, Arc<NetCounters>>>,
 }
 
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            shards: (0..METRICS_SHARDS).map(|_| Shard::default()).collect(),
+            net: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
 impl MetricsRegistry {
-    pub(crate) fn new() -> Self {
+    /// An empty registry (the service creates one per pool; benches and
+    /// embedding front-ends may hold their own).
+    pub fn new() -> Self {
         Self::default()
     }
 
     fn entry(&self, label: &str) -> Arc<Entry> {
-        let mut entries = self.entries.lock();
+        let mut entries = self.shards[current_shard()].entries.lock();
         if let Some(e) = entries.get(label) {
             return e.clone();
         }
@@ -172,7 +241,7 @@ impl MetricsRegistry {
     /// expired job never ran, so folding their wall-clock into the
     /// success distribution would skew every derived latency statistic.
     /// Their timings are kept apart in `failed_latency_us`.
-    pub(crate) fn record(&self, label: &str, result: &JobResult, elapsed: Duration) {
+    pub fn record(&self, label: &str, result: &JobResult, elapsed: Duration) {
         let entry = self.entry(label);
         let c = &entry.counters;
         c.jobs.fetch_add(1, Ordering::Relaxed);
@@ -220,6 +289,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records one session-cache hit under `label`, alongside the normal
+    /// [`record`](Self::record) of the cached result — so cached jobs
+    /// count in every total exactly like executed ones, plus here.
+    pub(crate) fn record_cache_hit(&self, label: &str) {
+        self.entry(label)
+            .counters
+            .cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns (registering on first use) the live connection counters for
     /// `label`. The returned handle is bumped lock-free by the transport;
     /// snapshots pick the values up under the same label.
@@ -233,37 +312,30 @@ impl MetricsRegistry {
         c
     }
 
-    /// A consistent point-in-time copy of every label's metrics.
+    /// A consistent point-in-time copy of every label's metrics, with the
+    /// per-thread shards folded back into one row per label.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let net_rows = {
             let net = self.net.lock();
             net.iter().map(|(label, c)| c.snapshot(label)).collect()
         };
-        let entries = self.entries.lock();
-        let rows = entries
-            .iter()
-            .map(|(label, e)| {
-                let d = e.dists.lock();
-                MetricsRow {
-                    label: label.clone(),
-                    jobs: e.counters.jobs.load(Ordering::Relaxed),
-                    panics: e.counters.panics.load(Ordering::Relaxed),
-                    deadline_exceeded: e.counters.deadline_exceeded.load(Ordering::Relaxed),
-                    queries: e.counters.queries.load(Ordering::Relaxed),
-                    retries: e.counters.retries.load(Ordering::Relaxed),
-                    rounds: e.counters.rounds.load(Ordering::Relaxed),
-                    verdict_yes: e.counters.verdict_yes.load(Ordering::Relaxed),
-                    verdict_no: e.counters.verdict_no.load(Ordering::Relaxed),
-                    latency_us: d.latency_us,
-                    latency_hist: d.latency_hist.clone(),
-                    failed_latency_us: d.failed_latency_us,
-                    query_summary: d.query_summary,
-                    query_hist: d.query_hist.clone(),
-                    retry_hist: d.retry_hist.clone(),
+        let mut folded: BTreeMap<String, MetricsRow> = BTreeMap::new();
+        for shard in &self.shards {
+            let entries = shard.entries.lock();
+            for (label, e) in entries.iter() {
+                let part = e.to_row(label);
+                match folded.get_mut(label) {
+                    Some(row) => row.fold(&part),
+                    None => {
+                        folded.insert(label.clone(), part);
+                    }
                 }
-            })
-            .collect();
-        MetricsSnapshot { rows, net_rows }
+            }
+        }
+        MetricsSnapshot {
+            rows: folded.into_values().collect(),
+            net_rows,
+        }
     }
 }
 
@@ -288,6 +360,11 @@ pub struct MetricsRow {
     pub verdict_yes: u64,
     /// Sessions that answered `x < t`.
     pub verdict_no: u64,
+    /// Jobs served from the session cache instead of re-simulation.
+    /// Cached jobs still count in every other column — identical totals
+    /// to having executed them — so this is purity of savings, not a
+    /// correction to apply elsewhere.
+    pub cache_hits: u64,
     /// Wall-clock latency per successful job, in microseconds.
     pub latency_us: Summary,
     /// Successful-job latency distribution, 2ms bins over `[0, 100ms)`.
@@ -302,6 +379,31 @@ pub struct MetricsRow {
     /// Retry-overhead distribution: per-session retry queries, 8-query
     /// bins over `[0, 256)`.
     pub retry_hist: Histogram,
+}
+
+impl MetricsRow {
+    /// Folds another row for the same label into this one: counters sum,
+    /// summaries and histograms merge. Used to collapse per-thread
+    /// shards at snapshot time, and usable by cluster front-ends to
+    /// aggregate rows across several services.
+    pub fn fold(&mut self, other: &MetricsRow) {
+        debug_assert_eq!(self.label, other.label, "folding rows across labels");
+        self.jobs += other.jobs;
+        self.panics += other.panics;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.queries += other.queries;
+        self.retries += other.retries;
+        self.rounds += other.rounds;
+        self.verdict_yes += other.verdict_yes;
+        self.verdict_no += other.verdict_no;
+        self.cache_hits += other.cache_hits;
+        self.latency_us.merge(&other.latency_us);
+        self.latency_hist.merge(&other.latency_hist);
+        self.failed_latency_us.merge(&other.failed_latency_us);
+        self.query_summary.merge(&other.query_summary);
+        self.query_hist.merge(&other.query_hist);
+        self.retry_hist.merge(&other.retry_hist);
+    }
 }
 
 /// Point-in-time dump of the whole registry, one row per label.
@@ -320,7 +422,7 @@ impl MetricsSnapshot {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "label,jobs,panics,deadline_exceeded,queries,retries,rounds,\
-             verdict_yes,verdict_no,mean_latency_us,max_latency_us,\
+             verdict_yes,verdict_no,cache_hits,mean_latency_us,max_latency_us,\
              mean_queries_per_job,mean_retries_per_job\n",
         );
         for r in &self.rows {
@@ -338,7 +440,7 @@ impl MetricsSnapshot {
                 (0.0, 0.0)
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.2},{:.2}\n",
+                "{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.2},{:.2}\n",
                 r.label,
                 r.jobs,
                 r.panics,
@@ -348,6 +450,7 @@ impl MetricsSnapshot {
                 r.rounds,
                 r.verdict_yes,
                 r.verdict_no,
+                r.cache_hits,
                 mean_l,
                 max_l,
                 mean_q,
@@ -379,9 +482,9 @@ impl MetricsSnapshot {
     pub fn to_markdown(&self) -> String {
         let mut out = String::from(
             "| label | jobs | panics | deadline | queries | retries | rounds \
-             | yes | no | latency (µs) | queries/job |\n\
+             | yes | no | cached | latency (µs) | queries/job |\n\
              |-------|-----:|-------:|---------:|--------:|--------:|-------:\
-             |----:|---:|-------------:|------------:|\n",
+             |----:|---:|-------:|-------------:|------------:|\n",
         );
         for r in &self.rows {
             let lat = if r.latency_us.count() > 0 {
@@ -395,7 +498,7 @@ impl MetricsSnapshot {
                 "-".into()
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 r.label,
                 r.jobs,
                 r.panics,
@@ -405,6 +508,7 @@ impl MetricsSnapshot {
                 r.rounds,
                 r.verdict_yes,
                 r.verdict_no,
+                r.cache_hits,
                 lat,
                 qpj,
             ));
@@ -563,14 +667,73 @@ mod tests {
         assert_eq!(
             lines.next().unwrap(),
             "label,jobs,panics,deadline_exceeded,queries,retries,rounds,\
-             verdict_yes,verdict_no,mean_latency_us,max_latency_us,\
+             verdict_yes,verdict_no,cache_hits,mean_latency_us,max_latency_us,\
              mean_queries_per_job,mean_retries_per_job"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "x,3,0,1,50,4,3,1,1,200.0,300.0,25.00,2.00"
+            "x,3,0,1,50,4,3,1,1,0,200.0,300.0,25.00,2.00"
         );
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn sharded_snapshot_equals_unsharded_totals() {
+        // The acceptance bar for sharding: a snapshot taken after an
+        // N-thread sweep must equal — snapshot-tested via the CSV dump —
+        // what the registry accumulated when the same results were
+        // recorded from a single thread (which keeps every sample in one
+        // shard, i.e. the pre-shard behaviour).
+        let workload: Vec<(String, JobResult, Duration)> = (0..256u64)
+            .map(|i| {
+                let label = format!("alg-{}", i % 5);
+                let result = match i % 7 {
+                    6 => Err(JobError::DeadlineExceeded),
+                    5 => Err(JobError::Panicked("boom".into())),
+                    _ => report_with_retries(i % 2 == 0, 10 + i, 1 + (i % 4) as u32, i % 3),
+                };
+                // Integer microsecond latencies sum exactly in f64, so the
+                // folded summaries must match bit-for-bit.
+                (label, result, Duration::from_micros(50 + i))
+            })
+            .collect();
+
+        let reference = MetricsRegistry::new();
+        for (label, result, elapsed) in &workload {
+            reference.record(label, result, *elapsed);
+        }
+
+        let sharded = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let sharded = sharded.clone();
+                let workload = &workload;
+                scope.spawn(move || {
+                    for (label, result, elapsed) in workload.iter().skip(worker).step_by(threads) {
+                        sharded.record(label, result, *elapsed);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(reference.snapshot().to_csv(), sharded.snapshot().to_csv());
+    }
+
+    #[test]
+    fn cache_hits_surface_in_rows_and_dumps() {
+        let m = MetricsRegistry::new();
+        m.record("x", &report(true, 4, 1), Duration::from_micros(100));
+        m.record("x", &report(true, 4, 1), Duration::from_micros(1));
+        m.record_cache_hit("x");
+        let snap = m.snapshot();
+        let r = &snap.rows[0];
+        assert_eq!(
+            (r.jobs, r.cache_hits),
+            (2, 1),
+            "hits ride along, not instead"
+        );
+        assert!(snap.to_csv().contains("x,2,0,0,8,0,2,2,0,1,"));
     }
 
     #[test]

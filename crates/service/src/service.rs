@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::cache::SessionCache;
 use crate::job::{JobError, JobOutput, JobResult, QueryJob};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 
@@ -34,6 +35,11 @@ pub struct ServiceConfig {
     /// Maximum jobs waiting in the admission queue before `submit` blocks
     /// (and `try_submit` rejects).
     pub queue_capacity: usize,
+    /// Capacity (in reports) of the LRU session result cache consulted
+    /// before executing a query job; `0` (the default) disables caching.
+    /// Safe at any size: keys are the job's exact encoded identity
+    /// ([`QueryJob::cache_key`]), and execution is a pure function of it.
+    pub session_cache: usize,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +47,7 @@ impl Default for ServiceConfig {
         Self {
             workers: 0,
             queue_capacity: 4096,
+            session_cache: 0,
         }
     }
 }
@@ -59,6 +66,14 @@ impl ServiceConfig {
     #[must_use = "builder methods return a new config; the original is unchanged"]
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Returns the config with a session result cache of `capacity`
+    /// reports (`0` disables caching).
+    #[must_use = "builder methods return a new config; the original is unchanged"]
+    pub fn with_session_cache(mut self, capacity: usize) -> Self {
+        self.session_cache = capacity;
         self
     }
 }
@@ -92,6 +107,63 @@ pub enum SubmitError {
 /// typically handing the result to a channel, as the network front-end
 /// does to stream responses in completion order.
 pub type CompletionWatcher = Arc<dyn Fn(usize, &JobResult) + Send + Sync>;
+
+/// How [`QueryService::submit_with`] admits a batch: the one options
+/// struct behind the whole submit surface. The named entrypoints
+/// ([`QueryService::submit`], [`QueryService::try_submit`],
+/// [`QueryService::submit_watched`],
+/// [`QueryService::try_submit_watched`]) are thin delegates over the
+/// four corners of this space.
+#[derive(Clone)]
+pub struct SubmitOptions {
+    /// Block while the admission queue is over capacity (backpressure).
+    /// With `false`, a full queue hands the jobs back as
+    /// [`SubmitError::QueueFull`] instead.
+    pub blocking: bool,
+    /// Completion hook invoked on the worker thread as each job
+    /// finishes, in completion order; `None` for plain batches.
+    pub watcher: Option<CompletionWatcher>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        Self {
+            blocking: true,
+            watcher: None,
+        }
+    }
+}
+
+impl SubmitOptions {
+    /// Blocking admission, no completion hook — the `submit` corner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the options with non-blocking admission (full queue →
+    /// [`SubmitError::QueueFull`]).
+    #[must_use = "builder methods return new options; the original is unchanged"]
+    pub fn nonblocking(mut self) -> Self {
+        self.blocking = false;
+        self
+    }
+
+    /// Returns the options with a completion hook.
+    #[must_use = "builder methods return new options; the original is unchanged"]
+    pub fn watched(mut self, watcher: CompletionWatcher) -> Self {
+        self.watcher = Some(watcher);
+        self
+    }
+}
+
+impl std::fmt::Debug for SubmitOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitOptions")
+            .field("blocking", &self.blocking)
+            .field("watcher", &self.watcher.is_some())
+            .finish()
+    }
+}
 
 /// A job ready to execute on a worker.
 enum Payload {
@@ -174,6 +246,9 @@ struct Inner {
     not_full: Condvar,
     capacity: usize,
     metrics: Arc<MetricsRegistry>,
+    /// Optional LRU of finished reports, keyed by exact job identity;
+    /// `None` when `ServiceConfig::session_cache` is 0.
+    cache: Option<Mutex<SessionCache>>,
 }
 
 /// Handle to one batch of submitted jobs.
@@ -283,6 +358,8 @@ impl QueryService {
             not_full: Condvar::new(),
             capacity: config.queue_capacity,
             metrics: Arc::new(MetricsRegistry::new()),
+            cache: (config.session_cache > 0)
+                .then(|| Mutex::new(SessionCache::new(config.session_cache))),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -323,54 +400,80 @@ impl QueryService {
         self.inner.state.lock().queued_jobs
     }
 
+    /// Submits a batch of query jobs under explicit admission options —
+    /// the single entrypoint behind the whole submit surface.
+    ///
+    /// With `options.blocking` (the default), admission waits while the
+    /// queue is over capacity, and the only possible error is
+    /// [`SubmitError::Closed`]; a batch larger than the whole queue
+    /// capacity is admitted once the queue is empty. Without it, a full
+    /// queue hands the jobs back as [`SubmitError::QueueFull`]. An
+    /// `options.watcher` is invoked on the worker thread as each job
+    /// finishes (in completion order, which may differ from submission
+    /// order); the returned [`Batch`] still resolves in submission order.
+    pub fn submit_with(
+        &self,
+        jobs: Vec<QueryJob>,
+        options: SubmitOptions,
+    ) -> Result<Batch, SubmitError> {
+        self.enqueue(
+            jobs.into_iter().map(Payload::Query).collect(),
+            options.blocking,
+            options.watcher,
+        )
+        .map_err(Self::submit_error)
+    }
+
     /// Submits a batch of query jobs, blocking while the admission queue
-    /// is over capacity (backpressure). A batch larger than the whole
-    /// queue capacity is admitted once the queue is empty.
+    /// is over capacity (backpressure). Delegates to
+    /// [`submit_with`](Self::submit_with) with default options.
     pub fn submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, ServiceClosed> {
-        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), true, None)
-            .map_err(|_| ServiceClosed)
+        self.submit_with(jobs, SubmitOptions::new())
+            .map_err(Self::closed_only)
     }
 
     /// Like [`submit`](Self::submit), additionally invoking `on_complete`
-    /// on the worker thread as each job finishes (in completion order,
-    /// which may differ from submission order). The returned [`Batch`]
-    /// still resolves in submission order; callers that only consume the
-    /// callback may drop it.
+    /// on the worker thread as each job finishes. Delegates to
+    /// [`submit_with`](Self::submit_with) with a watcher.
     pub fn submit_watched(
         &self,
         jobs: Vec<QueryJob>,
         on_complete: CompletionWatcher,
     ) -> Result<Batch, ServiceClosed> {
-        self.enqueue(
-            jobs.into_iter().map(Payload::Query).collect(),
-            true,
-            Some(on_complete),
-        )
-        .map_err(|_| ServiceClosed)
+        self.submit_with(jobs, SubmitOptions::new().watched(on_complete))
+            .map_err(Self::closed_only)
     }
 
-    /// Like [`try_submit`](Self::try_submit) with a completion callback;
-    /// see [`submit_watched`](Self::submit_watched). The network front-end
-    /// uses this to pipeline responses without one blocked thread per
-    /// in-flight request.
+    /// Like [`try_submit`](Self::try_submit) with a completion callback.
+    /// The network front-end uses this to pipeline responses without one
+    /// blocked thread per in-flight request. Delegates to
+    /// [`submit_with`](Self::submit_with).
     pub fn try_submit_watched(
         &self,
         jobs: Vec<QueryJob>,
         on_complete: CompletionWatcher,
     ) -> Result<Batch, SubmitError> {
-        self.enqueue(
-            jobs.into_iter().map(Payload::Query).collect(),
-            false,
-            Some(on_complete),
+        self.submit_with(
+            jobs,
+            SubmitOptions::new().nonblocking().watched(on_complete),
         )
-        .map_err(Self::submit_error)
     }
 
     /// Like [`submit`](Self::submit) but never blocks: a full queue hands
-    /// the jobs back in [`SubmitError::QueueFull`].
+    /// the jobs back in [`SubmitError::QueueFull`]. Delegates to
+    /// [`submit_with`](Self::submit_with).
     pub fn try_submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, SubmitError> {
-        self.enqueue(jobs.into_iter().map(Payload::Query).collect(), false, None)
-            .map_err(Self::submit_error)
+        self.submit_with(jobs, SubmitOptions::new().nonblocking())
+    }
+
+    /// Collapses a blocking submission's error: with backpressure enabled
+    /// the queue can never be observed full, so only `Closed` remains.
+    fn closed_only(err: SubmitError) -> ServiceClosed {
+        debug_assert!(
+            matches!(err, SubmitError::Closed(_)),
+            "blocking admission cannot see a full queue"
+        );
+        ServiceClosed
     }
 
     fn submit_error((payloads, closed): (Vec<Payload>, bool)) -> SubmitError {
@@ -524,9 +627,7 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
                 // worker time producing one.
                 Err(JobError::DeadlineExceeded)
             } else {
-                catch_unwind(AssertUnwindSafe(|| job.execute()))
-                    .map(JobOutput::Report)
-                    .map_err(to_job_error)
+                run_query(inner, &label, &job)
             };
             (label, result)
         }
@@ -547,6 +648,27 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
     rs.slots[index] = Some(result);
     rs.completed += 1;
     unit.done.notify_all();
+}
+
+/// Runs one query job, consulting the session cache when configured.
+///
+/// A cached report flows through the same metrics path as a computed one
+/// (execution is pure, so totals stay identical to an uncached run); the
+/// hit itself is tallied separately as `cache_hits`. Only clean reports
+/// are cached — a panic is not a result worth replaying.
+fn run_query(inner: &Inner, label: &str, job: &QueryJob) -> JobResult {
+    let cached = inner.cache.as_ref().map(|c| (c, job.cache_key()));
+    if let Some(report) = cached.as_ref().and_then(|(c, key)| c.lock().get(key)) {
+        inner.metrics.record_cache_hit(label);
+        return Ok(JobOutput::Report(report));
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| job.execute()))
+        .map(JobOutput::Report)
+        .map_err(to_job_error);
+    if let (Some((cache, key)), Ok(JobOutput::Report(report))) = (cached, &outcome) {
+        cache.lock().insert(key, report.clone());
+    }
+    outcome
 }
 
 fn to_job_error(payload: Box<dyn std::any::Any + Send>) -> JobError {
@@ -642,6 +764,7 @@ mod tests {
         let service = QueryService::new(ServiceConfig {
             workers: 1,
             queue_capacity: 2,
+            ..ServiceConfig::default()
         });
         let (tx, rx) = std::sync::mpsc::channel::<()>();
         let gate: Box<dyn FnOnce() -> JobOutput + Send> = Box::new(move || {
@@ -726,6 +849,7 @@ mod tests {
         let service = QueryService::new(ServiceConfig {
             workers: 1,
             queue_capacity: 16,
+            ..ServiceConfig::default()
         });
         let (tx, rx) = std::sync::mpsc::channel::<()>();
         let gate: Box<dyn FnOnce() -> JobOutput + Send> = Box::new(move || {
@@ -812,6 +936,96 @@ mod tests {
             reports(service.submit(vec![job(2)]).unwrap().wait()).len(),
             1
         );
+    }
+
+    #[test]
+    fn submit_with_spans_the_whole_quadrant() {
+        // Blocking + watched through the unified entrypoint.
+        let service = QueryService::new(ServiceConfig::with_workers(2));
+        let jobs: Vec<QueryJob> = (0..8).map(job).collect();
+        let expected: Vec<_> = jobs.iter().map(|j| j.execute()).collect();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let sink = hits.clone();
+        let batch = service
+            .submit_with(
+                jobs,
+                SubmitOptions::new().watched(Arc::new(move |_, _| {
+                    sink.fetch_add(1, Ordering::Relaxed);
+                })),
+            )
+            .unwrap();
+        assert_eq!(reports(batch.wait()), expected);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+
+        // Non-blocking admission surfaces QueueFull like try_submit.
+        let service = QueryService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let gate: Box<dyn FnOnce() -> JobOutput + Send> = Box::new(move || {
+            rx.recv().ok();
+            JobOutput::Value(0.0)
+        });
+        let gate_batch = service.submit_tasks("gate", vec![gate]).unwrap();
+        let fill = service.submit(vec![job(1)]).unwrap();
+        match service.submit_with(vec![job(2)], SubmitOptions::new().nonblocking()) {
+            Err(SubmitError::QueueFull(jobs)) => assert_eq!(jobs, vec![job(2)]),
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+            Ok(_) => panic!("expected QueueFull, got acceptance"),
+        }
+        tx.send(()).unwrap();
+        gate_batch.wait();
+        fill.wait();
+    }
+
+    #[test]
+    fn session_cache_serves_repeats_without_changing_results() {
+        let service = QueryService::new(ServiceConfig::with_workers(2).with_session_cache(64));
+        let jobs: Vec<QueryJob> = (0..4).map(job).collect();
+        let expected: Vec<_> = jobs.iter().map(|j| j.execute()).collect();
+        let first = reports(service.submit(jobs.clone()).unwrap().wait());
+        assert_eq!(first, expected);
+        // Same batch again: all four served from cache, bit-identically.
+        let second = reports(service.submit(jobs).unwrap().wait());
+        assert_eq!(second, expected);
+        let snap = service.metrics();
+        let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
+        assert_eq!(row.jobs, 8, "cached jobs still count as jobs");
+        assert_eq!(row.cache_hits, 4);
+        assert_eq!(row.verdict_yes, 8, "verdict totals match an uncached run");
+    }
+
+    #[test]
+    fn session_cache_is_disabled_by_default() {
+        let service = QueryService::new(ServiceConfig::with_workers(1));
+        service.submit(vec![job(1)]).unwrap().wait();
+        service.submit(vec![job(1)]).unwrap().wait();
+        let snap = service.metrics();
+        let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
+        assert_eq!((row.jobs, row.cache_hits), (2, 0));
+    }
+
+    #[test]
+    fn session_cache_capacity_bounds_what_survives() {
+        // Capacity 1: A, B, A — B evicts A, so the second A recomputes.
+        let service = QueryService::new(ServiceConfig::with_workers(1).with_session_cache(1));
+        for j in [job(1), job(2), job(1)] {
+            service.submit(vec![j]).unwrap().wait();
+        }
+        let snap = service.metrics();
+        let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
+        assert_eq!((row.jobs, row.cache_hits), (3, 0));
+
+        // Capacity 2: the same sequence hits on the second A.
+        let service = QueryService::new(ServiceConfig::with_workers(1).with_session_cache(2));
+        for j in [job(1), job(2), job(1)] {
+            service.submit(vec![j]).unwrap().wait();
+        }
+        let snap = service.metrics();
+        let row = snap.rows.iter().find(|r| r.label == "2tBins").unwrap();
+        assert_eq!((row.jobs, row.cache_hits), (3, 1));
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn shutdown_after_try_submit_rejection_loses_no_jobs() {
     let service = QueryService::new(ServiceConfig {
         workers: 1,
         queue_capacity: 2,
+        ..ServiceConfig::default()
     });
     let (tx, rx) = std::sync::mpsc::channel::<()>();
     let gate: Box<dyn FnOnce() -> tcast_service::JobOutput + Send> = Box::new(move || {

@@ -49,6 +49,35 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram's mass into this one, bin by bin.
+    ///
+    /// Both histograms must share the same geometry (range and bin
+    /// count); per-worker metric shards are created from one constructor,
+    /// so folding them at snapshot time always satisfies this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different geometry: \
+             [{}, {}) x{} vs [{}, {}) x{}",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len(),
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Number of bins.
     pub fn bins(&self) -> usize {
         self.counts.len()
@@ -164,5 +193,28 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_panics() {
         let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_flows() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        a.record(1.5);
+        a.record(-1.0);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        b.record(1.7);
+        b.record(42.0);
+        a.merge(&b);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 10.0, 5);
+        a.merge(&b);
     }
 }

@@ -53,6 +53,7 @@ fn main() {
     let service = Arc::new(QueryService::new(ServiceConfig {
         workers: 0, // one per core
         queue_capacity: 256,
+        ..ServiceConfig::default()
     }));
     let server = NetServer::bind(
         "127.0.0.1:0",

@@ -2,8 +2,9 @@
 //!
 //! Floods a `tcast-service` worker pool with interleaved threshold-query
 //! sessions from every algorithm (a deployment where several base
-//! stations share one gateway's compute), exercises backpressure with
-//! `try_submit`, then drains the pool and prints the built-in
+//! stations share one gateway's compute), exercises backpressure through
+//! the unified `submit_with` entrypoint (non-blocking admission first,
+//! blocking fallback), then drains the pool and prints the built-in
 //! per-algorithm metrics as a markdown table and CSV.
 //!
 //! ```text
@@ -11,7 +12,9 @@
 //! ```
 
 use tcast::{CaptureModel, ChannelSpec, CollisionModel};
-use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig, SubmitError};
+use tcast_service::{
+    AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig, SubmitError, SubmitOptions,
+};
 
 const N: usize = 128;
 const T: usize = 16;
@@ -45,6 +48,7 @@ fn main() {
     let service = QueryService::new(ServiceConfig {
         workers: 0, // one per core
         queue_capacity: 512,
+        ..ServiceConfig::default()
     });
     println!(
         "service up: {} workers, queue capacity 512",
@@ -76,11 +80,14 @@ fn main() {
     let mut batches = Vec::new();
     let mut rejected_bursts = 0usize;
     for burst in mixed.chunks(64) {
-        match service.try_submit(burst.to_vec()) {
+        match service.submit_with(burst.to_vec(), SubmitOptions::new().nonblocking()) {
             Ok(batch) => batches.push(batch),
             Err(SubmitError::QueueFull(jobs)) => {
                 rejected_bursts += 1;
-                batches.push(service.submit(jobs).expect("service open"));
+                let batch = service
+                    .submit_with(jobs, SubmitOptions::new())
+                    .expect("service open");
+                batches.push(batch);
             }
             Err(SubmitError::Closed(_)) => unreachable!("service not shut down"),
         }
