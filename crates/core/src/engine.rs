@@ -257,6 +257,7 @@ impl Session {
             retries: round_retries as usize,
             remaining: self.remaining.len(),
         });
+        self.emit_round_event(bins, &stats, round_retries, false);
 
         match decided {
             Some(answer) => RoundOutcome::Decided(answer),
@@ -399,11 +400,31 @@ impl Session {
             retries: round_retries as usize,
             remaining: self.remaining.len(),
         });
+        self.emit_round_event(bins, &stats, round_retries, false);
 
         match decided {
             Some(answer) => RoundOutcome::Decided(answer),
             None => RoundOutcome::Undecided(stats),
         }
+    }
+
+    /// Emits one `engine.round` trace event mirroring the [`RoundTrace`]
+    /// entry just pushed. One event per round — the trace-consistency
+    /// proptests rely on this 1:1 pairing.
+    fn emit_round_event(&self, bins: usize, stats: &RoundStats, retries: u64, verification: bool) {
+        tcast_obs::event_current(
+            "engine.round",
+            &[
+                ("bins", bins as u64),
+                ("queried_bins", stats.queried_bins as u64),
+                ("silent_bins", stats.silent_bins as u64),
+                ("eliminated", stats.eliminated as u64),
+                ("captured", stats.captured as u64),
+                ("retries", retries),
+                ("remaining", self.remaining.len() as u64),
+                ("verification", u64::from(verification)),
+            ],
+        );
     }
 
     /// Attempts to finalize a pending `false` verdict against the pool of
@@ -425,6 +446,7 @@ impl Session {
         let checks = 1 + u64::from(self.retry.max_retries);
         let mut spent = 0u64;
         let mut rescued = false;
+        let started = tcast_obs::enabled().then(std::time::Instant::now);
         while spent < checks && self.retry.allows(self.retry_queries) {
             self.queries += 1;
             self.retry_queries += 1;
@@ -437,6 +459,7 @@ impl Session {
         if spent == 0 {
             return true; // budget exhausted: accept the verdict unverified
         }
+        emit_retry_event(spent, started, true);
         if rescued {
             self.remaining.append(&mut self.eliminated);
         }
@@ -450,6 +473,17 @@ impl Session {
             retries: spent as usize,
             remaining: self.remaining.len(),
         });
+        self.emit_round_event(
+            1,
+            &RoundStats {
+                queried_bins: 0,
+                silent_bins: 0,
+                eliminated: 0,
+                captured: 0,
+            },
+            spent,
+            true,
+        );
         !rescued
     }
 }
@@ -467,15 +501,40 @@ fn requery_silence<C: GroupQueryChannel + ?Sized>(
     spent_before: u64,
 ) -> (Observation, u64) {
     let mut spent = 0u64;
+    let mut started: Option<std::time::Instant> = None;
     while obs == Observation::Silent
         && spent < u64::from(retry.max_retries)
         && retry.allows(spent_before + spent)
     {
+        if started.is_none() && tcast_obs::enabled() {
+            started = Some(std::time::Instant::now());
+        }
         obs = channel.query(members);
         debug_assert!(crate::channel::observation_valid(model, obs));
         spent += 1;
     }
+    if spent > 0 {
+        emit_retry_event(spent, started, false);
+    }
     (obs, spent)
+}
+
+/// Emits one `engine.retry` event covering a burst of `spent` retry
+/// queries (bin re-queries or, with `pool` set, final pool checks) and
+/// the wall-clock time they took. The per-phase latency breakdown in
+/// `tcast-experiments trace` sums these.
+fn emit_retry_event(spent: u64, started: Option<std::time::Instant>, pool: bool) {
+    tcast_obs::event_current(
+        "engine.retry",
+        &[
+            ("retries", spent),
+            (
+                "dur_ns",
+                started.map_or(0, |s| s.elapsed().as_nanos() as u64),
+            ),
+            ("pool", u64::from(pool)),
+        ],
+    );
 }
 
 /// Folds one bin's observation into the round state. Shared by the
@@ -606,6 +665,13 @@ impl Default for RunOptions {
 /// loss without false activity, evidence only ever goes missing, never
 /// appears). Retries and pool checks always query bins singly; on a
 /// paired channel only the first pass rides the paired primitive.
+///
+/// When tracing is enabled (see `tcast-obs`), every call runs inside an
+/// `engine.drive` span of the calling thread's current trace, emits one
+/// `engine.round` event per round (mirroring the [`RoundTrace`] entry),
+/// `engine.retry` events for verified-silence bursts, and a closing
+/// `engine.verdict` event. With no sink installed all of that is a
+/// handful of relaxed atomic loads.
 pub fn drive(
     nodes: &[NodeId],
     t: usize,
@@ -614,111 +680,49 @@ pub fn drive(
     options: RunOptions,
     mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    let mut session = Session::with_retry(nodes, t, options.retry);
-    let mut last_stats: Option<RoundStats> = None;
-    loop {
-        if let Some(answer) = session.precheck() {
-            if answer || session.confirm_false(channel.as_single()) {
-                return session.into_report(answer);
-            }
-            last_stats = None;
-            continue;
-        }
-        let bins = policy(&session, last_stats.as_ref());
-        let outcome = match &mut channel {
-            ChannelMut::Single(ch) => session.run_round(bins, *ch, rng),
-            ChannelMut::Paired(ch) => session.run_round_paired(bins, *ch, rng),
-        };
-        match outcome {
-            RoundOutcome::Decided(true) => return session.into_report(true),
-            RoundOutcome::Decided(false) => {
-                if session.confirm_false(channel.as_single()) {
-                    return session.into_report(false);
+    let span = tcast_obs::Span::enter_fields(
+        tcast_obs::current_trace(),
+        "engine.drive",
+        &[("n", nodes.len() as u64), ("t", t as u64)],
+    );
+    let report = {
+        let mut session = Session::with_retry(nodes, t, options.retry);
+        let mut last_stats: Option<RoundStats> = None;
+        loop {
+            if let Some(answer) = session.precheck() {
+                if answer || session.confirm_false(channel.as_single()) {
+                    break session.into_report(answer);
                 }
                 last_stats = None;
+                continue;
             }
-            RoundOutcome::Undecided(stats) => last_stats = Some(stats),
+            let bins = policy(&session, last_stats.as_ref());
+            let outcome = match &mut channel {
+                ChannelMut::Single(ch) => session.run_round(bins, *ch, rng),
+                ChannelMut::Paired(ch) => session.run_round_paired(bins, *ch, rng),
+            };
+            match outcome {
+                RoundOutcome::Decided(true) => break session.into_report(true),
+                RoundOutcome::Decided(false) => {
+                    if session.confirm_false(channel.as_single()) {
+                        break session.into_report(false);
+                    }
+                    last_stats = None;
+                }
+                RoundOutcome::Undecided(stats) => last_stats = Some(stats),
+            }
         }
-    }
-}
-
-/// Drives a session over a sequential channel without retries.
-#[deprecated(note = "use `engine::drive` with `ChannelMut::Single`")]
-pub fn run_with_policy(
-    nodes: &[NodeId],
-    t: usize,
-    channel: &mut dyn GroupQueryChannel,
-    rng: &mut dyn RngCore,
-    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
-) -> QueryReport {
-    drive(
-        nodes,
-        t,
-        ChannelMut::Single(channel),
-        rng,
-        RunOptions::new(),
-        policy,
-    )
-}
-
-/// Drives a session over a sequential channel with verified-silence
-/// retries.
-#[deprecated(note = "use `engine::drive` with `ChannelMut::Single` and `RunOptions::retrying`")]
-pub fn run_with_policy_retry(
-    nodes: &[NodeId],
-    t: usize,
-    channel: &mut dyn GroupQueryChannel,
-    rng: &mut dyn RngCore,
-    retry: RetryPolicy,
-    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
-) -> QueryReport {
-    drive(
-        nodes,
-        t,
-        ChannelMut::Single(channel),
-        rng,
-        RunOptions::retrying(retry),
-        policy,
-    )
-}
-
-/// Drives a session over a paired channel without retries.
-#[deprecated(note = "use `engine::drive` with `ChannelMut::Paired`")]
-pub fn run_with_policy_paired(
-    nodes: &[NodeId],
-    t: usize,
-    channel: &mut dyn PairedGroupQueryChannel,
-    rng: &mut dyn RngCore,
-    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
-) -> QueryReport {
-    drive(
-        nodes,
-        t,
-        ChannelMut::Paired(channel),
-        rng,
-        RunOptions::new(),
-        policy,
-    )
-}
-
-/// Drives a session over a paired channel with verified-silence retries.
-#[deprecated(note = "use `engine::drive` with `ChannelMut::Paired` and `RunOptions::retrying`")]
-pub fn run_with_policy_paired_retry(
-    nodes: &[NodeId],
-    t: usize,
-    channel: &mut dyn PairedGroupQueryChannel,
-    rng: &mut dyn RngCore,
-    retry: RetryPolicy,
-    policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
-) -> QueryReport {
-    drive(
-        nodes,
-        t,
-        ChannelMut::Paired(channel),
-        rng,
-        RunOptions::retrying(retry),
-        policy,
-    )
+    };
+    span.event(
+        "engine.verdict",
+        &[
+            ("answer", u64::from(report.answer)),
+            ("queries", report.queries),
+            ("rounds", u64::from(report.rounds)),
+            ("retry_queries", report.retry_queries),
+        ],
+    );
+    report
 }
 
 /// Returns `true` when `model` can ever produce captures (used by tests).

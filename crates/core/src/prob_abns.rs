@@ -106,6 +106,31 @@ impl ThresholdQuerier for ProbAbns {
             inner_nodes = nodes.to_vec();
         }
 
+        // The probe round happens outside `engine::drive`, so mirror its
+        // trace entry (and any retry burst) as events before the inner
+        // session starts — event order must match trace order.
+        if probe_cost > 0 {
+            if probe_retries > 0 {
+                tcast_obs::event_current(
+                    "engine.retry",
+                    &[("retries", probe_retries), ("dur_ns", 0), ("pool", 0)],
+                );
+            }
+            tcast_obs::event_current(
+                "engine.round",
+                &[
+                    ("bins", 1),
+                    ("queried_bins", 1),
+                    ("silent_bins", u64::from(probe_silent)),
+                    ("eliminated", (nodes.len() - survivors) as u64),
+                    ("captured", 0),
+                    ("retries", probe_retries),
+                    ("remaining", survivors as u64),
+                    ("verification", 0),
+                ],
+            );
+        }
+
         // The probe's retry spending counts against the session budget.
         let inner_retry = RetryPolicy {
             budget: retry.budget.map(|b| b.saturating_sub(probe_retries)),

@@ -1,30 +1,26 @@
-//! The unified `engine::drive` entrypoint must be bit-for-bit equivalent
-//! to the four deprecated wrappers it replaced.
+//! Contract properties of the unified `engine::drive` entrypoint.
 //!
-//! Two angles:
+//! These began life as equivalence proofs against the four deprecated
+//! `run_with_policy*` wrappers; with the wrappers removed (their
+//! equivalence held across thousands of proptest cases), the same
+//! machinery now pins down `drive` itself:
 //!
-//! 1. **Generic equivalence** (proptest): for arbitrary policies, seeds,
-//!    channel configurations (ideal and lossy) and retry settings, each
-//!    deprecated wrapper returns a `QueryReport` identical to the
-//!    corresponding `drive` call — answers, query counts, and the full
-//!    round trace.
-//! 2. **All seven exact algorithms**: every algorithm now runs on
-//!    `drive` internally. Its report's trace records the bin count of
-//!    each policy round, so replaying those bin counts through the
-//!    deprecated `run_with_policy_retry` with identical seeds must
-//!    reproduce the exact same report — proving the migration changed
-//!    nothing about any algorithm's behaviour.
-
-#![allow(deprecated)]
+//! 1. **Determinism**: identical inputs (nodes, threshold, channel spec,
+//!    seeds, policy, retry options) produce bit-identical reports, for
+//!    both channel flavours.
+//! 2. **Options equivalence**: `RunOptions::retrying(RetryPolicy::none())`
+//!    behaves exactly like `RunOptions::new()` — the retry layer is
+//!    strictly pay-for-what-you-use.
+//! 3. **Replayability**: every one of the seven exact algorithms runs on
+//!    `drive` internally, and replaying the per-round bin counts recorded
+//!    in its trace through a raw `drive` call reproduces the exact same
+//!    report — the trace is a complete account of the policy's decisions.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use tcast::engine::{
-    drive, run_with_policy, run_with_policy_paired, run_with_policy_paired_retry,
-    run_with_policy_retry, ChannelMut, RunOptions, Session,
-};
+use tcast::engine::{drive, ChannelMut, RunOptions, Session};
 use tcast::{
     population, Abns, ChannelSpec, CollisionModel, ExpIncrease, LossConfig, OracleBins,
     QueryReport, RetryPolicy, RoundStats, ThresholdQuerier, TwoTBins,
@@ -65,9 +61,10 @@ fn spec(n: usize, x: usize, lossy: bool, seed: u64) -> ChannelSpec {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Sequential wrappers (with and without retry) == `drive`.
+    /// Two sequential `drive` calls with identical inputs are
+    /// bit-identical, and a no-op retry policy changes nothing.
     #[test]
-    fn sequential_wrappers_match_drive(
+    fn sequential_drive_is_deterministic_and_retry_none_is_free(
         n in 1usize..64,
         x_frac in 0.0f64..=1.0,
         t in 0usize..70,
@@ -80,15 +77,18 @@ proptest! {
 
         let (mut ch_a, _) = spec(n, x, lossy, seed).build_with_truth();
         let mut rng_a = SmallRng::seed_from_u64(seed);
-        let via_wrapper = if lossy {
-            run_with_policy_retry(&population(n), t, ch_a.as_mut(), &mut rng_a, retry, policy(kind))
-        } else {
-            run_with_policy(&population(n), t, ch_a.as_mut(), &mut rng_a, policy(kind))
-        };
+        let first = drive(
+            &population(n),
+            t,
+            ChannelMut::Single(ch_a.as_mut()),
+            &mut rng_a,
+            RunOptions::retrying(retry),
+            policy(kind),
+        );
 
         let (mut ch_b, _) = spec(n, x, lossy, seed).build_with_truth();
         let mut rng_b = SmallRng::seed_from_u64(seed);
-        let via_drive = drive(
+        let second = drive(
             &population(n),
             t,
             ChannelMut::Single(ch_b.as_mut()),
@@ -96,14 +96,28 @@ proptest! {
             RunOptions::retrying(retry),
             policy(kind),
         );
+        prop_assert_eq!(&first, &second);
 
-        prop_assert_eq!(via_wrapper, via_drive);
+        if !lossy {
+            // RetryPolicy::none() above must equal the plain defaults.
+            let (mut ch_c, _) = spec(n, x, lossy, seed).build_with_truth();
+            let mut rng_c = SmallRng::seed_from_u64(seed);
+            let defaults = drive(
+                &population(n),
+                t,
+                ChannelMut::Single(ch_c.as_mut()),
+                &mut rng_c,
+                RunOptions::new(),
+                policy(kind),
+            );
+            prop_assert_eq!(&first, &defaults);
+        }
+        first.assert_consistent();
     }
 
-    /// Paired wrappers (with and without retry) == `drive` over
-    /// `ChannelMut::Paired`.
+    /// Paired-channel `drive` is deterministic, with and without retry.
     #[test]
-    fn paired_wrappers_match_drive(
+    fn paired_drive_is_deterministic(
         n in 1usize..64,
         x_frac in 0.0f64..=1.0,
         t in 0usize..70,
@@ -116,8 +130,6 @@ proptest! {
 
         // IdealChannel implements the paired primitive; lossy channels are
         // sequential-only, so the paired arm sweeps retry settings instead.
-        let (positives, _) = spec(n, x, false, seed).build_with_truth();
-        drop(positives);
         let mk = || {
             let s = spec(n, x, false, seed);
             let mut rng = SmallRng::seed_from_u64(s.placement_seed);
@@ -126,16 +138,18 @@ proptest! {
 
         let mut ch_a = mk();
         let mut rng_a = SmallRng::seed_from_u64(seed);
-        let via_wrapper = if with_retry {
-            run_with_policy_paired_retry(
-                &population(n), t, &mut ch_a, &mut rng_a, retry, policy(kind))
-        } else {
-            run_with_policy_paired(&population(n), t, &mut ch_a, &mut rng_a, policy(kind))
-        };
+        let first = drive(
+            &population(n),
+            t,
+            ChannelMut::paired(&mut ch_a),
+            &mut rng_a,
+            RunOptions::retrying(retry),
+            policy(kind),
+        );
 
         let mut ch_b = mk();
         let mut rng_b = SmallRng::seed_from_u64(seed);
-        let via_drive = drive(
+        let second = drive(
             &population(n),
             t,
             ChannelMut::paired(&mut ch_b),
@@ -144,14 +158,15 @@ proptest! {
             policy(kind),
         );
 
-        prop_assert_eq!(via_wrapper, via_drive);
+        prop_assert_eq!(&first, &second);
+        first.assert_consistent();
     }
 
     /// Every one of the seven exact algorithms, on ideal and lossy
     /// channels: replaying the algorithm's recorded per-round bin counts
-    /// through the deprecated wrapper reproduces its report exactly.
+    /// through a raw `drive` call reproduces its report exactly.
     #[test]
-    fn all_seven_algorithms_replay_through_deprecated_wrapper(
+    fn all_seven_algorithms_replay_through_drive(
         n in 1usize..48,
         x_frac in 0.0f64..=1.0,
         t in 0usize..52,
@@ -192,12 +207,12 @@ proptest! {
 
             let (mut ch, _) = s.build_with_truth();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let replayed: QueryReport = run_with_policy_retry(
+            let replayed: QueryReport = drive(
                 &population(n),
                 t,
-                ch.as_mut(),
+                ChannelMut::Single(ch.as_mut()),
                 &mut rng,
-                retry,
+                RunOptions::retrying(retry),
                 |_, _| replay.next().expect("replay ran out of rounds"),
             );
             prop_assert_eq!(

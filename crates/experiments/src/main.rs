@@ -24,6 +24,7 @@ use tcast_experiments::extensions::{counting, energy, interference, monitoring};
 use tcast_experiments::figures::{
     fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, loss,
 };
+use tcast_experiments::trace as trace_cmd;
 use tcast_experiments::{Figure, SweepSpec, Table};
 use tcast_motes::TestbedConfig;
 
@@ -302,29 +303,36 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             }
         }
         "trace" => {
-            // One annotated session per algorithm at the configured scale.
-            use rand::rngs::SmallRng;
-            use rand::SeedableRng;
-            use tcast::{population, ChannelSpec, CollisionModel, ThresholdQuerier};
-            let spec = opts.spec();
-            let x = opts.n.unwrap_or(spec.n) / 4;
-            let algs: Vec<Box<dyn ThresholdQuerier>> = vec![
-                Box::new(tcast::TwoTBins),
-                Box::new(tcast::ExpIncrease::standard()),
-                Box::new(tcast::Abns::p0_2t()),
-                Box::new(tcast::ProbAbns::standard()),
-            ];
-            println!(
-                "one session each: N={}, x={x}, t={} (seed {})\n",
-                spec.n, spec.t, spec.seed
-            );
-            for alg in algs {
-                let mut rng = SmallRng::seed_from_u64(spec.seed);
-                let (mut ch, _) =
-                    ChannelSpec::ideal(spec.n, x, CollisionModel::OnePlus).sample_with(&mut rng);
-                let report = alg.run(&population(spec.n), spec.t, ch.as_mut(), &mut rng);
-                println!("== {} ==", alg.name());
-                println!("{}", tcast::render::render_report(&report));
+            // A traced loopback sweep: every job carries a fresh TraceId
+            // across the wire; the trace command folds the records into a
+            // per-phase latency table, the slowest queries, and the
+            // server's wire-fetched Prometheus exposition.
+            let jsonl = opts.out.as_ref().map(|d| {
+                let dir = std::path::Path::new(d);
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("warning: cannot create {}: {e}", dir.display());
+                }
+                dir.join("trace.jsonl")
+            });
+            let spec = trace_cmd::TraceSpec {
+                jobs: if opts.fast {
+                    opts.runs.min(48)
+                } else {
+                    opts.runs.min(192)
+                },
+                n: opts.n.unwrap_or(64),
+                t: opts.t.unwrap_or(8),
+                seed: opts.seed,
+                slowest: 3,
+                jsonl,
+            };
+            let run = trace_cmd::run(&spec)?;
+            emit_table(&run.table, opts);
+            println!("{}", run.slowest);
+            println!("== server metrics over the wire (Prometheus exposition) ==\n");
+            print!("{}", run.exposition);
+            if let Some(path) = &run.jsonl {
+                eprintln!("[tcast-experiments] wrote {}", path.display());
             }
         }
         "help" => {
@@ -363,7 +371,10 @@ commands:
   cluster      fan `--runs` jobs across a sharded server cluster
                (--servers host:port,... or a self-hosted loopback trio)
                and verify every report against an in-process run
-  trace        print one annotated session per algorithm
+  trace        traced loopback sweep: per-phase latency breakdown
+               (queue/engine/retry/wire), slowest queries round by round,
+               and the server's wire-fetched Prometheus exposition
+               (--out DIR also writes DIR/trace.jsonl)
 
 options:
   --runs N   --n N   --t T   --seed S   --testbed-runs R   --threads N

@@ -15,10 +15,10 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
@@ -27,7 +27,8 @@ use tcast::QueryReport;
 use tcast_service::{JobError, NetCounters, QueryJob};
 
 use crate::frame::{
-    write_frame, ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
+    write_frame, write_frame_versioned, ErrorCode, Frame, FrameReadError, FrameReader,
+    DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V2,
 };
 
 /// Tuning knobs for [`NetClient`].
@@ -236,6 +237,23 @@ struct Pending {
     job: QueryJob,
     busy_retries_left: u32,
     busy_attempt: u32,
+    /// When the job was first written; the `net.rtt` event spans the
+    /// whole submit-to-response interval, `Busy` resends included.
+    sent_at: Instant,
+    trace: tcast_obs::TraceId,
+}
+
+/// Emits the client-side round-trip event for one answered request,
+/// correlated to the job's trace.
+fn emit_rtt(p: &Pending, request_id: u64) {
+    tcast_obs::event(
+        p.trace,
+        "net.rtt",
+        &[
+            ("us", p.sent_at.elapsed().as_micros() as u64),
+            ("request_id", request_id),
+        ],
+    );
 }
 
 /// Shared state of one pooled connection.
@@ -252,8 +270,14 @@ struct Conn {
     last_arrived: AtomicU64,
     out_of_order: AtomicU64,
     busy_resends: AtomicU64,
+    /// Protocol version negotiated on the current physical connection.
+    version: AtomicU8,
+    /// Successful dials; every dial beyond the first is a reconnect and
+    /// bumps the counters' generation tag.
+    dials: AtomicU64,
     /// Optional wire counters (frames/bytes in and out, decode errors,
-    /// busy rejections), shared with a metrics registry by the caller.
+    /// busy rejections, reconnects), shared with a metrics registry by
+    /// the caller.
     counters: Option<Arc<NetCounters>>,
 }
 
@@ -274,6 +298,8 @@ impl Conn {
             last_arrived: AtomicU64::new(0),
             out_of_order: AtomicU64::new(0),
             busy_resends: AtomicU64::new(0),
+            version: AtomicU8::new(PROTOCOL_V1),
+            dials: AtomicU64::new(0),
             counters,
         });
         conn.reconnect()?;
@@ -297,7 +323,7 @@ impl Conn {
             &mut handshake,
             &Frame::Hello {
                 min_version: PROTOCOL_V1,
-                max_version: PROTOCOL_V1,
+                max_version: PROTOCOL_V2,
             },
         )
         .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
@@ -314,11 +340,12 @@ impl Conn {
                 if let Some(c) = &self.counters {
                     c.frame_in(n as u64);
                 }
-                if version != PROTOCOL_V1 {
+                if !(PROTOCOL_V1..=PROTOCOL_V2).contains(&version) {
                     return Err(NetError::Protocol(format!(
                         "server acknowledged unsupported version {version}"
                     )));
                 }
+                self.version.store(version, Ordering::SeqCst);
             }
             Ok(Some((Frame::Error { code, detail, .. }, _))) => {
                 return Err(NetError::Protocol(format!(
@@ -346,6 +373,11 @@ impl Conn {
                 .map_err(|e| NetError::ConnectionLost(e.to_string()))?,
         );
         self.dead.store(false, Ordering::SeqCst);
+        if self.dials.fetch_add(1, Ordering::Relaxed) > 0 {
+            if let Some(c) = &self.counters {
+                c.reconnect();
+            }
+        }
 
         let conn = self.clone();
         let handle = std::thread::Builder::new()
@@ -360,17 +392,21 @@ impl Conn {
         Ok(())
     }
 
-    fn send(&self, frame: &Frame) -> Result<(), NetError> {
+    /// Writes `frame` at the negotiated version; returns wire bytes
+    /// written.
+    fn send(&self, frame: &Frame) -> Result<usize, NetError> {
+        let version = self.version.load(Ordering::SeqCst);
         let mut guard = self.write.lock();
         let stream = guard
             .as_mut()
             .ok_or_else(|| NetError::ConnectionLost("connection is down".into()))?;
-        match write_frame(stream, frame).and_then(|n| stream.flush().map(|()| n)) {
+        match write_frame_versioned(stream, frame, version).and_then(|n| stream.flush().map(|()| n))
+        {
             Ok(n) => {
                 if let Some(c) = &self.counters {
                     c.frame_out(n as u64);
                 }
-                Ok(())
+                Ok(n)
             }
             Err(e) => {
                 *guard = None;
@@ -389,6 +425,8 @@ impl Conn {
                 job,
                 busy_retries_left: self.config.busy_retries,
                 busy_attempt: 0,
+                sent_at: Instant::now(),
+                trace: job.trace,
             },
         );
         slot
@@ -408,11 +446,15 @@ impl Conn {
                     match frame {
                         Frame::JobOk { request_id, report } => {
                             self.track_arrival(request_id);
-                            self.take_pending(request_id, |p| p.slot.resolve(Ok(report)));
+                            self.take_pending(request_id, |p| {
+                                emit_rtt(&p, request_id);
+                                p.slot.resolve(Ok(report));
+                            });
                         }
                         Frame::JobFailed { request_id, error } => {
                             self.track_arrival(request_id);
                             self.take_pending(request_id, |p| {
+                                emit_rtt(&p, request_id);
                                 p.slot.resolve(Err(NetError::Job(error)));
                             });
                         }
@@ -612,8 +654,13 @@ impl NetClient {
                 }
             }
             let slot = conn.register(request_id, job);
-            if let Err(e) = conn.send(&Frame::Submit { request_id, job }) {
-                conn.take_pending(request_id, |p| p.slot.resolve(Err(e)));
+            match conn.send(&Frame::Submit { request_id, job }) {
+                Ok(n) => tcast_obs::event(
+                    job.trace,
+                    "net.submit",
+                    &[("bytes", n as u64), ("request_id", request_id)],
+                ),
+                Err(e) => conn.take_pending(request_id, |p| p.slot.resolve(Err(e))),
             }
             handles.push(NetJobHandle { slot });
         }
@@ -644,6 +691,75 @@ impl NetClient {
             .iter()
             .map(|c| c.busy_resends.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// The protocol version negotiated on the pool's first connection
+    /// (every connection negotiates independently; against one server
+    /// they all land on the same version).
+    pub fn negotiated_version(&self) -> u8 {
+        self.conns[0].version.load(Ordering::SeqCst)
+    }
+
+    /// Fetches the server's metrics registry rendered in Prometheus text
+    /// exposition format.
+    ///
+    /// Uses a fresh short-lived connection (handshake → `MetricsDump` →
+    /// `MetricsText` → `Goodbye`) so the pooled, pipelined connections
+    /// and their reader threads stay untouched; metrics fetches never
+    /// interleave with job responses.
+    pub fn metrics_text(&self) -> Result<String, NetError> {
+        let (addr, config) = (self.conns[0].addr, self.conns[0].config);
+        let mut stream = TcpStream::connect_timeout(&addr, config.handshake_timeout)
+            .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
+        stream
+            .set_read_timeout(Some(config.handshake_timeout))
+            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                min_version: PROTOCOL_V1,
+                max_version: PROTOCOL_V2,
+            },
+        )
+        .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
+        let mut reader = FrameReader::new();
+        let read_one =
+            |stream: &mut TcpStream, reader: &mut FrameReader| -> Result<Frame, NetError> {
+                match reader.read_from(stream, config.max_frame_payload) {
+                    Ok(Some((frame, _))) => Ok(frame),
+                    Ok(None) => Err(NetError::ConnectionLost("metrics fetch timed out".into())),
+                    Err(e) => Err(NetError::ConnectionLost(e.to_string())),
+                }
+            };
+        let version = match read_one(&mut stream, &mut reader)? {
+            Frame::HelloAck { version } => version,
+            Frame::Error { code, detail, .. } => {
+                return Err(NetError::Protocol(format!(
+                    "handshake rejected ({code:?}): {detail}"
+                )))
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected handshake frame: {other:?}"
+                )))
+            }
+        };
+        write_frame_versioned(&mut stream, &Frame::MetricsDump { request_id: 1 }, version)
+            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+        loop {
+            match read_one(&mut stream, &mut reader)? {
+                Frame::MetricsText { text, .. } => {
+                    let _ = write_frame_versioned(&mut stream, &Frame::Goodbye, version);
+                    return Ok(text);
+                }
+                Frame::Goodbye => {
+                    return Err(NetError::Protocol(
+                        "server closed before answering the metrics dump".into(),
+                    ))
+                }
+                _other => continue,
+            }
+        }
     }
 
     /// Says `Goodbye` on every connection and joins the reader threads.

@@ -158,6 +158,7 @@ impl ClusterInner {
             };
             match self.submit_to(next, cj.job) {
                 Some(handle) => {
+                    tcast_obs::event(cj.job.trace, "cluster.route", &[("shard", next as u64)]);
                     cj.shard = Some(next);
                     cj.handle = Some(handle);
                     return true;
@@ -180,6 +181,11 @@ impl ClusterInner {
             if let Some(client) = client {
                 client.close();
             }
+            tcast_obs::event(
+                tcast_obs::TraceId::NONE,
+                "cluster.shard_down",
+                &[("shard", shard as u64)],
+            );
             self.push_event(ClusterEvent::ShardDown {
                 shard,
                 detail: detail.to_string(),
@@ -212,9 +218,19 @@ impl ClusterInner {
                     state.backoff = Duration::ZERO;
                     drop(state);
                     self.healthy[shard].store(true, Ordering::SeqCst);
+                    tcast_obs::event(
+                        tcast_obs::TraceId::NONE,
+                        "cluster.probe",
+                        &[("shard", shard as u64), ("up", 1)],
+                    );
                     self.push_event(ClusterEvent::ShardUp { shard });
                 }
                 Err(_) => {
+                    tcast_obs::event(
+                        tcast_obs::TraceId::NONE,
+                        "cluster.probe",
+                        &[("shard", shard as u64), ("up", 0)],
+                    );
                     let mut state = self.shards[shard].lock();
                     state.backoff = if state.backoff.is_zero() {
                         self.config.probe_backoff
@@ -300,10 +316,18 @@ impl ClusterBatch {
                 // Nowhere left to go: report the original failure.
                 return result;
             }
-            inner.push_event(ClusterEvent::Rerouted {
-                from,
-                to: cj.shard.expect("placed job has a shard"),
-            });
+            let to = cj.shard.expect("placed job has a shard");
+            match from {
+                Some(from) => tcast_obs::event(
+                    cj.job.trace,
+                    "cluster.reroute",
+                    &[("from", from as u64), ("to", to as u64)],
+                ),
+                None => {
+                    tcast_obs::event(cj.job.trace, "cluster.reroute", &[("to", to as u64)]);
+                }
+            }
+            inner.push_event(ClusterEvent::Rerouted { from, to });
         }
     }
 }

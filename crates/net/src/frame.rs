@@ -28,6 +28,16 @@
 //! frame but deliberately *ignored on Hello*, so a future client can
 //! still open negotiation with a server that only speaks version 1.
 //!
+//! Two versions exist. [`PROTOCOL_V2`] extends `Submit` with a trailing
+//! trace id ([`tcast_obs::TraceId`]) so one query's observability trace
+//! spans client, wire, and server; every other payload is identical.
+//! Frames are *self-describing*: the header byte states the version the
+//! frame was encoded with, and receivers accept any supported version on
+//! any frame, so only the sender of a `Submit` needs to remember what
+//! was negotiated (a V2 `Submit` must not be sent to a V1-only peer).
+//! The `MetricsDump`/`MetricsText` pair was introduced alongside V2 but
+//! is gated by frame type, not version.
+//!
 //! ## Request scoping
 //!
 //! `Submit`, `JobOk`, `JobFailed`, and request-level `Error` frames carry
@@ -47,8 +57,12 @@ use crate::crc::crc32;
 /// Frame magic: "TCQW" (Threshold-Cast Query Wire).
 pub const MAGIC: [u8; 4] = *b"TCQW";
 
-/// The protocol version this build speaks.
+/// The baseline protocol version.
 pub const PROTOCOL_V1: u8 = 1;
+
+/// Protocol version 2: `Submit` carries a trailing trace id for
+/// end-to-end observability. The highest version this build speaks.
+pub const PROTOCOL_V2: u8 = 2;
 
 /// Fixed header size in bytes (magic + type + version + request id + length).
 pub const HEADER_LEN: usize = 18;
@@ -68,6 +82,8 @@ mod frame_type {
     pub const JOB_FAILED: u8 = 0x05;
     pub const ERROR: u8 = 0x06;
     pub const GOODBYE: u8 = 0x07;
+    pub const METRICS_DUMP: u8 = 0x08;
+    pub const METRICS_TEXT: u8 = 0x09;
 }
 
 /// Typed error frame codes.
@@ -166,6 +182,20 @@ pub enum Frame {
         /// Human-readable detail, possibly empty.
         detail: String,
     },
+    /// Client → server: ask for a metrics dump in Prometheus text
+    /// exposition format.
+    MetricsDump {
+        /// Client-chosen id echoed on the [`Frame::MetricsText`] answer.
+        request_id: u64,
+    },
+    /// Server → client: the metrics exposition answering a
+    /// [`Frame::MetricsDump`].
+    MetricsText {
+        /// Id of the `MetricsDump` this answers.
+        request_id: u64,
+        /// Prometheus text exposition of the service's metrics registry.
+        text: String,
+    },
     /// Orderly close: the sender will write nothing further.
     Goodbye,
 }
@@ -229,6 +259,8 @@ impl Frame {
             Frame::JobOk { .. } => frame_type::JOB_OK,
             Frame::JobFailed { .. } => frame_type::JOB_FAILED,
             Frame::Error { .. } => frame_type::ERROR,
+            Frame::MetricsDump { .. } => frame_type::METRICS_DUMP,
+            Frame::MetricsText { .. } => frame_type::METRICS_TEXT,
             Frame::Goodbye => frame_type::GOODBYE,
         }
     }
@@ -239,12 +271,14 @@ impl Frame {
             Frame::Submit { request_id, .. }
             | Frame::JobOk { request_id, .. }
             | Frame::JobFailed { request_id, .. }
-            | Frame::Error { request_id, .. } => *request_id,
+            | Frame::Error { request_id, .. }
+            | Frame::MetricsDump { request_id }
+            | Frame::MetricsText { request_id, .. } => *request_id,
             Frame::Hello { .. } | Frame::HelloAck { .. } | Frame::Goodbye => 0,
         }
     }
 
-    fn encode_payload(&self, out: &mut Vec<u8>) {
+    fn encode_payload(&self, out: &mut Vec<u8>, version: u8) {
         match self {
             Frame::Hello {
                 min_version,
@@ -254,7 +288,7 @@ impl Frame {
                 out.push(*max_version);
             }
             Frame::HelloAck { version } => out.push(*version),
-            Frame::Submit { job, .. } => encode_job(job, out),
+            Frame::Submit { job, .. } => encode_job(job, out, version),
             Frame::JobOk { report, .. } => report.encode(out),
             Frame::JobFailed { error, .. } => match error {
                 JobError::Panicked(msg) => {
@@ -267,25 +301,43 @@ impl Frame {
                 out.push(code.to_wire_tag());
                 detail.encode(out);
             }
+            Frame::MetricsDump { .. } => {}
+            Frame::MetricsText { text, .. } => text.encode(out),
             Frame::Goodbye => {}
         }
     }
 
-    /// Serializes the frame to its full wire representation (header,
-    /// payload, CRC trailer).
+    /// Serializes the frame at protocol version 1 — see
+    /// [`Frame::to_bytes_versioned`].
     ///
     /// # Panics
     ///
     /// Panics if the payload exceeds `u32::MAX` bytes, which no legal
     /// frame can reach.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_versioned(PROTOCOL_V1)
+    }
+
+    /// Serializes the frame to its full wire representation (header,
+    /// payload, CRC trailer) at `version`.
+    ///
+    /// The version byte is stamped in the header and shapes the payload
+    /// of version-sensitive frames (`Submit` carries its trace id only
+    /// from [`PROTOCOL_V2`] on). Senders must not exceed the version the
+    /// peer negotiated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes, which no legal
+    /// frame can reach.
+    pub fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + 64);
         out.extend_from_slice(&MAGIC);
         out.push(self.type_byte());
-        out.push(PROTOCOL_V1);
+        out.push(version);
         put_u64(&mut out, self.request_id());
         put_u32(&mut out, 0); // payload length backpatched below
-        self.encode_payload(&mut out);
+        self.encode_payload(&mut out, version);
         let payload_len = out.len() - HEADER_LEN;
         let len32 = u32::try_from(payload_len).expect("payload exceeds u32::MAX");
         out[14..18].copy_from_slice(&len32.to_le_bytes());
@@ -323,7 +375,7 @@ impl Frame {
         if received != computed {
             return Err(MalformedFrame::BadCrc { computed, received });
         }
-        if frame_type != frame_type::HELLO && version != PROTOCOL_V1 {
+        if frame_type != frame_type::HELLO && !(PROTOCOL_V1..=PROTOCOL_V2).contains(&version) {
             return Err(MalformedFrame::Version(version));
         }
         let mut r = Reader::new(&bytes[HEADER_LEN..body_end]);
@@ -337,7 +389,7 @@ impl Frame {
             },
             frame_type::SUBMIT => Frame::Submit {
                 request_id,
-                job: decode_job(&mut r).map_err(MalformedFrame::Payload)?,
+                job: decode_job(&mut r, version).map_err(MalformedFrame::Payload)?,
             },
             frame_type::JOB_OK => Frame::JobOk {
                 request_id,
@@ -366,6 +418,11 @@ impl Frame {
                         .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
                 }
             }
+            frame_type::METRICS_DUMP => Frame::MetricsDump { request_id },
+            frame_type::METRICS_TEXT => Frame::MetricsText {
+                request_id,
+                text: String::decode(&mut r).map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+            },
             frame_type::GOODBYE => Frame::Goodbye,
             other => return Err(MalformedFrame::UnknownType(other)),
         };
@@ -375,7 +432,7 @@ impl Frame {
     }
 }
 
-fn encode_job(job: &QueryJob, out: &mut Vec<u8>) {
+fn encode_job(job: &QueryJob, out: &mut Vec<u8>, version: u8) {
     let algorithm = AlgorithmSpec::ALL
         .iter()
         .position(|a| *a == job.algorithm)
@@ -388,9 +445,13 @@ fn encode_job(job: &QueryJob, out: &mut Vec<u8>) {
         put_u64(out, d.as_nanos() as u64)
     });
     put_option(out, &job.retry_budget, |out, b| put_u64(out, *b));
+    if version >= PROTOCOL_V2 {
+        // Trailing so the V1 prefix is byte-identical under both versions.
+        put_u64(out, job.trace.0);
+    }
 }
 
-fn decode_job(r: &mut Reader<'_>) -> Result<QueryJob, String> {
+fn decode_job(r: &mut Reader<'_>, version: u8) -> Result<QueryJob, String> {
     let tag = r.u8().map_err(|e| e.to_string())?;
     let algorithm = *AlgorithmSpec::ALL
         .get(tag as usize)
@@ -405,12 +466,22 @@ fn decode_job(r: &mut Reader<'_>) -> Result<QueryJob, String> {
     let mut job = QueryJob::new(algorithm, channel, t, session_seed);
     job.deadline = deadline;
     job.retry_budget = retry_budget;
+    if version >= PROTOCOL_V2 {
+        job.trace = tcast_obs::TraceId(r.u64().map_err(|e| e.to_string())?);
+    }
     Ok(job)
 }
 
-/// Writes `frame` to `w` and returns the number of wire bytes written.
+/// Writes `frame` to `w` at protocol version 1 and returns the number of
+/// wire bytes written.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
-    let bytes = frame.to_bytes();
+    write_frame_versioned(w, frame, PROTOCOL_V1)
+}
+
+/// Writes `frame` to `w` encoded at `version` and returns the number of
+/// wire bytes written.
+pub fn write_frame_versioned(w: &mut impl Write, frame: &Frame, version: u8) -> io::Result<usize> {
+    let bytes = frame.to_bytes_versioned(version);
     w.write_all(&bytes)?;
     Ok(bytes.len())
 }
@@ -575,16 +646,52 @@ mod tests {
                 code: ErrorCode::ShuttingDown,
                 detail: "draining".into(),
             },
+            Frame::MetricsDump { request_id: 11 },
+            Frame::MetricsText {
+                request_id: 11,
+                text: "# TYPE tcast_jobs_total counter\n".into(),
+            },
             Frame::Goodbye,
         ];
         for frame in frames {
-            let bytes = frame.to_bytes();
-            assert_eq!(
-                Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD).unwrap(),
-                frame,
-                "roundtrip failed"
-            );
+            for version in [PROTOCOL_V1, PROTOCOL_V2] {
+                let bytes = frame.to_bytes_versioned(version);
+                assert_eq!(
+                    Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD).unwrap(),
+                    frame,
+                    "roundtrip failed at version {version}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn v2_submit_carries_the_trace_id_and_v1_drops_it() {
+        let trace = tcast_obs::TraceId(0xDEAD_BEEF_0B5E_u64 | 1);
+        let frame = Frame::Submit {
+            request_id: 5,
+            job: sample_job().with_trace(trace),
+        };
+        // V2 round-trips the trace bit-exactly.
+        let got =
+            Frame::from_bytes(&frame.to_bytes_versioned(PROTOCOL_V2), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(got, frame);
+        // V1 encodes without the trace — a V1 receiver sees TraceId::NONE,
+        // and the wire bytes are identical to an untraced V1 submit.
+        let v1 = Frame::from_bytes(&frame.to_bytes(), DEFAULT_MAX_PAYLOAD).unwrap();
+        let Frame::Submit { job, .. } = &v1 else {
+            panic!("expected submit");
+        };
+        assert_eq!(job.trace, tcast_obs::TraceId::NONE);
+        assert_eq!(
+            frame.to_bytes(),
+            Frame::Submit {
+                request_id: 5,
+                job: sample_job(),
+            }
+            .to_bytes(),
+            "trace must not leak into V1 bytes"
+        );
     }
 
     #[test]

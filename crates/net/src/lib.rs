@@ -59,6 +59,7 @@ pub mod server;
 pub use client::{NetBatch, NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult};
 pub use cluster::{ClusterBatch, ClusterConfig, ClusterEvent, ShardedClient};
 pub use frame::{
-    ErrorCode, Frame, FrameReadError, FrameReader, MalformedFrame, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
+    ErrorCode, Frame, FrameReadError, FrameReader, MalformedFrame, DEFAULT_MAX_PAYLOAD,
+    PROTOCOL_V1, PROTOCOL_V2,
 };
 pub use server::{NetServer, NetServerConfig};

@@ -27,6 +27,7 @@ use tcast_service::{JobError, JobOutput, NetCounters, QueryService, SubmitError}
 
 use crate::frame::{
     write_frame, ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
+    PROTOCOL_V2,
 };
 
 /// Tuning knobs for [`NetServer`].
@@ -181,9 +182,15 @@ fn negotiate(
                 n,
             ))) => {
                 counters.frame_in(n as u64);
-                if (min_version..=max_version).contains(&PROTOCOL_V1) {
+                // Ack the highest version in both ranges: the server
+                // speaks [V1, V2], so that is min(client max, V2) when
+                // the ranges overlap at all.
+                if min_version <= max_version
+                    && min_version <= PROTOCOL_V2
+                    && max_version >= PROTOCOL_V1
+                {
                     let _ = tx.send(Frame::HelloAck {
-                        version: PROTOCOL_V1,
+                        version: max_version.min(PROTOCOL_V2),
                     });
                     return true;
                 }
@@ -191,8 +198,8 @@ fn negotiate(
                     request_id: 0,
                     code: ErrorCode::UnsupportedVersion,
                     detail: format!(
-                        "server speaks only version {PROTOCOL_V1}, client offered \
-                         {min_version}..={max_version}"
+                        "server speaks versions {PROTOCOL_V1}..={PROTOCOL_V2}, client \
+                         offered {min_version}..={max_version}"
                     ),
                 });
                 return false;
@@ -307,6 +314,11 @@ fn request_loop(
                 last_activity = Instant::now();
                 match frame {
                     Frame::Submit { request_id, job } => {
+                        tcast_obs::event(
+                            job.trace,
+                            "net.recv",
+                            &[("bytes", n as u64), ("request_id", request_id)],
+                        );
                         if draining {
                             let _ = tx.send(shutting_down(request_id));
                             continue;
@@ -317,6 +329,10 @@ fn request_loop(
                             continue;
                         }
                         submit(service, request_id, job, tx, &inflight, counters);
+                    }
+                    Frame::MetricsDump { request_id } => {
+                        let text = service.metrics_registry().snapshot().to_prometheus();
+                        let _ = tx.send(Frame::MetricsText { request_id, text });
                     }
                     Frame::Goodbye => peer_done = true,
                     _ => {
@@ -358,10 +374,12 @@ fn submit(
     // the watcher after the response frame is queued, so drain never
     // closes the writer underneath a pending response.
     inflight.fetch_add(1, Ordering::AcqRel);
+    let trace = job.trace;
     let watcher = {
         let tx = tx.clone();
         let inflight = inflight.clone();
         Arc::new(move |_index: usize, result: &tcast_service::JobResult| {
+            tcast_obs::event(trace, "net.respond", &[("request_id", request_id)]);
             let frame = match result {
                 Ok(JobOutput::Report(report)) => Frame::JobOk {
                     request_id,

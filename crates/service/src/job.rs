@@ -103,6 +103,11 @@ pub struct QueryJob {
     /// Cap on the retry queries this job's session may spend, combined
     /// (as a minimum) with the channel policy's own budget.
     pub retry_budget: Option<u64>,
+    /// Trace correlating this job's spans and events across tiers (see
+    /// `tcast-obs`). [`tcast_obs::TraceId::NONE`] leaves the job
+    /// untraced. Like the deadline, the trace id never shapes the
+    /// report, so it is excluded from [`QueryJob::cache_key`].
+    pub trace: tcast_obs::TraceId,
 }
 
 impl QueryJob {
@@ -120,6 +125,7 @@ impl QueryJob {
             session_seed,
             deadline: None,
             retry_budget: None,
+            trace: tcast_obs::TraceId::NONE,
         }
     }
 
@@ -132,6 +138,13 @@ impl QueryJob {
     /// Returns the job with a retry-query budget.
     pub fn with_retry_budget(mut self, budget: u64) -> Self {
         self.retry_budget = Some(budget);
+        self
+    }
+
+    /// Returns the job tagged with a trace id; its engine rounds,
+    /// service spans, and wire hops will all correlate under it.
+    pub fn with_trace(mut self, trace: tcast_obs::TraceId) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -176,8 +189,11 @@ impl QueryJob {
         policy
     }
 
-    /// Executes the session; fully determined by the job's fields.
+    /// Executes the session; fully determined by the job's fields. The
+    /// job's trace id becomes the thread's current trace for the
+    /// duration, so the engine's spans and round events correlate to it.
     pub fn execute(&self) -> QueryReport {
+        let _scope = tcast_obs::scoped_trace(self.trace);
         let (mut channel, truth) = self.channel.build_with_truth();
         let algorithm = self.algorithm.build(truth);
         let mut rng = SmallRng::seed_from_u64(self.session_seed);
@@ -329,6 +345,12 @@ mod tests {
         assert_eq!(
             base.cache_key(),
             base.with_deadline(Duration::from_secs(1)).cache_key()
+        );
+        // Neither must the trace id: observability must not defeat the
+        // session cache.
+        assert_eq!(
+            base.cache_key(),
+            base.with_trace(tcast_obs::TraceId::fresh()).cache_key()
         );
     }
 

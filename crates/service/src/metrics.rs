@@ -138,6 +138,7 @@ pub struct NetCounters {
     bytes_out: AtomicU64,
     decode_errors: AtomicU64,
     busy_rejections: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl NetCounters {
@@ -163,6 +164,25 @@ impl NetCounters {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one transport reconnect under this label and returns the
+    /// new connection generation.
+    ///
+    /// A pooled client keeps one `NetCounters` handle per logical slot and
+    /// folds every physical connection's traffic into it; without this
+    /// tag, counts from successive connections merge silently. The running
+    /// reconnect total doubles as the generation of the currently live
+    /// connection (0 = the initial dial), so dumps can state how many
+    /// physical connections a label's counters span.
+    pub fn reconnect(&self) -> u64 {
+        self.reconnects.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Generation of the currently live connection: 0 for the initial
+    /// dial, bumped by every [`reconnect`](Self::reconnect).
+    pub fn generation(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
     fn snapshot(&self, label: &str) -> NetMetricsRow {
         NetMetricsRow {
             label: label.to_string(),
@@ -172,6 +192,7 @@ impl NetCounters {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            reconnects_total: self.reconnects.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +214,10 @@ pub struct NetMetricsRow {
     pub decode_errors: u64,
     /// Requests rejected with a `Busy` error frame (admission backpressure).
     pub busy_rejections: u64,
+    /// Transport reconnects folded into this label; the counters above
+    /// span `reconnects_total + 1` physical connections, and the live
+    /// connection's generation equals this value.
+    pub reconnects_total: u64,
 }
 
 /// Per-label service metrics, shared by all workers.
@@ -460,11 +485,11 @@ impl MetricsSnapshot {
         if !self.net_rows.is_empty() {
             out.push_str(
                 "\nlabel,frames_in,frames_out,bytes_in,bytes_out,\
-                 decode_errors,busy_rejections\n",
+                 decode_errors,busy_rejections,reconnects\n",
             );
             for r in &self.net_rows {
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{}\n",
                     r.label,
                     r.frames_in,
                     r.frames_out,
@@ -472,6 +497,7 @@ impl MetricsSnapshot {
                     r.bytes_out,
                     r.decode_errors,
                     r.busy_rejections,
+                    r.reconnects_total,
                 ));
             }
         }
@@ -516,13 +542,13 @@ impl MetricsSnapshot {
         if !self.net_rows.is_empty() {
             out.push_str(
                 "\n| connection | frames in | frames out | bytes in | bytes out \
-                 | decode errs | busy |\n\
+                 | decode errs | busy | reconnects |\n\
                  |------------|----------:|-----------:|---------:|----------:\
-                 |------------:|-----:|\n",
+                 |------------:|-----:|-----------:|\n",
             );
             for r in &self.net_rows {
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {} | {} | {} |\n",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
                     r.label,
                     r.frames_in,
                     r.frames_out,
@@ -530,7 +556,204 @@ impl MetricsSnapshot {
                     r.bytes_out,
                     r.decode_errors,
                     r.busy_rejections,
+                    r.reconnects_total,
                 ));
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition of the snapshot.
+    ///
+    /// Every counter becomes a `tcast_*_total` family labelled by
+    /// algorithm, the latency/query/retry distributions become summaries
+    /// whose quantiles are interpolated from the folded histograms, and
+    /// connection counters become `tcast_net_*` families labelled by
+    /// connection and generation (the reconnect count, so counters that
+    /// span several physical connections say so instead of silently
+    /// merging). Families, labels, and label sets are emitted in a fixed
+    /// order — rows are already label-sorted — so the output is
+    /// snapshot-testable and metric renames break loudly.
+    pub fn to_prometheus(&self) -> String {
+        fn esc(label: &str) -> String {
+            label
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        const QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+        type RowCounter = fn(&MetricsRow) -> u64;
+        type NetCounter = fn(&NetMetricsRow) -> u64;
+        let mut out = String::new();
+
+        let counters: [(&str, &str, RowCounter); 7] = [
+            (
+                "tcast_jobs_total",
+                "Jobs finished, including panicked and deadline-expired ones.",
+                |r| r.jobs,
+            ),
+            ("tcast_job_panics_total", "Jobs that panicked.", |r| {
+                r.panics
+            }),
+            (
+                "tcast_job_deadline_exceeded_total",
+                "Jobs whose deadline expired before a worker ran them.",
+                |r| r.deadline_exceeded,
+            ),
+            (
+                "tcast_queries_total",
+                "Group queries across all sessions, retries included.",
+                |r| r.queries,
+            ),
+            (
+                "tcast_retry_queries_total",
+                "Verified-silence retry queries across all sessions.",
+                |r| r.retries,
+            ),
+            ("tcast_rounds_total", "Rounds across all sessions.", |r| {
+                r.rounds
+            }),
+            (
+                "tcast_cache_hits_total",
+                "Jobs served from the session cache.",
+                |r| r.cache_hits,
+            ),
+        ];
+        for (name, help, get) in counters {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for r in &self.rows {
+                out.push_str(&format!(
+                    "{name}{{algorithm=\"{}\"}} {}\n",
+                    esc(&r.label),
+                    get(r)
+                ));
+            }
+        }
+
+        out.push_str(
+            "# HELP tcast_verdicts_total Session verdicts by outcome.\n\
+             # TYPE tcast_verdicts_total counter\n",
+        );
+        for r in &self.rows {
+            for (verdict, count) in [("yes", r.verdict_yes), ("no", r.verdict_no)] {
+                out.push_str(&format!(
+                    "tcast_verdicts_total{{algorithm=\"{}\",verdict=\"{verdict}\"}} {count}\n",
+                    esc(&r.label),
+                ));
+            }
+        }
+
+        type HistOf = fn(&MetricsRow) -> &Histogram;
+        type SumCountOf = fn(&MetricsRow) -> (f64, u64);
+        let summaries: [(&str, &str, HistOf, SumCountOf); 3] = [
+            (
+                "tcast_job_latency_microseconds",
+                "Successful-job wall-clock latency.",
+                |r| &r.latency_hist,
+                |r| {
+                    (
+                        r.latency_us.mean() * r.latency_us.count() as f64,
+                        r.latency_us.count(),
+                    )
+                },
+            ),
+            (
+                "tcast_job_queries",
+                "Group queries per session.",
+                |r| &r.query_hist,
+                |r| {
+                    (
+                        r.query_summary.mean() * r.query_summary.count() as f64,
+                        r.query_summary.count(),
+                    )
+                },
+            ),
+            (
+                "tcast_job_retry_queries",
+                "Retry queries per session.",
+                |r| &r.retry_hist,
+                |r| (r.retries as f64, r.retry_hist.total()),
+            ),
+        ];
+        for (name, help, hist, sum_count) in summaries {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+            for r in &self.rows {
+                let label = esc(&r.label);
+                for q in QUANTILES {
+                    out.push_str(&format!(
+                        "{name}{{algorithm=\"{label}\",quantile=\"{q}\"}} {:.1}\n",
+                        hist(r).quantile(q),
+                    ));
+                }
+                let (sum, count) = sum_count(r);
+                out.push_str(&format!("{name}_sum{{algorithm=\"{label}\"}} {sum:.1}\n"));
+                out.push_str(&format!("{name}_count{{algorithm=\"{label}\"}} {count}\n"));
+            }
+        }
+
+        out.push_str(
+            "# HELP tcast_job_failed_latency_microseconds Wall-clock latency of \
+             failed jobs, kept apart from successes.\n\
+             # TYPE tcast_job_failed_latency_microseconds summary\n",
+        );
+        for r in &self.rows {
+            let label = esc(&r.label);
+            let sum = r.failed_latency_us.mean() * r.failed_latency_us.count() as f64;
+            out.push_str(&format!(
+                "tcast_job_failed_latency_microseconds_sum{{algorithm=\"{label}\"}} {sum:.1}\n",
+            ));
+            out.push_str(&format!(
+                "tcast_job_failed_latency_microseconds_count{{algorithm=\"{label}\"}} {}\n",
+                r.failed_latency_us.count(),
+            ));
+        }
+
+        if !self.net_rows.is_empty() {
+            let net: [(&str, &str, NetCounter); 7] = [
+                (
+                    "tcast_net_frames_in_total",
+                    "Frames decoded from the peer.",
+                    |r| r.frames_in,
+                ),
+                (
+                    "tcast_net_frames_out_total",
+                    "Frames written to the peer.",
+                    |r| r.frames_out,
+                ),
+                (
+                    "tcast_net_bytes_in_total",
+                    "Wire bytes received (decoded frames only).",
+                    |r| r.bytes_in,
+                ),
+                ("tcast_net_bytes_out_total", "Wire bytes sent.", |r| {
+                    r.bytes_out
+                }),
+                (
+                    "tcast_net_decode_errors_total",
+                    "Inbound frames that failed CRC or payload decoding.",
+                    |r| r.decode_errors,
+                ),
+                (
+                    "tcast_net_busy_rejections_total",
+                    "Requests rejected with a Busy error frame.",
+                    |r| r.busy_rejections,
+                ),
+                (
+                    "tcast_net_reconnects_total",
+                    "Transport reconnects folded into this connection label.",
+                    |r| r.reconnects_total,
+                ),
+            ];
+            for (name, help, get) in net {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                for r in &self.net_rows {
+                    out.push_str(&format!(
+                        "{name}{{conn=\"{}\",generation=\"{}\"}} {}\n",
+                        esc(&r.label),
+                        r.reconnects_total,
+                        get(r)
+                    ));
+                }
             }
         }
         out
@@ -770,11 +993,151 @@ mod tests {
             (2, 2, 192, 350)
         );
         assert_eq!((r.decode_errors, r.busy_rejections), (1, 1));
+        assert_eq!(r.reconnects_total, 0);
         let csv = snap.to_csv();
-        assert!(csv.contains("net/conn-0,2,2,192,350,1,1"), "csv: {csv}");
+        assert!(csv.contains("net/conn-0,2,2,192,350,1,1,0"), "csv: {csv}");
         assert!(snap
             .to_markdown()
-            .contains("| net/conn-0 | 2 | 2 | 192 | 350 | 1 | 1 |"));
+            .contains("| net/conn-0 | 2 | 2 | 192 | 350 | 1 | 1 | 0 |"));
+    }
+
+    #[test]
+    fn reconnects_tag_the_fold_with_a_generation() {
+        // Regression (satellite): counters folded per connection label used
+        // to merge successive physical connections of the same pooled slot
+        // invisibly. The reconnect counter tags the fold.
+        let m = MetricsRegistry::new();
+        let conn = m.net_counters("net/conn-3");
+        conn.frame_out(10);
+        assert_eq!(conn.generation(), 0, "initial dial is generation 0");
+        assert_eq!(conn.reconnect(), 1);
+        conn.frame_out(10);
+        assert_eq!(conn.reconnect(), 2);
+        assert_eq!(conn.generation(), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.net_rows[0].reconnects_total, 2);
+        assert!(snap.to_csv().contains("net/conn-3,0,2,0,20,0,0,2"));
+        // The exposition tags every net series with the generation.
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("tcast_net_frames_out_total{conn=\"net/conn-3\",generation=\"2\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tcast_net_reconnects_total{conn=\"net/conn-3\",generation=\"2\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_stable() {
+        // Full snapshot of the exposition format: family names, label
+        // ordering, and number formatting are all load-bearing for
+        // scrapers, so any change here must be deliberate.
+        let m = MetricsRegistry::new();
+        m.record(
+            "x",
+            &report_with_retries(true, 40, 2, 4),
+            Duration::from_micros(100),
+        );
+        m.record(
+            "x",
+            &report_with_retries(false, 10, 1, 0),
+            Duration::from_micros(300),
+        );
+        m.record(
+            "x",
+            &Err(JobError::DeadlineExceeded),
+            Duration::from_micros(10),
+        );
+        let conn = m.net_counters("net/conn-0");
+        conn.frame_in(64);
+        conn.frame_out(100);
+        conn.reconnect();
+        let expected = r#"# HELP tcast_jobs_total Jobs finished, including panicked and deadline-expired ones.
+# TYPE tcast_jobs_total counter
+tcast_jobs_total{algorithm="x"} 3
+# HELP tcast_job_panics_total Jobs that panicked.
+# TYPE tcast_job_panics_total counter
+tcast_job_panics_total{algorithm="x"} 0
+# HELP tcast_job_deadline_exceeded_total Jobs whose deadline expired before a worker ran them.
+# TYPE tcast_job_deadline_exceeded_total counter
+tcast_job_deadline_exceeded_total{algorithm="x"} 1
+# HELP tcast_queries_total Group queries across all sessions, retries included.
+# TYPE tcast_queries_total counter
+tcast_queries_total{algorithm="x"} 50
+# HELP tcast_retry_queries_total Verified-silence retry queries across all sessions.
+# TYPE tcast_retry_queries_total counter
+tcast_retry_queries_total{algorithm="x"} 4
+# HELP tcast_rounds_total Rounds across all sessions.
+# TYPE tcast_rounds_total counter
+tcast_rounds_total{algorithm="x"} 3
+# HELP tcast_cache_hits_total Jobs served from the session cache.
+# TYPE tcast_cache_hits_total counter
+tcast_cache_hits_total{algorithm="x"} 0
+# HELP tcast_verdicts_total Session verdicts by outcome.
+# TYPE tcast_verdicts_total counter
+tcast_verdicts_total{algorithm="x",verdict="yes"} 1
+tcast_verdicts_total{algorithm="x",verdict="no"} 1
+# HELP tcast_job_latency_microseconds Successful-job wall-clock latency.
+# TYPE tcast_job_latency_microseconds summary
+tcast_job_latency_microseconds{algorithm="x",quantile="0.5"} 1000.0
+tcast_job_latency_microseconds{algorithm="x",quantile="0.9"} 1800.0
+tcast_job_latency_microseconds{algorithm="x",quantile="0.99"} 1980.0
+tcast_job_latency_microseconds_sum{algorithm="x"} 400.0
+tcast_job_latency_microseconds_count{algorithm="x"} 2
+# HELP tcast_job_queries Group queries per session.
+# TYPE tcast_job_queries summary
+tcast_job_queries{algorithm="x",quantile="0.5"} 32.0
+tcast_job_queries{algorithm="x",quantile="0.9"} 57.6
+tcast_job_queries{algorithm="x",quantile="0.99"} 63.4
+tcast_job_queries_sum{algorithm="x"} 50.0
+tcast_job_queries_count{algorithm="x"} 2
+# HELP tcast_job_retry_queries Retry queries per session.
+# TYPE tcast_job_retry_queries summary
+tcast_job_retry_queries{algorithm="x",quantile="0.5"} 4.0
+tcast_job_retry_queries{algorithm="x",quantile="0.9"} 7.2
+tcast_job_retry_queries{algorithm="x",quantile="0.99"} 7.9
+tcast_job_retry_queries_sum{algorithm="x"} 4.0
+tcast_job_retry_queries_count{algorithm="x"} 2
+# HELP tcast_job_failed_latency_microseconds Wall-clock latency of failed jobs, kept apart from successes.
+# TYPE tcast_job_failed_latency_microseconds summary
+tcast_job_failed_latency_microseconds_sum{algorithm="x"} 10.0
+tcast_job_failed_latency_microseconds_count{algorithm="x"} 1
+# HELP tcast_net_frames_in_total Frames decoded from the peer.
+# TYPE tcast_net_frames_in_total counter
+tcast_net_frames_in_total{conn="net/conn-0",generation="1"} 1
+# HELP tcast_net_frames_out_total Frames written to the peer.
+# TYPE tcast_net_frames_out_total counter
+tcast_net_frames_out_total{conn="net/conn-0",generation="1"} 1
+# HELP tcast_net_bytes_in_total Wire bytes received (decoded frames only).
+# TYPE tcast_net_bytes_in_total counter
+tcast_net_bytes_in_total{conn="net/conn-0",generation="1"} 64
+# HELP tcast_net_bytes_out_total Wire bytes sent.
+# TYPE tcast_net_bytes_out_total counter
+tcast_net_bytes_out_total{conn="net/conn-0",generation="1"} 100
+# HELP tcast_net_decode_errors_total Inbound frames that failed CRC or payload decoding.
+# TYPE tcast_net_decode_errors_total counter
+tcast_net_decode_errors_total{conn="net/conn-0",generation="1"} 0
+# HELP tcast_net_busy_rejections_total Requests rejected with a Busy error frame.
+# TYPE tcast_net_busy_rejections_total counter
+tcast_net_busy_rejections_total{conn="net/conn-0",generation="1"} 0
+# HELP tcast_net_reconnects_total Transport reconnects folded into this connection label.
+# TYPE tcast_net_reconnects_total counter
+tcast_net_reconnects_total{conn="net/conn-0",generation="1"} 1
+"#;
+        assert_eq!(m.snapshot().to_prometheus(), expected);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let m = MetricsRegistry::new();
+        m.record("od\"d\\label", &report(true, 1, 1), Duration::ZERO);
+        let text = m.snapshot().to_prometheus();
+        assert!(
+            text.contains(r#"tcast_jobs_total{algorithm="od\"d\\label"} 1"#),
+            "{text}"
+        );
     }
 
     #[test]

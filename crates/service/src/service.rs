@@ -618,13 +618,25 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
     let (label, result) = match payload {
         Payload::Query(job) => {
             let label = job.algorithm.name().to_string();
-            let expired = job
-                .deadline
-                .is_some_and(|d| unit.submitted_at.elapsed() > d);
+            // Queue wait = submission to execution start; measured once so
+            // the deadline check and the trace agree on the number.
+            let queue_wait = unit.submitted_at.elapsed();
+            let queue_wait_us = queue_wait.as_micros() as u64;
+            let span = tcast_obs::Span::enter_fields(
+                job.trace,
+                "service.execute",
+                &[("queue_wait_us", queue_wait_us)],
+            );
+            span.event("service.queue_wait", &[("us", queue_wait_us)]);
+            let expired = job.deadline.is_some_and(|d| queue_wait > d);
             let result = if expired {
                 // The session never runs: an answer that arrives after the
                 // deadline is worthless to the caller, so don't spend
                 // worker time producing one.
+                span.event(
+                    "service.deadline_exceeded",
+                    &[("queue_wait_us", queue_wait_us)],
+                );
                 Err(JobError::DeadlineExceeded)
             } else {
                 run_query(inner, &label, &job)
@@ -660,6 +672,7 @@ fn run_query(inner: &Inner, label: &str, job: &QueryJob) -> JobResult {
     let cached = inner.cache.as_ref().map(|c| (c, job.cache_key()));
     if let Some(report) = cached.as_ref().and_then(|(c, key)| c.lock().get(key)) {
         inner.metrics.record_cache_hit(label);
+        tcast_obs::event_current("service.cache_hit", &[]);
         return Ok(JobOutput::Report(report));
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| job.execute()))

@@ -129,6 +129,34 @@ impl Histogram {
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         (0..self.bins()).map(move |i| (self.bin_center(i), self.counts[i]))
     }
+
+    /// Value at quantile `q` (clamped to `[0, 1]`), linearly interpolated
+    /// within the containing bin.
+    ///
+    /// Out-of-range mass resolves to the nearest bound: a rank landing in
+    /// the underflow counter reports `lo`, one landing in the overflow
+    /// counter reports `hi`. Both are honest one-sided bounds — the true
+    /// sample is at most `lo` / at least `hi` — which is the best a
+    /// fixed-range histogram can say. An empty histogram reports `0.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut seen = self.underflow as f64;
+        if rank <= seen {
+            return self.lo;
+        }
+        for idx in 0..self.counts.len() {
+            let c = self.counts[idx] as f64;
+            if c > 0.0 && rank <= seen + c {
+                let (b_lo, b_hi) = self.bin_range(idx);
+                return b_lo + (rank - seen) / c * (b_hi - b_lo);
+            }
+            seen += c;
+        }
+        self.hi
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +236,38 @@ mod tests {
         assert_eq!(a.underflow(), 1);
         assert_eq!(a.overflow(), 1);
         assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        // 10 samples per 10-wide bin: the quantile curve is (nearly) the
+        // identity, up to the linear interpolation within one bin.
+        assert!((h.quantile(0.5) - 50.0).abs() < 1.0, "{}", h.quantile(0.5));
+        assert!((h.quantile(0.9) - 90.0).abs() < 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_bounds_out_of_range_mass() {
+        let mut h = Histogram::new(10.0, 20.0, 2);
+        h.record(0.0); // underflow
+        h.record(15.0);
+        h.record(99.0); // overflow
+        assert_eq!(h.quantile(0.1), 10.0, "underflow mass reports lo");
+        assert_eq!(h.quantile(0.99), 20.0, "overflow mass reports hi");
+        let mid = h.quantile(0.5);
+        assert!((15.0..=20.0).contains(&mid), "{mid}");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), 0.0);
     }
 
     #[test]
