@@ -15,7 +15,6 @@ use rand::RngCore;
 use crate::channel::GroupQueryChannel;
 use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
-use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// Initial estimate `p0` for ABNS.
@@ -96,13 +95,13 @@ impl ThresholdQuerier for Abns {
         &self.name
     }
 
-    fn run_with_retry(
+    fn run_with_options(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
-        retry: RetryPolicy,
+        options: RunOptions,
     ) -> QueryReport {
         let mut p = self.initial_p(t).max(0.0);
         drive(
@@ -110,7 +109,7 @@ impl ThresholdQuerier for Abns {
             t,
             ChannelMut::Single(channel),
             rng,
-            RunOptions::retrying(retry),
+            options,
             move |session, last| {
                 if let Some(stats) = last {
                     p = estimate_p(

@@ -18,7 +18,7 @@ mod spec;
 
 pub use ideal::IdealChannel;
 pub use lossy::{LossConfig, LossyChannel};
-pub use spec::{random_positive_set, ChannelSpec};
+pub use spec::{random_positive_set, AdversaryConfig, AdversaryModel, ChannelSpec};
 
 use crate::types::{CollisionModel, NodeId, Observation};
 
@@ -59,6 +59,23 @@ pub trait PairedGroupQueryChannel: GroupQueryChannel {
 
 impl PairedGroupQueryChannel for IdealChannel {}
 impl PairedGroupQueryChannel for LossyChannel {}
+
+/// Boxed channels forward the contract, so wrappers (e.g. the Byzantine
+/// models in `tcast-adversary`) can layer over `Box<dyn
+/// GroupQueryChannel + Send>` without unboxing.
+impl<C: GroupQueryChannel + ?Sized> GroupQueryChannel for Box<C> {
+    fn query(&mut self, members: &[NodeId]) -> Observation {
+        (**self).query(members)
+    }
+
+    fn model(&self) -> CollisionModel {
+        (**self).model()
+    }
+
+    fn queries_issued(&self) -> u64 {
+        (**self).queries_issued()
+    }
+}
 
 /// Shared bookkeeping for channel implementations.
 #[derive(Debug, Default, Clone, Copy)]

@@ -11,8 +11,60 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use super::{GroupQueryChannel, IdealChannel, LossConfig, LossyChannel};
-use crate::retry::RetryPolicy;
+use crate::retry::{DefensePolicy, RetryPolicy};
 use crate::types::{CollisionModel, NodeId};
+
+/// Plain-data description of a Byzantine participant model.
+///
+/// Lives in `tcast` (not `tcast-adversary`) so it can ride inside
+/// [`ChannelSpec`] through the wire codec and session cache keys; the
+/// live wrapper that *implements* the behaviour is
+/// `tcast_adversary::AdversaryChannel`, and core's own builders refuse
+/// adversarial specs (see [`ChannelSpec::build_with_truth`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryConfig {
+    /// Which Byzantine behaviour the wrapped channel exhibits.
+    pub model: AdversaryModel,
+    /// Seed for the adversary's own deterministic draws (liar placement,
+    /// jammer duty lottery), independent of the honest channel's seed.
+    pub seed: u64,
+}
+
+/// The Byzantine participant taxonomy the robustness campaign measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryModel {
+    /// `count` idle nodes that answer *active* whenever queried,
+    /// inflating the apparent positive count by up to `count`.
+    FalseResponders {
+        /// Number of lying idle nodes.
+        count: u32,
+    },
+    /// A coordinated false-responder group. Campaigns size it `t - 1` —
+    /// just below the threshold — where the lie is information-
+    /// theoretically strongest. Behaviourally identical to
+    /// `FalseResponders` (the coordination *is* the size); kept as a
+    /// separate arm so campaign figures and wire captures name it.
+    Colluders {
+        /// Number of colluding lying nodes.
+        size: u32,
+    },
+    /// A jammer that injects channel activity into queried groups with
+    /// probability `duty_mille / 1000` per query — including empty
+    /// (canary) groups; jamming is indiscriminate RF noise, not a
+    /// targeted reply.
+    Jammer {
+        /// Jamming probability per query, in per-mille (`1000` = always).
+        duty_mille: u32,
+    },
+    /// A targeted silent-drop adversary: suppresses the first `budget`
+    /// non-silent observations of the session, turning them into
+    /// silence. Unlike [`LossConfig`]'s independent coin flips this is
+    /// worst-case targeted — it always hits, until the budget runs out.
+    SilentDrop {
+        /// Number of observations the adversary can suppress.
+        budget: u64,
+    },
+}
 
 /// Uniform `x`-subset of `0..n` chosen with Floyd's algorithm.
 ///
@@ -65,6 +117,14 @@ pub struct ChannelSpec {
     /// channel itself ignores it; `QueryJob` and sweep drivers pass it to
     /// [`crate::ThresholdQuerier::run_with_retry`].
     pub retry: RetryPolicy,
+    /// Byzantine participant model wrapped around the honest channel;
+    /// `None` is the honest baseline. Building an adversarial spec
+    /// requires `tcast_adversary::build_with_truth` — core's own
+    /// builders panic on it rather than silently dropping the adversary.
+    pub adversary: Option<AdversaryConfig>,
+    /// Verdict-hardening defenses executors should run sessions with.
+    /// Plain data like `retry`: passed to the engine via `RunOptions`.
+    pub defense: DefensePolicy,
 }
 
 impl ChannelSpec {
@@ -78,6 +138,25 @@ impl ChannelSpec {
             placement_seed: 0,
             channel_seed: 0,
             retry: RetryPolicy::none(),
+            adversary: None,
+            defense: DefensePolicy::none(),
+        }
+    }
+
+    /// Spec for an honest base channel (`loss` chooses ideal vs lossy)
+    /// wrapped by the given Byzantine participant model; seeds start at
+    /// zero. Build it with `tcast_adversary::build_with_truth`.
+    pub fn adversarial(
+        n: usize,
+        x: usize,
+        model: CollisionModel,
+        loss: Option<LossConfig>,
+        adversary: AdversaryConfig,
+    ) -> Self {
+        Self {
+            loss,
+            adversary: Some(adversary),
+            ..Self::ideal(n, x, model)
         }
     }
 
@@ -99,6 +178,18 @@ impl ChannelSpec {
     /// Returns the spec with a verified-silence retry policy attached.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Returns the spec with a Byzantine participant model attached.
+    pub fn with_adversary(mut self, adversary: AdversaryConfig) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// Returns the spec with verdict-hardening defenses attached.
+    pub fn with_defense(mut self, defense: DefensePolicy) -> Self {
+        self.defense = defense;
         self
     }
 
@@ -147,6 +238,11 @@ impl ChannelSpec {
         channel_seed: u64,
         placement: &mut R,
     ) -> (Box<dyn GroupQueryChannel + Send>, Vec<bool>) {
+        assert!(
+            self.adversary.is_none(),
+            "adversarial ChannelSpec must be built via tcast_adversary::build_with_truth \
+             (core cannot construct Byzantine wrappers)"
+        );
         let positives = random_positive_set(self.n, self.x, placement);
         let mut bitmap = vec![false; self.n];
         for id in &positives {
@@ -249,6 +345,34 @@ mod tests {
         assert_eq!(with.retry.max_retries, 2);
         assert_eq!(with.retry.budget, Some(50));
         assert_ne!(base, with, "retry participates in spec equality");
+    }
+
+    #[test]
+    fn adversarial_fields_ride_along_as_plain_data() {
+        let base = ChannelSpec::ideal(8, 2, CollisionModel::OnePlus);
+        assert_eq!(base.adversary, None);
+        assert_eq!(base.defense, DefensePolicy::none());
+        let adv = AdversaryConfig {
+            model: AdversaryModel::Jammer { duty_mille: 350 },
+            seed: 99,
+        };
+        let with = base
+            .with_adversary(adv)
+            .with_defense(DefensePolicy::hardened());
+        assert_eq!(with.adversary, Some(adv));
+        assert_ne!(base, with, "adversary/defense participate in equality");
+        let direct = ChannelSpec::adversarial(8, 2, CollisionModel::OnePlus, None, adv);
+        assert_eq!(direct.adversary, Some(adv));
+    }
+
+    #[test]
+    #[should_panic(expected = "tcast_adversary")]
+    fn core_refuses_to_build_adversarial_specs() {
+        let adv = AdversaryConfig {
+            model: AdversaryModel::FalseResponders { count: 1 },
+            seed: 0,
+        };
+        let _ = ChannelSpec::adversarial(8, 2, CollisionModel::OnePlus, None, adv).build();
     }
 
     #[test]

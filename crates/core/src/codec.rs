@@ -12,8 +12,8 @@
 //! Every implementation satisfies decode∘encode ≡ identity (the
 //! `tcast-net` round-trip proptests enforce this for each frame type).
 
-use crate::channel::{ChannelSpec, LossConfig};
-use crate::retry::RetryPolicy;
+use crate::channel::{AdversaryConfig, AdversaryModel, ChannelSpec, LossConfig};
+use crate::retry::{DefensePolicy, RetryPolicy};
 use crate::types::{CaptureModel, CollisionModel, QueryReport, RoundTrace};
 
 /// Why a byte buffer failed to decode.
@@ -336,6 +336,86 @@ impl WireDecode for RetryPolicy {
     }
 }
 
+impl WireEncode for DefensePolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.confirm_activity);
+        out.push(u8::from(self.canary));
+        put_u32(out, self.confirm_true);
+    }
+}
+
+impl WireDecode for DefensePolicy {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let confirm_activity = r.u32()?;
+        let canary = match r.u8()? {
+            0 => false,
+            1 => true,
+            tag => return Err(DecodeError::InvalidTag { what: "bool", tag }),
+        };
+        Ok(DefensePolicy {
+            confirm_activity,
+            canary,
+            confirm_true: r.u32()?,
+        })
+    }
+}
+
+impl WireEncode for AdversaryModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AdversaryModel::FalseResponders { count } => {
+                out.push(0);
+                put_u32(out, *count);
+            }
+            AdversaryModel::Colluders { size } => {
+                out.push(1);
+                put_u32(out, *size);
+            }
+            AdversaryModel::Jammer { duty_mille } => {
+                out.push(2);
+                put_u32(out, *duty_mille);
+            }
+            AdversaryModel::SilentDrop { budget } => {
+                out.push(3);
+                put_u64(out, *budget);
+            }
+        }
+    }
+}
+
+impl WireDecode for AdversaryModel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(AdversaryModel::FalseResponders { count: r.u32()? }),
+            1 => Ok(AdversaryModel::Colluders { size: r.u32()? }),
+            2 => Ok(AdversaryModel::Jammer {
+                duty_mille: r.u32()?,
+            }),
+            3 => Ok(AdversaryModel::SilentDrop { budget: r.u64()? }),
+            tag => Err(DecodeError::InvalidTag {
+                what: "AdversaryModel",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for AdversaryConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.model.encode(out);
+        put_u64(out, self.seed);
+    }
+}
+
+impl WireDecode for AdversaryConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(AdversaryConfig {
+            model: AdversaryModel::decode(r)?,
+            seed: r.u64()?,
+        })
+    }
+}
+
 impl WireEncode for ChannelSpec {
     fn encode(&self, out: &mut Vec<u8>) {
         put_usize(out, self.n);
@@ -345,6 +425,8 @@ impl WireEncode for ChannelSpec {
         put_u64(out, self.placement_seed);
         put_u64(out, self.channel_seed);
         self.retry.encode(out);
+        put_option(out, &self.adversary, |out, a| a.encode(out));
+        self.defense.encode(out);
     }
 }
 
@@ -358,12 +440,14 @@ impl WireDecode for ChannelSpec {
             placement_seed: r.u64()?,
             channel_seed: r.u64()?,
             retry: RetryPolicy::decode(r)?,
+            adversary: r.option(AdversaryConfig::decode)?,
+            defense: DefensePolicy::decode(r)?,
         })
     }
 }
 
-/// Encoded size of one [`RoundTrace`] entry (seven `u64` fields).
-const ROUND_TRACE_WIRE_SIZE: usize = 7 * 8;
+/// Encoded size of one [`RoundTrace`] entry (eight `u64` fields).
+const ROUND_TRACE_WIRE_SIZE: usize = 8 * 8;
 
 impl WireEncode for RoundTrace {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -373,6 +457,7 @@ impl WireEncode for RoundTrace {
         put_usize(out, self.eliminated);
         put_usize(out, self.captured);
         put_usize(out, self.retries);
+        put_usize(out, self.defenses);
         put_usize(out, self.remaining);
     }
 }
@@ -386,6 +471,7 @@ impl WireDecode for RoundTrace {
             eliminated: r.usize()?,
             captured: r.usize()?,
             retries: r.usize()?,
+            defenses: r.usize()?,
             remaining: r.usize()?,
         })
     }
@@ -397,6 +483,8 @@ impl WireEncode for QueryReport {
         put_u64(out, self.queries);
         put_u32(out, self.rounds);
         put_u64(out, self.retry_queries);
+        put_u64(out, self.defense_queries);
+        put_u64(out, self.anomalies);
         put_usize(out, self.confirmed_positives);
         put_u32(out, self.trace.len() as u32);
         for entry in &self.trace {
@@ -415,6 +503,8 @@ impl WireDecode for QueryReport {
         let queries = r.u64()?;
         let rounds = r.u32()?;
         let retry_queries = r.u64()?;
+        let defense_queries = r.u64()?;
+        let anomalies = r.u64()?;
         let confirmed_positives = r.usize()?;
         let len = r.len_prefix(ROUND_TRACE_WIRE_SIZE)?;
         let mut trace = Vec::with_capacity(len);
@@ -426,6 +516,8 @@ impl WireDecode for QueryReport {
             queries,
             rounds,
             retry_queries,
+            defense_queries,
+            anomalies,
             confirmed_positives,
             trace,
         })
@@ -476,6 +568,37 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_specs_roundtrip() {
+        for model in [
+            AdversaryModel::FalseResponders { count: 1 },
+            AdversaryModel::Colluders { size: 15 },
+            AdversaryModel::Jammer { duty_mille: 350 },
+            AdversaryModel::SilentDrop { budget: u64::MAX },
+        ] {
+            roundtrip(AdversaryConfig { model, seed: 77 });
+            roundtrip(
+                ChannelSpec::adversarial(
+                    128,
+                    16,
+                    CollisionModel::OnePlus,
+                    None,
+                    AdversaryConfig { model, seed: 9 },
+                )
+                .with_defense(DefensePolicy::hardened()),
+            );
+        }
+        roundtrip(DefensePolicy::none());
+        roundtrip(DefensePolicy::hardened());
+        assert!(matches!(
+            AdversaryModel::from_wire(&[4]),
+            Err(DecodeError::InvalidTag {
+                what: "AdversaryModel",
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn reports_roundtrip() {
         roundtrip(QueryReport::trivial(true));
         roundtrip(QueryReport {
@@ -483,6 +606,8 @@ mod tests {
             queries: 1234,
             rounds: 3,
             retry_queries: 17,
+            defense_queries: 6,
+            anomalies: 1,
             confirmed_positives: 2,
             trace: vec![
                 RoundTrace {
@@ -492,6 +617,7 @@ mod tests {
                     eliminated: 40,
                     captured: 1,
                     retries: 5,
+                    defenses: 4,
                     remaining: 88,
                 },
                 RoundTrace {
@@ -501,6 +627,7 @@ mod tests {
                     eliminated: 0,
                     captured: 1,
                     retries: 12,
+                    defenses: 2,
                     remaining: 88,
                 },
             ],
@@ -561,6 +688,8 @@ mod tests {
         put_u64(&mut bytes, 0); // queries
         put_u32(&mut bytes, 0); // rounds
         put_u64(&mut bytes, 0); // retry_queries
+        put_u64(&mut bytes, 0); // defense_queries
+        put_u64(&mut bytes, 0); // anomalies
         put_u64(&mut bytes, 0); // confirmed_positives
         put_u32(&mut bytes, u32::MAX); // trace length
         assert_eq!(

@@ -20,7 +20,7 @@ use rand::seq::SliceRandom;
 use rand::RngCore;
 
 use crate::channel::{GroupQueryChannel, PairedGroupQueryChannel};
-use crate::retry::RetryPolicy;
+use crate::retry::{DefensePolicy, RetryPolicy};
 use crate::types::{CollisionModel, NodeId, Observation, QueryReport, RoundTrace};
 
 /// Mutable state of one threshold-querying session.
@@ -46,6 +46,13 @@ pub struct Session {
     /// Nodes eliminated on (verified) silence, remembered for the final
     /// pool confirmation. Only populated while `retry.enabled()`.
     eliminated: Vec<NodeId>,
+    /// Verdict-hardening policy against adversarial noise (see `retry`
+    /// module; default: disabled).
+    defense: DefensePolicy,
+    /// Defense queries spent so far (canaries + activity confirmations).
+    defense_queries: u64,
+    /// Observations an honest channel could not have produced.
+    anomalies: u64,
 }
 
 /// Result of executing one round.
@@ -82,6 +89,12 @@ impl Session {
     /// Starts a session that verifies silence per `retry` before
     /// eliminating candidates.
     pub fn with_retry(nodes: &[NodeId], t: usize, retry: RetryPolicy) -> Self {
+        Self::with_options(nodes, t, RunOptions::retrying(retry))
+    }
+
+    /// Starts a session with the full option set: verified-silence
+    /// retries plus adversary defenses.
+    pub fn with_options(nodes: &[NodeId], t: usize, options: RunOptions) -> Self {
         Self {
             remaining: nodes.to_vec(),
             confirmed: 0,
@@ -90,9 +103,12 @@ impl Session {
             rounds: 0,
             trace: Vec::new(),
             scratch: Vec::with_capacity(nodes.len()),
-            retry,
+            retry: options.retry,
             retry_queries: 0,
             eliminated: Vec::new(),
+            defense: options.defense,
+            defense_queries: 0,
+            anomalies: 0,
         }
     }
 
@@ -145,6 +161,16 @@ impl Session {
         self.retry_queries
     }
 
+    /// Defense queries spent so far by the verdict-hardening layer.
+    pub fn defense_queries(&self) -> u64 {
+        self.defense_queries
+    }
+
+    /// Anomalies detected so far (observations no honest channel makes).
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
     /// Finalizes the session into a report.
     pub fn into_report(self, answer: bool) -> QueryReport {
         QueryReport {
@@ -152,9 +178,28 @@ impl Session {
             queries: self.queries,
             rounds: self.rounds,
             retry_queries: self.retry_queries,
+            defense_queries: self.defense_queries,
+            anomalies: self.anomalies,
             confirmed_positives: self.confirmed,
             trace: self.trace,
         }
+    }
+
+    /// Opens a round with the defense layer's empty-group canary when
+    /// configured. Nobody is addressed by an empty group, so an honest
+    /// channel without false-activity injection must observe silence;
+    /// anything else is flagged as an anomaly. Returns the defense
+    /// queries spent (0 or 1).
+    fn run_canary(&mut self, channel: &mut dyn GroupQueryChannel) -> u64 {
+        if !self.defense.canary {
+            return 0;
+        }
+        self.queries += 1;
+        self.defense_queries += 1;
+        if channel.query(&[]) != Observation::Silent {
+            self.anomalies += 1;
+        }
+        1
     }
 
     /// Executes one round with `bins` bins. `bins` is clamped to
@@ -196,6 +241,7 @@ impl Session {
         let mut offset = 0usize;
         let mut decided = None;
         let mut round_retries = 0u64;
+        let mut round_defenses = self.run_canary(channel);
 
         for bin_idx in 0..bins {
             let size = base + usize::from(bin_idx < extra);
@@ -209,11 +255,22 @@ impl Session {
             stats.queried_bins += 1;
             let obs = channel.query(members);
             debug_assert!(crate::channel::observation_valid(model, obs));
-            let (obs, retried) =
-                requery_silence(obs, members, channel, model, self.retry, self.retry_queries);
-            self.queries += retried;
-            self.retry_queries += retried;
-            round_retries += retried;
+            let vet = vet_observation(
+                obs,
+                members,
+                channel,
+                model,
+                self.retry,
+                self.defense,
+                self.retry_queries,
+            );
+            let obs = vet.obs;
+            self.queries += vet.retries + vet.defenses;
+            self.retry_queries += vet.retries;
+            self.defense_queries += vet.defenses;
+            self.anomalies += u64::from(vet.anomaly);
+            round_retries += vet.retries;
+            round_defenses += vet.defenses;
             if obs == Observation::Silent && self.retry.enabled() {
                 self.eliminated.extend_from_slice(members);
             }
@@ -255,9 +312,10 @@ impl Session {
             eliminated: stats.eliminated,
             captured: stats.captured,
             retries: round_retries as usize,
+            defenses: round_defenses as usize,
             remaining: self.remaining.len(),
         });
-        self.emit_round_event(bins, &stats, round_retries, false);
+        self.emit_round_event(bins, &stats, round_retries, round_defenses, false);
 
         match decided {
             Some(answer) => RoundOutcome::Decided(answer),
@@ -315,6 +373,7 @@ impl Session {
         let mut decided = None;
         let mut absorbed_hi = 0usize;
         let mut round_retries = 0u64;
+        let mut round_defenses = self.run_canary(channel as &mut dyn GroupQueryChannel);
 
         let mut idx = 0;
         while idx < ranges.len() && decided.is_none() {
@@ -351,19 +410,25 @@ impl Session {
                     continue;
                 }
                 let members = &self.remaining[lo..hi];
-                // Retries re-query one half singly: verification needs the
-                // individual bin's outcome, not the pair's.
-                let (obs, retried) = requery_silence(
+                // Retries and confirmations re-query one half singly:
+                // verification needs the individual bin's outcome, not
+                // the pair's.
+                let vet = vet_observation(
                     obs,
                     members,
                     &mut *channel as &mut dyn GroupQueryChannel,
                     model,
                     self.retry,
+                    self.defense,
                     self.retry_queries,
                 );
-                self.queries += retried;
-                self.retry_queries += retried;
-                round_retries += retried;
+                let obs = vet.obs;
+                self.queries += vet.retries + vet.defenses;
+                self.retry_queries += vet.retries;
+                self.defense_queries += vet.defenses;
+                self.anomalies += u64::from(vet.anomaly);
+                round_retries += vet.retries;
+                round_defenses += vet.defenses;
                 if obs == Observation::Silent && self.retry.enabled() {
                     self.eliminated.extend_from_slice(members);
                 }
@@ -398,9 +463,10 @@ impl Session {
             eliminated: stats.eliminated,
             captured: stats.captured,
             retries: round_retries as usize,
+            defenses: round_defenses as usize,
             remaining: self.remaining.len(),
         });
-        self.emit_round_event(bins, &stats, round_retries, false);
+        self.emit_round_event(bins, &stats, round_retries, round_defenses, false);
 
         match decided {
             Some(answer) => RoundOutcome::Decided(answer),
@@ -411,7 +477,14 @@ impl Session {
     /// Emits one `engine.round` trace event mirroring the [`RoundTrace`]
     /// entry just pushed. One event per round — the trace-consistency
     /// proptests rely on this 1:1 pairing.
-    fn emit_round_event(&self, bins: usize, stats: &RoundStats, retries: u64, verification: bool) {
+    fn emit_round_event(
+        &self,
+        bins: usize,
+        stats: &RoundStats,
+        retries: u64,
+        defenses: u64,
+        verification: bool,
+    ) {
         tcast_obs::event_current(
             "engine.round",
             &[
@@ -421,6 +494,7 @@ impl Session {
                 ("eliminated", stats.eliminated as u64),
                 ("captured", stats.captured as u64),
                 ("retries", retries),
+                ("defenses", defenses),
                 ("remaining", self.remaining.len() as u64),
                 ("verification", u64::from(verification)),
             ],
@@ -471,6 +545,7 @@ impl Session {
             eliminated: 0,
             captured: 0,
             retries: spent as usize,
+            defenses: 0,
             remaining: self.remaining.len(),
         });
         self.emit_round_event(
@@ -482,9 +557,83 @@ impl Session {
                 captured: 0,
             },
             spent,
+            0,
             true,
         );
         !rescued
+    }
+}
+
+/// Outcome of vetting one bin observation through the retry and defense
+/// layers (see [`vet_observation`]).
+struct VetOutcome {
+    /// The observation after verification.
+    obs: Observation,
+    /// Retry queries spent (verified silence).
+    retries: u64,
+    /// Defense queries spent (activity confirmations).
+    defenses: u64,
+    /// Whether an observation no honest channel produces was seen (a
+    /// confirmed-then-silent flap).
+    anomaly: bool,
+}
+
+/// Runs one bin observation through both verification layers: silent
+/// observations are re-queried per `retry` (loss protection), and
+/// non-silent observations are re-queried up to `defense.confirm_activity`
+/// times (adversarial-injection protection). A confirmation that comes
+/// back *silent* contradicts the original activity — on a loss-free
+/// channel real positives answer every query — so the observation is
+/// flagged anomalous, downgraded, and its silence verified through the
+/// retry layer like any other. A confirmation that upgrades undecoded
+/// activity to a capture is kept. One confirmation pass per bin: an
+/// observation rescued from a contradiction is not re-confirmed, which
+/// bounds the worst-case cost per bin at `confirm_activity + max_retries`
+/// extra queries. Shared by both round executors (free function so the
+/// `members` slice may borrow from the session's candidate buffer).
+fn vet_observation<C: GroupQueryChannel + ?Sized>(
+    first: Observation,
+    members: &[NodeId],
+    channel: &mut C,
+    model: CollisionModel,
+    retry: RetryPolicy,
+    defense: DefensePolicy,
+    retry_spent_before: u64,
+) -> VetOutcome {
+    let (mut obs, mut retries) =
+        requery_silence(first, members, channel, model, retry, retry_spent_before);
+    let mut defenses = 0u64;
+    let mut anomaly = false;
+    if obs != Observation::Silent && defense.confirm_activity > 0 {
+        for _ in 0..defense.confirm_activity {
+            defenses += 1;
+            let again = channel.query(members);
+            debug_assert!(crate::channel::observation_valid(model, again));
+            match again {
+                Observation::Silent => {
+                    anomaly = true;
+                    let (verified, extra) = requery_silence(
+                        Observation::Silent,
+                        members,
+                        channel,
+                        model,
+                        retry,
+                        retry_spent_before + retries,
+                    );
+                    obs = verified;
+                    retries += extra;
+                    break;
+                }
+                Observation::Captured(_) if obs == Observation::Activity => obs = again,
+                _ => {}
+            }
+        }
+    }
+    VetOutcome {
+        obs,
+        retries,
+        defenses,
+        anomaly,
     }
 }
 
@@ -618,28 +767,41 @@ impl std::fmt::Debug for ChannelMut<'_> {
     }
 }
 
-/// Execution options for [`drive`]. Today that is just the
-/// verified-silence [`RetryPolicy`]; the struct leaves room for future
-/// knobs without another entrypoint explosion.
+/// Execution options for [`drive`]: the verified-silence [`RetryPolicy`]
+/// and the adversary-defense [`DefensePolicy`]. The struct leaves room
+/// for future knobs without another entrypoint explosion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct RunOptions {
     /// Verified-silence policy (default: [`RetryPolicy::none`] — silence
     /// is trusted query for query, as on an ideal channel).
     pub retry: RetryPolicy,
+    /// Verdict-hardening policy (default: [`DefensePolicy::none`] — all
+    /// observations are trusted, as against honest participants).
+    pub defense: DefensePolicy,
 }
 
 impl RunOptions {
-    /// Options for an ideal channel: no retries.
+    /// Options for an ideal channel: no retries, no defenses.
     pub fn new() -> Self {
         Self {
             retry: RetryPolicy::none(),
+            defense: DefensePolicy::none(),
         }
     }
 
     /// Options with the given verified-silence policy.
     pub fn retrying(retry: RetryPolicy) -> Self {
-        Self { retry }
+        Self {
+            retry,
+            ..Self::new()
+        }
+    }
+
+    /// Returns the options with the given defense policy attached.
+    pub fn with_defense(mut self, defense: DefensePolicy) -> Self {
+        self.defense = defense;
+        self
     }
 }
 
@@ -686,8 +848,15 @@ pub fn drive(
         &[("n", nodes.len() as u64), ("t", t as u64)],
     );
     let report = {
-        let mut session = Session::with_retry(nodes, t, options.retry);
+        let mut session = Session::with_options(nodes, t, options);
         let mut last_stats: Option<RoundStats> = None;
+        // Consecutive Decided(true) rounds observed so far; a pending
+        // `true` verdict built on activity evidence must survive
+        // `defense.confirm_true` extra rounds before it is believed
+        // (the mirror image of `confirm_false`'s pool check). Precheck
+        // `true` — captures alone reaching `t`, or `t == 0` — is exact
+        // and accepted immediately.
+        let mut true_streak = 0u32;
         loop {
             if let Some(answer) = session.precheck() {
                 if answer || session.confirm_false(channel.as_single()) {
@@ -702,14 +871,24 @@ pub fn drive(
                 ChannelMut::Paired(ch) => session.run_round_paired(bins, *ch, rng),
             };
             match outcome {
-                RoundOutcome::Decided(true) => break session.into_report(true),
+                RoundOutcome::Decided(true) => {
+                    if true_streak >= options.defense.confirm_true {
+                        break session.into_report(true);
+                    }
+                    true_streak += 1;
+                    last_stats = None;
+                }
                 RoundOutcome::Decided(false) => {
                     if session.confirm_false(channel.as_single()) {
                         break session.into_report(false);
                     }
+                    true_streak = 0;
                     last_stats = None;
                 }
-                RoundOutcome::Undecided(stats) => last_stats = Some(stats),
+                RoundOutcome::Undecided(stats) => {
+                    true_streak = 0;
+                    last_stats = Some(stats);
+                }
             }
         }
     };
@@ -720,6 +899,8 @@ pub fn drive(
             ("queries", report.queries),
             ("rounds", u64::from(report.rounds)),
             ("retry_queries", report.retry_queries),
+            ("defense_queries", report.defense_queries),
+            ("anomalies", report.anomalies),
         ],
     );
     report
@@ -1085,6 +1266,160 @@ mod tests {
         assert!(!report.answer);
         report.assert_consistent();
         assert!(report.retry_queries > 0, "silent bins were re-queried");
+    }
+
+    #[test]
+    fn canary_flags_unconditional_injection() {
+        // A channel that answers Activity to everything — including the
+        // empty canary group — is provably dishonest: the canary fires
+        // and the anomaly surfaces in the report even though the fake
+        // activity drives the verdict to true.
+        use Observation::Activity;
+        let nodes = population(4);
+        let mut ch = Scripted::new(&[Activity; 8]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = drive(
+            &nodes,
+            1,
+            ChannelMut::single(&mut ch),
+            &mut rng,
+            RunOptions::new().with_defense(DefensePolicy {
+                canary: true,
+                ..DefensePolicy::none()
+            }),
+            |_, _| 1,
+        );
+        assert!(report.answer, "injection fakes the verdict...");
+        assert!(report.anomalies >= 1, "...but the canary catches it");
+        assert!(report.adversary_suspected());
+        assert_eq!(report.defense_queries, report.rounds as u64);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn activity_confirmation_downgrades_flapping_activity() {
+        // First query Activity, confirmation Silent: no honest loss-free
+        // channel flaps like that, so the bin is downgraded to silence,
+        // the anomaly is counted, and the verdict stays false.
+        use Observation::{Activity, Silent};
+        let nodes = population(4);
+        let mut ch = Scripted::new(&[Activity, Silent]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let report = drive(
+            &nodes,
+            1,
+            ChannelMut::single(&mut ch),
+            &mut rng,
+            RunOptions::new().with_defense(DefensePolicy {
+                confirm_activity: 1,
+                ..DefensePolicy::none()
+            }),
+            |_, _| 1,
+        );
+        assert!(!report.answer, "one-shot injected activity is discarded");
+        assert_eq!(report.anomalies, 1);
+        assert_eq!(report.queries, 2, "one first-pass + one confirmation");
+        assert_eq!(report.defense_queries, 1);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn confirmed_activity_survives_confirmation() {
+        // Real positives answer every query: confirmation costs queries
+        // but never flips an honest verdict.
+        let nodes = population(8);
+        let mut ch = ideal(8, &[0, 1, 2], CollisionModel::OnePlus);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let report = drive(
+            &nodes,
+            2,
+            ChannelMut::single(&mut ch),
+            &mut rng,
+            RunOptions::new().with_defense(DefensePolicy {
+                confirm_activity: 2,
+                ..DefensePolicy::none()
+            }),
+            |s, _| 2 * s.threshold(),
+        );
+        assert!(report.answer);
+        assert_eq!(report.anomalies, 0);
+        assert!(report.defense_queries > 0, "confirmations were spent");
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn confirm_true_overturns_single_round_injection() {
+        // A fake-activity burst decides true in round 1; the required
+        // confirmation round sees an honest silent channel and the final
+        // verdict flips to false.
+        use Observation::Activity;
+        let nodes = population(4);
+        let mut ch = Scripted::new(&[Activity]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let report = drive(
+            &nodes,
+            1,
+            ChannelMut::single(&mut ch),
+            &mut rng,
+            RunOptions::new().with_defense(DefensePolicy {
+                confirm_true: 1,
+                ..DefensePolicy::none()
+            }),
+            |_, _| 1,
+        );
+        assert!(!report.answer, "unconfirmed true verdict is overturned");
+        assert_eq!(report.rounds, 2, "decision round + confirmation round");
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn confirm_true_costs_extra_rounds_but_keeps_honest_verdicts() {
+        let nodes = population(32);
+        for x in [0usize, 4, 8, 20] {
+            let positives: Vec<u32> = (0..x as u32).collect();
+            let mut ch = ideal(32, &positives, CollisionModel::OnePlus);
+            let mut rng = SmallRng::seed_from_u64(40 + x as u64);
+            let report = drive(
+                &nodes,
+                8,
+                ChannelMut::single(&mut ch),
+                &mut rng,
+                RunOptions::new().with_defense(DefensePolicy::hardened()),
+                |s, _| 2 * s.threshold(),
+            );
+            assert_eq!(report.answer, x >= 8, "x={x}");
+            assert_eq!(report.anomalies, 0, "honest channel, no anomalies");
+            report.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn disabled_defenses_are_bit_identical_to_the_legacy_path() {
+        let nodes = population(64);
+        let positives: Vec<u32> = (0..10).collect();
+        let mut ch1 = ideal(64, &positives, CollisionModel::OnePlus);
+        let mut ch2 = ideal(64, &positives, CollisionModel::OnePlus);
+        let mut rng1 = SmallRng::seed_from_u64(9);
+        let mut rng2 = SmallRng::seed_from_u64(9);
+        let a = drive(
+            &nodes,
+            8,
+            ChannelMut::single(&mut ch1),
+            &mut rng1,
+            RunOptions::new(),
+            |s, _| 2 * s.threshold(),
+        );
+        let b = drive(
+            &nodes,
+            8,
+            ChannelMut::single(&mut ch2),
+            &mut rng2,
+            RunOptions::new().with_defense(DefensePolicy::none()),
+            |s, _| 2 * s.threshold(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.defense_queries, 0);
+        assert_eq!(a.anomalies, 0);
     }
 
     #[test]

@@ -12,7 +12,6 @@ use rand::RngCore;
 use crate::channel::GroupQueryChannel;
 use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
-use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// Bin-growth policy variants.
@@ -89,13 +88,13 @@ impl ThresholdQuerier for ExpIncrease {
         }
     }
 
-    fn run_with_retry(
+    fn run_with_options(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
-        retry: RetryPolicy,
+        options: RunOptions,
     ) -> QueryReport {
         let mut bin_num = self.initial_bins.max(1);
         let variant = self.variant;
@@ -105,7 +104,7 @@ impl ThresholdQuerier for ExpIncrease {
             t,
             ChannelMut::Single(channel),
             rng,
-            RunOptions::retrying(retry),
+            options,
             move |session, last| {
                 if first {
                     first = false;

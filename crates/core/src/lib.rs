@@ -64,7 +64,8 @@ pub mod types;
 
 pub use abns::{Abns, InitialEstimate};
 pub use channel::{
-    random_positive_set, ChannelSpec, GroupQueryChannel, IdealChannel, LossConfig, LossyChannel,
+    random_positive_set, AdversaryConfig, AdversaryModel, ChannelSpec, GroupQueryChannel,
+    IdealChannel, LossConfig, LossyChannel,
 };
 pub use codec::{fingerprint64, DecodeError, WireDecode, WireEncode};
 pub use counting::{count_positives, CountReport};
@@ -76,7 +77,7 @@ pub use oracle::OracleBins;
 pub use prob_abns::ProbAbns;
 pub use probabilistic::{ProbDecision, ProbabilisticConfig, ProbabilisticQuerier};
 pub use querier::ThresholdQuerier;
-pub use retry::RetryPolicy;
+pub use retry::{DefensePolicy, RetryPolicy};
 pub use twotbins::TwoTBins;
 pub use types::{
     population, CaptureModel, CollisionModel, NodeId, Observation, QueryReport, RoundTrace,

@@ -18,7 +18,6 @@ use rand::RngCore;
 use crate::channel::GroupQueryChannel;
 use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
-use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// Oracle bin selection with ground-truth knowledge of the positive set.
@@ -67,20 +66,20 @@ impl ThresholdQuerier for OracleBins {
         "Oracle"
     }
 
-    fn run_with_retry(
+    fn run_with_options(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
-        retry: RetryPolicy,
+        options: RunOptions,
     ) -> QueryReport {
         drive(
             nodes,
             t,
             ChannelMut::Single(channel),
             rng,
-            RunOptions::retrying(retry),
+            options,
             |session, _| {
                 let x = self.count_positives(session.remaining());
                 // Captured positives reduce the evidence still needed.

@@ -11,6 +11,7 @@ use rand::{Rng, RngCore};
 
 use crate::abns::{Abns, InitialEstimate};
 use crate::channel::GroupQueryChannel;
+use crate::engine::RunOptions;
 use crate::querier::ThresholdQuerier;
 use crate::retry::RetryPolicy;
 use crate::twotbins::TwoTBins;
@@ -46,14 +47,15 @@ impl ThresholdQuerier for ProbAbns {
         "ProbABNS"
     }
 
-    fn run_with_retry(
+    fn run_with_options(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
-        retry: RetryPolicy,
+        options: RunOptions,
     ) -> QueryReport {
+        let retry = options.retry;
         // Degenerate thresholds are decided without probing.
         if t == 0 {
             return QueryReport::trivial(true);
@@ -125,6 +127,7 @@ impl ThresholdQuerier for ProbAbns {
                     ("eliminated", (nodes.len() - survivors) as u64),
                     ("captured", 0),
                     ("retries", probe_retries),
+                    ("defenses", 0),
                     ("remaining", survivors as u64),
                     ("verification", 0),
                 ],
@@ -136,18 +139,19 @@ impl ThresholdQuerier for ProbAbns {
             budget: retry.budget.map(|b| b.saturating_sub(probe_retries)),
             ..retry
         };
+        let inner_options = RunOptions::retrying(inner_retry).with_defense(options.defense);
         let mut report = if probe_silent {
             // Likely x < t/2: ABNS seeded with p0 = t/4.
-            Abns::with_p0(InitialEstimate::Fixed(t as f64 / 4.0)).run_with_retry(
+            Abns::with_p0(InitialEstimate::Fixed(t as f64 / 4.0)).run_with_options(
                 &inner_nodes,
                 t,
                 channel,
                 rng,
-                inner_retry,
+                inner_options,
             )
         } else {
             // Likely x > t/2: 2tBins is near-oracle in this regime.
-            TwoTBins.run_with_retry(&inner_nodes, t, channel, rng, inner_retry)
+            TwoTBins.run_with_options(&inner_nodes, t, channel, rng, inner_options)
         };
 
         report.queries += probe_cost;
@@ -166,6 +170,7 @@ impl ThresholdQuerier for ProbAbns {
                     eliminated: nodes.len() - survivors,
                     captured: 0,
                     retries: probe_retries as usize,
+                    defenses: 0,
                     remaining: survivors,
                 },
             );

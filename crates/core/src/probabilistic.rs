@@ -17,7 +17,6 @@ use rand::{Rng, RngCore};
 
 use crate::channel::GroupQueryChannel;
 use crate::querier::ThresholdQuerier;
-use crate::retry::RetryPolicy;
 use crate::types::{NodeId, Observation, QueryReport, RoundTrace};
 
 /// Configuration of the probabilistic threshold decision.
@@ -166,17 +165,19 @@ impl ThresholdQuerier for ProbabilisticQuerier {
     /// Adapter: interprets "activity mode" as `x >= t`. Unlike the exact
     /// algorithms this may answer incorrectly (by design) with probability
     /// bounded by the Chernoff analysis; `t` is ignored in favour of the
-    /// configured mode boundaries, and the [`RetryPolicy`] is ignored
-    /// entirely — the decision never eliminates nodes, so there is no
-    /// silence to verify. The report summarizes all probes as one
-    /// aggregate round so its accounting invariants hold.
-    fn run_with_retry(
+    /// configured mode boundaries, and the [`crate::RetryPolicy`] and
+    /// [`crate::DefensePolicy`] are ignored entirely — the decision never
+    /// eliminates nodes, so there is no silence to verify, and its
+    /// verdict is statistical rather than evidence-counting. The report
+    /// summarizes all probes as one aggregate round so its accounting
+    /// invariants hold.
+    fn run_with_options(
         &self,
         nodes: &[NodeId],
         _t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
-        _retry: RetryPolicy,
+        _options: crate::engine::RunOptions,
     ) -> QueryReport {
         let d = self.decide(nodes, channel, rng);
         QueryReport {
@@ -184,6 +185,8 @@ impl ThresholdQuerier for ProbabilisticQuerier {
             queries: d.queries,
             rounds: 1,
             retry_queries: 0,
+            defense_queries: 0,
+            anomalies: 0,
             confirmed_positives: 0,
             trace: vec![RoundTrace {
                 bins: self.config.bins,
@@ -192,6 +195,7 @@ impl ThresholdQuerier for ProbabilisticQuerier {
                 eliminated: 0,
                 captured: 0,
                 retries: 0,
+                defenses: 0,
                 remaining: nodes.len(),
             }],
         }

@@ -3,6 +3,7 @@
 use rand::RngCore;
 
 use crate::channel::GroupQueryChannel;
+use crate::engine::RunOptions;
 use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
@@ -13,12 +14,36 @@ use crate::types::{NodeId, QueryReport};
 /// state lives inside `run`, so a single instance can be reused across the
 /// thousands of runs of a parameter sweep (including concurrently, from the
 /// parallel sweep driver).
+///
+/// The one required method is [`run_with_options`](Self::run_with_options);
+/// [`run`](Self::run) and [`run_with_retry`](Self::run_with_retry) are
+/// convenience wrappers over it, so every execution path — trusting,
+/// loss-verified, or adversary-hardened — flows through a single
+/// implementation.
 pub trait ThresholdQuerier: Sync {
     /// Short identifier used in experiment output (e.g. `"2tBins"`).
     fn name(&self) -> &str;
 
-    /// Runs one complete threshold-querying session, trusting every
-    /// observation (the ideal-channel configuration).
+    /// Runs one complete threshold-querying session with the full option
+    /// set: verified-silence retries (see the `retry` module) and
+    /// adversary defenses (see [`crate::DefensePolicy`]). With
+    /// [`RunOptions::new`] this is the trusting ideal-channel
+    /// configuration.
+    ///
+    /// Algorithms whose verdicts are probabilistic by design may ignore
+    /// the retry and defense policies; they must say so in their
+    /// documentation.
+    fn run_with_options(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        options: RunOptions,
+    ) -> QueryReport;
+
+    /// Runs one session trusting every observation (the ideal-channel
+    /// configuration).
     fn run(
         &self,
         nodes: &[NodeId],
@@ -26,7 +51,7 @@ pub trait ThresholdQuerier: Sync {
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
     ) -> QueryReport {
-        self.run_with_retry(nodes, t, channel, rng, RetryPolicy::none())
+        self.run_with_options(nodes, t, channel, rng, RunOptions::new())
     }
 
     /// Runs one session with verified-silence retries: silent bins are
@@ -34,9 +59,6 @@ pub trait ThresholdQuerier: Sync {
     /// `false` verdicts are confirmed against the eliminated pool (see the
     /// `retry` module). With [`RetryPolicy::none`] this must behave
     /// exactly like [`run`](Self::run).
-    ///
-    /// Algorithms whose verdicts are probabilistic by design may ignore
-    /// the policy; they must say so in their documentation.
     fn run_with_retry(
         &self,
         nodes: &[NodeId],
@@ -44,12 +66,25 @@ pub trait ThresholdQuerier: Sync {
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
         retry: RetryPolicy,
-    ) -> QueryReport;
+    ) -> QueryReport {
+        self.run_with_options(nodes, t, channel, rng, RunOptions::retrying(retry))
+    }
 }
 
 impl<T: ThresholdQuerier + ?Sized> ThresholdQuerier for &T {
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn run_with_options(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        options: RunOptions,
+    ) -> QueryReport {
+        (**self).run_with_options(nodes, t, channel, rng, options)
     }
 
     fn run(

@@ -80,9 +80,93 @@ impl RetryPolicy {
     }
 }
 
+/// Verdict-hardening defenses against *adversarial* (Byzantine) noise.
+///
+/// [`RetryPolicy`] protects against stochastic loss; it is blind to a
+/// participant that actively lies. `DefensePolicy` adds the three
+/// counter-measures the adversary campaign (`tcast-experiments
+/// adversary`) evaluates:
+///
+/// * **activity confirmation** (`confirm_activity`): every non-silent
+///   bin observation is re-queried; a silent contradiction exposes
+///   injected activity (a jammer or false responder that fires
+///   per-query cannot fake the same bin twice with certainty), flags an
+///   anomaly, and downgrades the observation to verified silence.
+/// * **canary queries** (`canary`): each round opens by querying an
+///   *empty* group. An honest channel without false-activity injection
+///   (`false_activity_prob == 0`) is provably silent on an empty group
+///   — nobody was asked, so nobody can reply — making a non-silent
+///   canary a certain adversary detection. (Under false-activity loss
+///   the canary still fires, but reports that noise floor rather than
+///   an adversary specifically.)
+/// * **verdict confirmation** (`confirm_true`): a pending `true` verdict
+///   built on undecoded activity evidence must survive `confirm_true`
+///   additional full rounds before it is believed, mirroring how
+///   [`RetryPolicy`] already confirms `false` verdicts via the
+///   eliminated pool.
+///
+/// Randomized per-round bin permutation — the other defense the issue
+/// campaign measures — is inherent to the engine: every round shuffles
+/// the remaining candidates before binning, so an adversary cannot aim
+/// at a stable bin layout across rounds.
+///
+/// Defense queries are accounted separately from retries: they surface
+/// as `defenses` in [`crate::RoundTrace`] and `defense_queries` /
+/// `anomalies` in [`crate::QueryReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DefensePolicy {
+    /// Re-queries per *non-silent* observation before it is believed.
+    /// `0` disables activity confirmation.
+    pub confirm_activity: u32,
+    /// Whether each round opens with an empty-group canary query.
+    pub canary: bool,
+    /// Extra consecutive rounds a pending activity-evidence `true`
+    /// verdict must survive. `0` accepts the first `true` decision.
+    pub confirm_true: u32,
+}
+
+impl DefensePolicy {
+    /// All defenses off: bit-identical to the pre-defense engine.
+    pub const fn none() -> Self {
+        Self {
+            confirm_activity: 0,
+            canary: false,
+            confirm_true: 0,
+        }
+    }
+
+    /// The hardened setting the adversary campaign measures: one
+    /// activity confirmation, per-round canaries, and one verdict
+    /// confirmation round.
+    pub const fn hardened() -> Self {
+        Self {
+            confirm_activity: 1,
+            canary: true,
+            confirm_true: 1,
+        }
+    }
+
+    /// Whether any defense layer is active.
+    pub const fn enabled(&self) -> bool {
+        self.confirm_activity > 0 || self.canary || self.confirm_true > 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn defense_default_is_off() {
+        assert_eq!(DefensePolicy::default(), DefensePolicy::none());
+        assert!(!DefensePolicy::none().enabled());
+        assert!(DefensePolicy::hardened().enabled());
+        assert!(DefensePolicy {
+            canary: true,
+            ..DefensePolicy::none()
+        }
+        .enabled());
+    }
 
     #[test]
     fn default_is_disabled() {

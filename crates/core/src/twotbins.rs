@@ -11,7 +11,6 @@ use rand::RngCore;
 use crate::channel::GroupQueryChannel;
 use crate::engine::{drive, ChannelMut, RunOptions};
 use crate::querier::ThresholdQuerier;
-use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
 /// The 2tBins algorithm (Algorithm 1 in the paper) with random bin
@@ -24,20 +23,20 @@ impl ThresholdQuerier for TwoTBins {
         "2tBins"
     }
 
-    fn run_with_retry(
+    fn run_with_options(
         &self,
         nodes: &[NodeId],
         t: usize,
         channel: &mut dyn GroupQueryChannel,
         rng: &mut dyn RngCore,
-        retry: RetryPolicy,
+        options: RunOptions,
     ) -> QueryReport {
         drive(
             nodes,
             t,
             ChannelMut::Single(channel),
             rng,
-            RunOptions::retrying(retry),
+            options,
             |session, _| 2 * session.threshold(),
         )
     }

@@ -117,6 +117,9 @@ pub struct RoundTrace {
     /// Extra queries spent by the verified-silence retry layer this round
     /// (silent-bin re-queries, or pool checks for a verification round).
     pub retries: usize,
+    /// Extra queries spent by the adversary-defense layer this round
+    /// (canary probes and activity-confirmation re-queries).
+    pub defenses: usize,
     /// Candidate-set size after the round.
     pub remaining: usize,
 }
@@ -134,6 +137,14 @@ pub struct QueryReport {
     /// Queries spent by the verified-silence retry layer (a subset of
     /// `queries`): silent-bin re-queries plus final pool confirmations.
     pub retry_queries: u64,
+    /// Queries spent by the adversary-defense layer (a subset of
+    /// `queries`): canary probes plus activity confirmations.
+    pub defense_queries: u64,
+    /// Defense-layer anomaly detections: observations that an honest
+    /// channel cannot produce (a non-silent canary, or a confirmed
+    /// activity that went silent on re-query). Non-zero means the
+    /// session has *proof* of adversarial interference.
+    pub anomalies: u64,
     /// Positives identified by name (2+ captures).
     pub confirmed_positives: usize,
     /// Per-round execution trace.
@@ -149,9 +160,19 @@ impl QueryReport {
             queries: 0,
             rounds: 0,
             retry_queries: 0,
+            defense_queries: 0,
+            anomalies: 0,
             confirmed_positives: 0,
             trace: Vec::new(),
         }
+    }
+
+    /// Whether the defense layer proved adversarial interference during
+    /// this session. A `true` here makes the verdict untrustworthy even
+    /// when the session still decided; campaign metrics count a wrong
+    /// verdict as *undetected* only when this is `false`.
+    pub fn adversary_suspected(&self) -> bool {
+        self.anomalies > 0
     }
 
     /// Asserts the report's internal accounting invariants; the shared
@@ -159,8 +180,9 @@ impl QueryReport {
     ///
     /// * `rounds` equals the number of trace entries;
     /// * `queries` equals the trace's first-pass queries plus its retry
-    ///   queries (nothing is double- or under-counted);
+    ///   and defense queries (nothing is double- or under-counted);
     /// * `retry_queries` equals the trace's retry total;
+    /// * `defense_queries` equals the trace's defense total;
     /// * `confirmed_positives` equals the trace's capture total.
     #[track_caller]
     pub fn assert_consistent(&self) {
@@ -171,12 +193,17 @@ impl QueryReport {
         );
         let first_pass: u64 = self.trace.iter().map(|r| r.queried_bins as u64).sum();
         let retries: u64 = self.trace.iter().map(|r| r.retries as u64).sum();
+        let defenses: u64 = self.trace.iter().map(|r| r.defenses as u64).sum();
         assert_eq!(
             self.queries,
-            first_pass + retries,
-            "queries != first-pass + retries"
+            first_pass + retries + defenses,
+            "queries != first-pass + retries + defenses"
         );
         assert_eq!(self.retry_queries, retries, "retry counter != trace total");
+        assert_eq!(
+            self.defense_queries, defenses,
+            "defense counter != trace total"
+        );
         let captured: usize = self.trace.iter().map(|r| r.captured).sum();
         assert_eq!(
             self.confirmed_positives, captured,

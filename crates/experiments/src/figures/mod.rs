@@ -1,5 +1,6 @@
 //! One module per paper figure, plus shared single-run helpers.
 
+pub mod adversary;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

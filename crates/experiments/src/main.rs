@@ -22,7 +22,7 @@ use tcast_experiments::chart::render_chart;
 use tcast_experiments::cluster;
 use tcast_experiments::extensions::{counting, energy, interference, monitoring};
 use tcast_experiments::figures::{
-    fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, loss,
+    adversary, fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, loss,
 };
 use tcast_experiments::trace as trace_cmd;
 use tcast_experiments::{Figure, SweepSpec, Table};
@@ -244,6 +244,11 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             emit_figure(&error, opts);
             emit_figure(&overhead, opts);
         }
+        "adversary" => {
+            let (error, overhead) = adversary::build(opts.spec());
+            emit_figure(&error, opts);
+            emit_figure(&overhead, opts);
+        }
         "interference" => {
             let sweep = interference::InterferenceSweep {
                 queries_per_cell: if opts.fast { 150 } else { 400 },
@@ -363,6 +368,8 @@ commands:
   fig11        bimodal x distribution histograms
   all          every figure above
   loss         wrong verdicts & overhead vs reply loss, retries 0/1/2
+  adversary    Byzantine robustness campaign: undetected wrong verdicts &
+               overhead per algorithm x adversary model x defense setting
   interference backcast vs pollcast under foreign traffic (extension)
   counting     exact counting (countcast) vs threshold querying (extension)
   monitoring   warm-started epoch monitoring (extension)

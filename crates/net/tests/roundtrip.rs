@@ -8,7 +8,8 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use tcast::{
-    CaptureModel, ChannelSpec, CollisionModel, LossConfig, QueryReport, RetryPolicy, RoundTrace,
+    AdversaryConfig, AdversaryModel, CaptureModel, ChannelSpec, CollisionModel, DefensePolicy,
+    LossConfig, QueryReport, RetryPolicy, RoundTrace,
 };
 use tcast_net::frame::{HEADER_LEN, TRAILER_LEN};
 use tcast_net::{Frame, FrameReader, MalformedFrame, DEFAULT_MAX_PAYLOAD};
@@ -46,6 +47,33 @@ fn job_from(seed: u64, n: usize, x_frac: usize, t: usize, knobs: u64) -> QueryJo
             budget: ((knobs >> 7) & 1 == 1).then_some(seed % 10_000),
         });
     }
+    if (knobs >> 10) & 1 == 1 {
+        let model = match (knobs >> 11) % 4 {
+            0 => AdversaryModel::FalseResponders {
+                count: (seed % 1000) as u32,
+            },
+            1 => AdversaryModel::Colluders {
+                size: (seed % 64) as u32,
+            },
+            2 => AdversaryModel::Jammer {
+                duty_mille: (seed % 1001) as u32,
+            },
+            _ => AdversaryModel::SilentDrop {
+                budget: seed % 4096,
+            },
+        };
+        spec = spec.with_adversary(AdversaryConfig {
+            model,
+            seed: seed.rotate_left(29),
+        });
+    }
+    if (knobs >> 13) & 1 == 1 {
+        spec = spec.with_defense(DefensePolicy {
+            confirm_activity: (knobs % 4) as u32,
+            canary: (knobs >> 14) & 1 == 1,
+            confirm_true: ((knobs >> 1) % 3) as u32,
+        });
+    }
     let mut job = QueryJob::new(algorithm, spec, t, seed.wrapping_mul(0x9E37_79B9));
     if (knobs >> 8) & 1 == 1 {
         job = job.with_deadline(Duration::from_nanos(seed % 1_000_000_000));
@@ -61,6 +89,8 @@ fn report_from(seed: u64, rounds: usize) -> QueryReport {
     report.queries = seed;
     report.rounds = rounds as u32;
     report.retry_queries = seed / 3;
+    report.defense_queries = seed / 7;
+    report.anomalies = seed % 17;
     report.confirmed_positives = (seed % 1_000) as usize;
     report.trace = (0..rounds)
         .map(|i| {
@@ -72,6 +102,7 @@ fn report_from(seed: u64, rounds: usize) -> QueryReport {
                 eliminated: (w % 512) as usize,
                 captured: (w % 256) as usize,
                 retries: (w % 128) as usize,
+                defenses: (w % 64) as usize,
                 remaining: (w % 8192) as usize,
             }
         })
@@ -194,10 +225,10 @@ fn corrupted_crc_trailer_is_rejected_as_bad_crc() {
 }
 
 /// The largest report that still fits the default payload cap: the trace
-/// dominates, at 56 wire bytes per round.
+/// dominates, at 64 wire bytes per round.
 fn max_size_report() -> (QueryReport, usize) {
-    let fixed = 1 + 8 + 4 + 8 + 8 + 4; // answer..confirmed_positives + trace len
-    let per_round = 56;
+    let fixed = 1 + 8 + 4 + 8 + 8 + 8 + 8 + 4; // answer..confirmed_positives + trace len
+    let per_round = 64;
     let rounds = (DEFAULT_MAX_PAYLOAD as usize - fixed) / per_round;
     (report_from(0xDEAD_BEEF, rounds), fixed + rounds * per_round)
 }
@@ -205,7 +236,7 @@ fn max_size_report() -> (QueryReport, usize) {
 #[test]
 fn max_size_payload_roundtrips_and_one_more_round_is_rejected() {
     let (report, payload_len) = max_size_report();
-    assert!(DEFAULT_MAX_PAYLOAD as usize - payload_len < 56);
+    assert!(DEFAULT_MAX_PAYLOAD as usize - payload_len < 64);
 
     let frame = Frame::JobOk {
         request_id: 1,

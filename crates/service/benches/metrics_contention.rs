@@ -27,6 +27,8 @@ fn sample_result(i: usize) -> JobResult {
         queries: 20 + (i % 13) as u64,
         rounds: 1 + (i % 4) as u32,
         retry_queries: (i % 5) as u64,
+        defense_queries: 0,
+        anomalies: 0,
         confirmed_positives: 0,
         trace: Vec::new(),
     }))

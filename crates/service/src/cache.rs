@@ -106,6 +106,8 @@ mod tests {
             queries,
             rounds: 1,
             retry_queries: 0,
+            defense_queries: 0,
+            anomalies: 0,
             confirmed_positives: 0,
             trace: Vec::new(),
         }

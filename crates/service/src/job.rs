@@ -12,7 +12,7 @@ use rand::SeedableRng;
 
 use tcast::{
     population, Abns, ChannelSpec, ExpIncrease, OracleBins, ProbAbns, QueryReport, RetryPolicy,
-    ThresholdQuerier, TwoTBins,
+    RunOptions, ThresholdQuerier, TwoTBins,
 };
 use tcast_stats::Summary;
 
@@ -192,17 +192,23 @@ impl QueryJob {
     /// Executes the session; fully determined by the job's fields. The
     /// job's trace id becomes the thread's current trace for the
     /// duration, so the engine's spans and round events correlate to it.
+    ///
+    /// Channels are built through `tcast-adversary`, so a spec carrying
+    /// an [`tcast::AdversaryConfig`] gets its Byzantine wrapper here and
+    /// the spec's [`tcast::DefensePolicy`] shapes the session; honest
+    /// specs build byte-identically to [`ChannelSpec::build_with_truth`].
     pub fn execute(&self) -> QueryReport {
         let _scope = tcast_obs::scoped_trace(self.trace);
-        let (mut channel, truth) = self.channel.build_with_truth();
+        let (mut channel, truth) = tcast_adversary::build_with_truth(&self.channel);
         let algorithm = self.algorithm.build(truth);
         let mut rng = SmallRng::seed_from_u64(self.session_seed);
-        algorithm.run_with_retry(
+        let options = RunOptions::retrying(self.retry_policy()).with_defense(self.channel.defense);
+        algorithm.run_with_options(
             &population(self.channel.n),
             self.t,
             channel.as_mut(),
             &mut rng,
-            self.retry_policy(),
+            options,
         )
     }
 }
@@ -336,6 +342,17 @@ mod tests {
             ..base
         });
         variants.push(base.with_retry_budget(5));
+        variants.push(QueryJob {
+            channel: base.channel.with_adversary(tcast::AdversaryConfig {
+                model: tcast::AdversaryModel::Jammer { duty_mille: 100 },
+                seed: 9,
+            }),
+            ..base
+        });
+        variants.push(QueryJob {
+            channel: base.channel.with_defense(tcast::DefensePolicy::hardened()),
+            ..base
+        });
         let mut keys: Vec<_> = variants.iter().map(QueryJob::cache_key).collect();
         keys.sort();
         keys.dedup();
@@ -352,6 +369,33 @@ mod tests {
             base.cache_key(),
             base.with_trace(tcast_obs::TraceId::fresh()).cache_key()
         );
+    }
+
+    #[test]
+    fn adversarial_jobs_execute_with_the_spec_defenses() {
+        use tcast::{AdversaryConfig, AdversaryModel, DefensePolicy};
+        // x = t honest positives, a full-duty jammer, hardened defenses:
+        // the session must run (core alone would panic on this spec) and
+        // the canary must flag the jammer.
+        let spec = ChannelSpec::adversarial(
+            64,
+            8,
+            CollisionModel::OnePlus,
+            None,
+            AdversaryConfig {
+                model: AdversaryModel::Jammer { duty_mille: 1000 },
+                seed: 4,
+            },
+        )
+        .seeded(1, 2)
+        .with_defense(DefensePolicy::hardened());
+        let report = QueryJob::new(AlgorithmSpec::TwoTBins, spec, 8, 3).execute();
+        report.assert_consistent();
+        assert!(report.adversary_suspected(), "canary must flag the jammer");
+        assert!(report.defense_queries > 0);
+        // Determinism still holds for adversarial jobs.
+        let again = QueryJob::new(AlgorithmSpec::TwoTBins, spec, 8, 3).execute();
+        assert_eq!(report, again);
     }
 
     #[test]

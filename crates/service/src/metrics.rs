@@ -49,6 +49,8 @@ struct Counters {
     deadline_exceeded: AtomicU64,
     queries: AtomicU64,
     retries: AtomicU64,
+    defenses: AtomicU64,
+    anomalies: AtomicU64,
     rounds: AtomicU64,
     verdict_yes: AtomicU64,
     verdict_no: AtomicU64,
@@ -93,6 +95,8 @@ impl Entry {
             deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
             queries: self.counters.queries.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
+            defenses: self.counters.defenses.load(Ordering::Relaxed),
+            anomalies: self.counters.anomalies.load(Ordering::Relaxed),
             rounds: self.counters.rounds.load(Ordering::Relaxed),
             verdict_yes: self.counters.verdict_yes.load(Ordering::Relaxed),
             verdict_no: self.counters.verdict_no.load(Ordering::Relaxed),
@@ -278,6 +282,9 @@ impl MetricsRegistry {
             Ok(JobOutput::Report(report)) => {
                 c.queries.fetch_add(report.queries, Ordering::Relaxed);
                 c.retries.fetch_add(report.retry_queries, Ordering::Relaxed);
+                c.defenses
+                    .fetch_add(report.defense_queries, Ordering::Relaxed);
+                c.anomalies.fetch_add(report.anomalies, Ordering::Relaxed);
                 c.rounds
                     .fetch_add(u64::from(report.rounds), Ordering::Relaxed);
                 if report.answer {
@@ -379,6 +386,11 @@ pub struct MetricsRow {
     pub queries: u64,
     /// Total verified-silence retry queries across all sessions.
     pub retries: u64,
+    /// Total defense queries (canary probes, activity-confirmation
+    /// re-queries) across all sessions; see `tcast::DefensePolicy`.
+    pub defenses: u64,
+    /// Total adversary-suspected anomalies flagged across all sessions.
+    pub anomalies: u64,
     /// Total rounds across all sessions.
     pub rounds: u64,
     /// Sessions that answered `x >= t`.
@@ -418,6 +430,8 @@ impl MetricsRow {
         self.deadline_exceeded += other.deadline_exceeded;
         self.queries += other.queries;
         self.retries += other.retries;
+        self.defenses += other.defenses;
+        self.anomalies += other.anomalies;
         self.rounds += other.rounds;
         self.verdict_yes += other.verdict_yes;
         self.verdict_no += other.verdict_no;
@@ -446,7 +460,7 @@ impl MetricsSnapshot {
     /// CSV dump: one header line, one row per label.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "label,jobs,panics,deadline_exceeded,queries,retries,rounds,\
+            "label,jobs,panics,deadline_exceeded,queries,retries,defenses,anomalies,rounds,\
              verdict_yes,verdict_no,cache_hits,mean_latency_us,max_latency_us,\
              mean_queries_per_job,mean_retries_per_job\n",
         );
@@ -465,13 +479,15 @@ impl MetricsSnapshot {
                 (0.0, 0.0)
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.2},{:.2}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.2},{:.2}\n",
                 r.label,
                 r.jobs,
                 r.panics,
                 r.deadline_exceeded,
                 r.queries,
                 r.retries,
+                r.defenses,
+                r.anomalies,
                 r.rounds,
                 r.verdict_yes,
                 r.verdict_no,
@@ -507,10 +523,10 @@ impl MetricsSnapshot {
     /// Markdown table dump.
     pub fn to_markdown(&self) -> String {
         let mut out = String::from(
-            "| label | jobs | panics | deadline | queries | retries | rounds \
-             | yes | no | cached | latency (µs) | queries/job |\n\
-             |-------|-----:|-------:|---------:|--------:|--------:|-------:\
-             |----:|---:|-------:|-------------:|------------:|\n",
+            "| label | jobs | panics | deadline | queries | retries | defenses \
+             | anomalies | rounds | yes | no | cached | latency (µs) | queries/job |\n\
+             |-------|-----:|-------:|---------:|--------:|--------:|---------:\
+             |----------:|-------:|----:|---:|-------:|-------------:|------------:|\n",
         );
         for r in &self.rows {
             let lat = if r.latency_us.count() > 0 {
@@ -524,13 +540,15 @@ impl MetricsSnapshot {
                 "-".into()
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 r.label,
                 r.jobs,
                 r.panics,
                 r.deadline_exceeded,
                 r.queries,
                 r.retries,
+                r.defenses,
+                r.anomalies,
                 r.rounds,
                 r.verdict_yes,
                 r.verdict_no,
@@ -586,7 +604,7 @@ impl MetricsSnapshot {
         type NetCounter = fn(&NetMetricsRow) -> u64;
         let mut out = String::new();
 
-        let counters: [(&str, &str, RowCounter); 7] = [
+        let counters: [(&str, &str, RowCounter); 9] = [
             (
                 "tcast_jobs_total",
                 "Jobs finished, including panicked and deadline-expired ones.",
@@ -609,6 +627,16 @@ impl MetricsSnapshot {
                 "tcast_retry_queries_total",
                 "Verified-silence retry queries across all sessions.",
                 |r| r.retries,
+            ),
+            (
+                "tcast_defense_queries_total",
+                "Defense queries (canary probes, confirmation re-queries) across all sessions.",
+                |r| r.defenses,
+            ),
+            (
+                "tcast_anomalies_total",
+                "Adversary-suspected anomalies flagged across all sessions.",
+                |r| r.anomalies,
             ),
             ("tcast_rounds_total", "Rounds across all sessions.", |r| {
                 r.rounds
@@ -780,6 +808,8 @@ mod tests {
             queries,
             rounds,
             retry_queries,
+            defense_queries: 0,
+            anomalies: 0,
             confirmed_positives: 0,
             trace: Vec::new(),
         }))
@@ -866,6 +896,34 @@ mod tests {
     }
 
     #[test]
+    fn defense_counters_accumulate_and_surface() {
+        let m = MetricsRegistry::new();
+        let hardened = Ok(JobOutput::Report(QueryReport {
+            answer: true,
+            queries: 20,
+            rounds: 2,
+            retry_queries: 1,
+            defense_queries: 6,
+            anomalies: 2,
+            confirmed_positives: 0,
+            trace: Vec::new(),
+        }));
+        m.record("x", &hardened, Duration::from_micros(10));
+        m.record("x", &hardened, Duration::from_micros(10));
+        let snap = m.snapshot();
+        let r = &snap.rows[0];
+        assert_eq!((r.defenses, r.anomalies), (12, 4));
+        assert!(
+            snap.to_csv().contains("x,2,0,0,40,2,12,4,4,"),
+            "{}",
+            snap.to_csv()
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("tcast_defense_queries_total{algorithm=\"x\"} 12"));
+        assert!(text.contains("tcast_anomalies_total{algorithm=\"x\"} 4"));
+    }
+
+    #[test]
     fn csv_columns_are_stable() {
         // Snapshot of the CSV schema: downstream tooling parses these
         // column names, so any change here must be deliberate.
@@ -889,13 +947,13 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "label,jobs,panics,deadline_exceeded,queries,retries,rounds,\
+            "label,jobs,panics,deadline_exceeded,queries,retries,defenses,anomalies,rounds,\
              verdict_yes,verdict_no,cache_hits,mean_latency_us,max_latency_us,\
              mean_queries_per_job,mean_retries_per_job"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "x,3,0,1,50,4,3,1,1,0,200.0,300.0,25.00,2.00"
+            "x,3,0,1,50,4,0,0,3,1,1,0,200.0,300.0,25.00,2.00"
         );
         assert!(lines.next().is_none());
     }
@@ -956,7 +1014,7 @@ mod tests {
             (2, 1),
             "hits ride along, not instead"
         );
-        assert!(snap.to_csv().contains("x,2,0,0,8,0,2,2,0,1,"));
+        assert!(snap.to_csv().contains("x,2,0,0,8,0,0,0,2,2,0,1,"));
     }
 
     #[test]
@@ -1069,6 +1127,12 @@ tcast_queries_total{algorithm="x"} 50
 # HELP tcast_retry_queries_total Verified-silence retry queries across all sessions.
 # TYPE tcast_retry_queries_total counter
 tcast_retry_queries_total{algorithm="x"} 4
+# HELP tcast_defense_queries_total Defense queries (canary probes, confirmation re-queries) across all sessions.
+# TYPE tcast_defense_queries_total counter
+tcast_defense_queries_total{algorithm="x"} 0
+# HELP tcast_anomalies_total Adversary-suspected anomalies flagged across all sessions.
+# TYPE tcast_anomalies_total counter
+tcast_anomalies_total{algorithm="x"} 0
 # HELP tcast_rounds_total Rounds across all sessions.
 # TYPE tcast_rounds_total counter
 tcast_rounds_total{algorithm="x"} 3
