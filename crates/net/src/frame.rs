@@ -528,6 +528,16 @@ impl FrameReader {
         Self::default()
     }
 
+    /// Bytes of the in-progress frame buffered so far.
+    ///
+    /// Comparing this across [`FrameReader::read_from`] calls lets an
+    /// idle-timeout policy count partial-frame progress as activity: a
+    /// peer trickling a large frame slower than the idle window is alive,
+    /// not idle.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Pulls bytes from `r` until a full frame is assembled, the read
     /// times out, or the transport fails.
     ///

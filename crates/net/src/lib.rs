@@ -1,19 +1,26 @@
 //! tcast-net: a wire protocol, TCP front-end, and pipelined client for
 //! the query service.
 //!
-//! The crate is std-only blocking I/O — no async runtime, no serde —
-//! and splits into three layers:
+//! The crate is std-only — no async runtime, no serde, no `libc` crate —
+//! and splits into these layers:
 //!
 //! - [`frame`]: the versioned, length-prefixed, CRC-checked binary wire
 //!   protocol. Frames carry [`tcast_service::QueryJob`] specs out and
 //!   [`tcast::QueryReport`] / [`tcast_service::JobError`] payloads back,
 //!   plus typed error frames and the `Hello`/`HelloAck` version
 //!   negotiation pair.
-//! - [`server`]: [`NetServer`], a TCP front-end wrapping a
-//!   [`tcast_service::QueryService`]. Connections pipeline many jobs;
-//!   responses stream back in completion order matched by request id.
-//!   Admission backpressure surfaces as explicit `Busy` error frames,
-//!   and shutdown drains in-flight work before closing.
+//! - [`reactor`]: `poll(2)`-style readiness primitives on raw fds —
+//!   a poll wrapper, a socketpair doorbell, and an accept-failure
+//!   backoff policy — with zero dependencies beyond std.
+//! - [`server`]: [`NetServer`], an event-driven TCP front-end wrapping
+//!   a [`tcast_service::QueryService`]: a small fixed pool of I/O
+//!   threads multiplexes many non-blocking connections, so thread
+//!   count is independent of connection count. Connections pipeline
+//!   many jobs; responses stream back in completion order matched by
+//!   request id. Admission backpressure surfaces as explicit `Busy`
+//!   error frames, a peer that stops reading its responses is closed
+//!   rather than buffered for unboundedly, and shutdown drains
+//!   in-flight work before closing.
 //! - [`client`]: [`NetClient`], a pooled, pipelined client whose
 //!   submit/wait API mirrors the in-process `Batch`/`JobHandle` shape.
 //! - [`cluster`]: [`ShardedClient`], a front-end fanning jobs across
@@ -54,6 +61,7 @@ pub mod client;
 pub mod cluster;
 pub mod crc;
 pub mod frame;
+pub mod reactor;
 pub mod server;
 
 pub use client::{NetBatch, NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult};

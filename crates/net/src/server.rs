@@ -1,34 +1,58 @@
-//! `NetServer` — the TCP front-end wrapping a [`QueryService`].
+//! `NetServer` — the event-driven TCP front-end wrapping a
+//! [`QueryService`].
 //!
-//! One acceptor thread polls the listener; each connection gets a reader
-//! thread (decodes frames, admits jobs) and a writer thread (serializes
-//! responses from an mpsc channel). Responses are produced by completion
-//! watchers running on the service's workers, so a connection can keep
-//! hundreds of jobs in flight with exactly two threads: results stream
-//! back in *completion* order, matched by request id, never by arrival
-//! order.
+//! One acceptor thread polls the listener and hands fresh sockets
+//! round-robin to a small fixed pool of I/O threads (default
+//! `min(8, cores)`, see [`NetServerConfig::io_threads`]). Each I/O
+//! thread multiplexes its share of non-blocking connections through a
+//! [`crate::reactor`] readiness loop: per-connection state — the
+//! negotiation phase, the stateful [`FrameReader`] surviving partial
+//! reads, the in-flight window, the pending write buffer, idle and
+//! handshake deadlines — lives in a `Conn` state machine driven by
+//! readiness events. Thread count is therefore a constant, not a
+//! function of connection count: tens of thousands of idle or pipelined
+//! connections cost file descriptors and a few hundred bytes each, not
+//! stacks.
 //!
-//! Backpressure is explicit: when the service queue or the connection's
-//! in-flight window is full, the request is answered with a
+//! Responses are produced by completion watchers running on the
+//! service's workers. A watcher enqueues the response frame on its
+//! connection's outbound queue and rings the I/O thread's doorbell
+//! ([`crate::reactor::Waker`]); the reactor serializes the frame into
+//! the connection's write buffer and arms write-interest. Results
+//! stream back in *completion* order, matched by request id, never by
+//! arrival order.
+//!
+//! Backpressure is explicit at both edges. Inbound, a full service
+//! queue or in-flight window answers the request with an
 //! [`ErrorCode::Busy`] error frame instead of buffering unboundedly.
+//! Outbound, a peer that stops reading its responses cannot wedge the
+//! server: the write buffer is capped at
+//! [`NetServerConfig::max_pending_writes`] and a connection making no
+//! write progress for [`NetServerConfig::write_stall_timeout`] is
+//! closed — a dead write path ends the connection promptly instead of
+//! leaving a zombie that admits jobs nobody will read.
+//!
 //! Shutdown drains: the acceptor stops, every connection refuses new
 //! submits with [`ErrorCode::ShuttingDown`], in-flight jobs finish and
 //! their responses are written, then each connection says `Goodbye` and
 //! closes.
 
-use std::io;
+use std::collections::VecDeque;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use tcast_service::{JobError, JobOutput, NetCounters, QueryService, SubmitError};
 
 use crate::frame::{
-    write_frame, ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1,
-    PROTOCOL_V2,
+    ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V2,
 };
+use crate::reactor::{poll_fds, AcceptBackoff, PollFd, Waker};
 
 /// Tuning knobs for [`NetServer`].
 #[derive(Debug, Clone, Copy)]
@@ -37,13 +61,25 @@ pub struct NetServerConfig {
     /// submits are answered with `Busy`.
     pub max_inflight_per_conn: usize,
     /// A connection with no traffic and no in-flight jobs for this long
-    /// is closed with a `Goodbye`.
+    /// is closed with a `Goodbye`. Partial-frame byte progress counts
+    /// as traffic, so a slow sender is never cut off mid-frame.
     pub idle_timeout: Duration,
     /// A connection that has not completed version negotiation within
     /// this window is dropped.
     pub handshake_timeout: Duration,
     /// Frames whose payload exceeds this are rejected as malformed.
     pub max_frame_payload: u32,
+    /// Size of the I/O thread pool multiplexing connections. `0` (the
+    /// default) resolves to `min(8, available cores)`.
+    pub io_threads: usize,
+    /// Cap in bytes on one connection's buffered unsent responses. A
+    /// peer that stops reading while responses accumulate past this is
+    /// closed rather than buffered for unboundedly.
+    pub max_pending_writes: usize,
+    /// A connection with pending response bytes but no write progress
+    /// for this long is closed: its write path is dead even if the
+    /// socket never reports an error.
+    pub write_stall_timeout: Duration,
 }
 
 impl Default for NetServerConfig {
@@ -53,12 +89,42 @@ impl Default for NetServerConfig {
             idle_timeout: Duration::from_secs(30),
             handshake_timeout: Duration::from_secs(5),
             max_frame_payload: DEFAULT_MAX_PAYLOAD,
+            io_threads: 0,
+            max_pending_writes: 8 << 20,
+            write_stall_timeout: Duration::from_secs(30),
         }
     }
 }
 
-/// How often blocked reads wake up to check shutdown/idle state.
+impl NetServerConfig {
+    /// The resolved I/O pool size: the configured [`Self::io_threads`],
+    /// or `min(8, available cores)` when left at `0`.
+    pub fn io_thread_count(&self) -> usize {
+        if self.io_threads > 0 {
+            return self.io_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8)
+    }
+}
+
+/// How long reactor and acceptor sleeps last before re-checking
+/// deadlines and shutdown state.
 const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// First backoff after a failed `accept(2)`; doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_CAP`].
+const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(5);
+
+/// Longest pause between accept attempts during persistent failure
+/// (e.g. fd exhaustion).
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Write-buffer head space reclaimed eagerly: once this many flushed
+/// bytes sit before the unsent tail, the buffer is compacted.
+const WBUF_COMPACT_AT: usize = 64 * 1024;
 
 /// A TCP front-end serving one [`QueryService`] to remote clients.
 ///
@@ -68,7 +134,9 @@ const POLL_TICK: Duration = Duration::from_millis(25);
 pub struct NetServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    inboxes: Vec<Arc<Inbox>>,
     acceptor: Option<JoinHandle<()>>,
+    io_threads: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -83,16 +151,69 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let acceptor = {
+        let pool = config.io_thread_count();
+
+        let server_counters = service.metrics_registry().net_counters("net/server");
+        server_counters.set_io_threads(pool as u64);
+
+        let mut inboxes = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            inboxes.push(Arc::new(Inbox::new()?));
+        }
+
+        let mut acceptor = {
             let shutdown = shutdown.clone();
-            std::thread::Builder::new()
-                .name("tcast-net-acceptor".into())
-                .spawn(move || accept_loop(&listener, &service, config, &shutdown))?
+            let inboxes = inboxes.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("tcast-net-acceptor".into())
+                    .spawn(move || accept_loop(&listener, &inboxes, &shutdown, &server_counters))?,
+            )
         };
+
+        let mut io_threads = Vec::with_capacity(pool);
+        for (k, inbox) in inboxes.iter().enumerate() {
+            let worker = IoThread {
+                conns: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                inbox: inbox.clone(),
+                service: service.clone(),
+                config,
+                shutdown: shutdown.clone(),
+                counters: service
+                    .metrics_registry()
+                    .net_counters(&format!("net/io-{k}")),
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("tcast-net-io-{k}"))
+                .spawn(move || worker.run());
+            match spawned {
+                Ok(handle) => io_threads.push(handle),
+                Err(e) => {
+                    // Unwind the threads already running so none outlives
+                    // the failed bind.
+                    shutdown.store(true, Ordering::SeqCst);
+                    if let Some(handle) = acceptor.take() {
+                        let _ = handle.join();
+                    }
+                    for inbox in &inboxes {
+                        inbox.waker.wake();
+                    }
+                    for handle in io_threads {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
         Ok(Self {
             addr,
             shutdown,
-            acceptor: Some(acceptor),
+            inboxes,
+            acceptor,
+            io_threads,
         })
     }
 
@@ -109,7 +230,15 @@ impl NetServer {
 
     fn stop_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor exits first and marks every inbox done, so I/O
+        // threads know no further connections can arrive.
         if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for inbox in &self.inboxes {
+            inbox.waker.wake();
+        }
+        for handle in self.io_threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -121,294 +250,622 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    service: &Arc<QueryService>,
+/// The acceptor→I/O-thread and watcher→I/O-thread handoff point. One
+/// per I/O thread; every producer rings [`Inbox::waker`] after pushing.
+struct Inbox {
+    /// Sockets accepted but not yet registered with the reactor.
+    new_conns: Mutex<Vec<TcpStream>>,
+    /// Connections whose watchers queued response frames since the
+    /// reactor last looked.
+    completions: Mutex<Vec<Arc<ConnShared>>>,
+    /// Set by the acceptor on exit: no more `new_conns` will ever come.
+    acceptor_done: AtomicBool,
+    waker: Waker,
+}
+
+impl Inbox {
+    fn new() -> io::Result<Self> {
+        Ok(Self {
+            new_conns: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            acceptor_done: AtomicBool::new(false),
+            waker: Waker::new()?,
+        })
+    }
+}
+
+/// Connection state visible outside the owning I/O thread (completion
+/// watchers on service workers hold an `Arc` of this).
+struct ConnShared {
+    /// Index of the connection in its I/O thread's slab. Slots are
+    /// reused, so consumers must also check pointer identity.
+    slot: usize,
+    /// Response frames queued by watchers, not yet serialized.
+    outbound: Mutex<VecDeque<Frame>>,
+    /// Jobs admitted but whose response frame is not yet queued.
+    inflight: AtomicUsize,
+    /// Set once the reactor closes the socket; watchers stop queueing.
+    closed: AtomicBool,
+    /// Collapses redundant completion notifications: set by the first
+    /// watcher to notify, cleared when the reactor services the entry.
+    notified: AtomicBool,
+}
+
+/// Where a connection is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the client's `Hello`.
+    Handshake,
+    /// Negotiated; frames flow.
+    Active,
+    /// No longer reading; once in-flight jobs finish and their
+    /// responses flush, the connection closes (after a `Goodbye` iff
+    /// the close is orderly).
+    Draining {
+        /// Whether to say `Goodbye` once quiet (orderly close) or just
+        /// close (peer EOF, protocol error).
+        goodbye: bool,
+    },
+}
+
+/// One multiplexed connection: all state the readiness loop needs.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    shared: Arc<ConnShared>,
+    phase: Phase,
+    /// The peer sent `Goodbye`: close orderly once quiet.
+    peer_done: bool,
+    /// No further reads (peer EOF, draining, or protocol error).
+    read_stopped: bool,
+    /// The draining `Goodbye` has been serialized already.
+    goodbye_queued: bool,
+    /// Serialized-but-unsent response bytes; `wpos..` is the unsent tail.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    opened_at: Instant,
+    last_activity: Instant,
+    last_write_progress: Instant,
+}
+
+impl Conn {
+    fn pending_writes(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// Serializes `frame` onto the connection's write buffer (responses are
+/// encoded at protocol version 1, which every negotiated peer accepts).
+fn queue_frame(counters: &NetCounters, conn: &mut Conn, frame: &Frame) {
+    let bytes = frame.to_bytes();
+    counters.frame_out(bytes.len() as u64);
+    conn.wbuf.extend_from_slice(&bytes);
+}
+
+/// One reactor thread: owns a slab of connections and multiplexes them
+/// through `poll(2)` readiness.
+struct IoThread {
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    inbox: Arc<Inbox>,
+    service: Arc<QueryService>,
     config: NetServerConfig,
-    shutdown: &Arc<AtomicBool>,
-) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    let mut conn_seq = 0u64;
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let label = format!("net/conn-{conn_seq}");
-                conn_seq += 1;
-                let service = service.clone();
-                let shutdown = shutdown.clone();
-                let handle = std::thread::Builder::new()
-                    .name(label.clone())
-                    .spawn(move || {
-                        let counters = service.metrics_registry().net_counters(&label);
-                        serve_connection(stream, &service, &config, &shutdown, &counters);
-                    })
-                    .expect("spawn connection thread");
-                conns.push(handle);
-                // Reap finished connections so the handle list stays small
-                // on long-lived servers.
-                conns.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
-            Err(_) => std::thread::sleep(POLL_TICK),
-        }
-    }
-    for handle in conns {
-        let _ = handle.join();
-    }
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
 }
 
-/// Runs version negotiation. Returns `false` when the connection should
-/// be dropped without entering the request loop.
-fn negotiate(
-    reader: &mut FrameReader,
-    stream: &mut TcpStream,
-    tx: &mpsc::Sender<Frame>,
-    config: &NetServerConfig,
-    shutdown: &AtomicBool,
-    counters: &NetCounters,
-) -> bool {
-    let started = Instant::now();
-    loop {
-        if shutdown.load(Ordering::SeqCst) || started.elapsed() > config.handshake_timeout {
-            return false;
-        }
-        match reader.read_from(stream, config.max_frame_payload) {
-            Ok(None) => continue,
-            Ok(Some((
-                Frame::Hello {
-                    min_version,
-                    max_version,
-                },
-                n,
-            ))) => {
-                counters.frame_in(n as u64);
-                // Ack the highest version in both ranges: the server
-                // speaks [V1, V2], so that is min(client max, V2) when
-                // the ranges overlap at all.
-                if min_version <= max_version
-                    && min_version <= PROTOCOL_V2
-                    && max_version >= PROTOCOL_V1
-                {
-                    let _ = tx.send(Frame::HelloAck {
-                        version: max_version.min(PROTOCOL_V2),
-                    });
-                    return true;
+impl IoThread {
+    fn run(mut self) {
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        loop {
+            let fresh: Vec<TcpStream> = std::mem::take(&mut *self.inbox.new_conns.lock());
+            for stream in fresh {
+                self.register(stream);
+            }
+
+            let completed: Vec<Arc<ConnShared>> =
+                std::mem::take(&mut *self.inbox.completions.lock());
+            for shared in completed {
+                shared.notified.store(false, Ordering::Release);
+                let current = self
+                    .conns
+                    .get(shared.slot)
+                    .and_then(|c| c.as_ref())
+                    .is_some_and(|c| Arc::ptr_eq(&c.shared, &shared));
+                if current {
+                    self.pump(shared.slot);
                 }
-                let _ = tx.send(Frame::Error {
-                    request_id: 0,
-                    code: ErrorCode::UnsupportedVersion,
-                    detail: format!(
-                        "server speaks versions {PROTOCOL_V1}..={PROTOCOL_V2}, client \
-                         offered {min_version}..={max_version}"
-                    ),
-                });
-                return false;
             }
-            Ok(Some((_, n))) => {
-                counters.frame_in(n as u64);
-                counters.decode_error();
-                let _ = tx.send(Frame::Error {
-                    request_id: 0,
-                    code: ErrorCode::Malformed,
-                    detail: "expected Hello as the first frame".into(),
-                });
-                return false;
+
+            self.sweep();
+
+            if self.shutdown.load(Ordering::SeqCst)
+                && self.live == 0
+                && self.inbox.acceptor_done.load(Ordering::Acquire)
+                && self.inbox.new_conns.lock().is_empty()
+            {
+                return;
             }
-            Err(FrameReadError::Malformed(m)) => {
-                counters.decode_error();
-                let _ = tx.send(Frame::Error {
-                    request_id: 0,
-                    code: ErrorCode::Malformed,
-                    detail: m.to_string(),
-                });
-                return false;
+
+            pollfds.clear();
+            slots.clear();
+            pollfds.push(self.inbox.waker.poll_fd());
+            for (slot, entry) in self.conns.iter().enumerate() {
+                let Some(conn) = entry else { continue };
+                let want_read = !conn.read_stopped;
+                let want_write = conn.pending_writes() > 0;
+                if want_read || want_write {
+                    pollfds.push(PollFd::new(conn.stream.as_raw_fd(), want_read, want_write));
+                    slots.push(slot);
+                }
             }
-            Err(FrameReadError::Io(_)) => return false,
+            let _ = poll_fds(&mut pollfds, POLL_TICK);
+            if pollfds[0].is_readable() {
+                self.inbox.waker.drain();
+            }
+            for i in 1..pollfds.len() {
+                if !pollfds[i].is_ready() {
+                    continue;
+                }
+                let slot = slots[i - 1];
+                if pollfds[i].is_writable() {
+                    self.flush(slot);
+                }
+                if pollfds[i].is_readable() {
+                    self.read_cycle(slot);
+                }
+            }
         }
     }
-}
 
-fn serve_connection(
-    mut stream: TcpStream,
-    service: &Arc<QueryService>,
-    config: &NetServerConfig,
-    shutdown: &AtomicBool,
-    counters: &Arc<NetCounters>,
-) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
-        return;
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let now = Instant::now();
+        self.counters.conn_opened();
+        self.conns[slot] = Some(Conn {
+            stream,
+            reader: FrameReader::new(),
+            shared: Arc::new(ConnShared {
+                slot,
+                outbound: Mutex::new(VecDeque::new()),
+                inflight: AtomicUsize::new(0),
+                closed: AtomicBool::new(false),
+                notified: AtomicBool::new(false),
+            }),
+            phase: Phase::Handshake,
+            peer_done: false,
+            read_stopped: false,
+            goodbye_queued: false,
+            wbuf: Vec::new(),
+            wpos: 0,
+            opened_at: now,
+            last_activity: now,
+            last_write_progress: now,
+        });
+        self.live += 1;
     }
 
-    // Writer thread: the single place that touches the socket's write
-    // half. Reader and completion watchers all funnel frames through it.
-    let (tx, rx) = mpsc::channel::<Frame>();
-    let writer = {
-        let Ok(mut wstream) = stream.try_clone() else {
+    fn close(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
             return;
         };
-        let counters = counters.clone();
-        std::thread::Builder::new()
-            .name("tcast-net-writer".into())
-            .spawn(move || {
-                for frame in rx {
-                    match write_frame(&mut wstream, &frame) {
-                        Ok(n) => counters.frame_out(n as u64),
-                        Err(_) => break,
-                    }
-                }
-                let _ = wstream.shutdown(Shutdown::Write);
-            })
-            .expect("spawn writer thread")
-    };
-
-    let mut reader = FrameReader::new();
-    if negotiate(&mut reader, &mut stream, &tx, config, shutdown, counters) {
-        request_loop(
-            &mut reader,
-            &mut stream,
-            &tx,
-            service,
-            config,
-            shutdown,
-            counters,
-        );
+        conn.shared.closed.store(true, Ordering::Release);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        self.counters.conn_closed();
+        self.free.push(slot);
+        self.live -= 1;
     }
 
-    // Dropping our sender ends the writer once every in-flight watcher's
-    // clone is gone too, i.e. after the last response is written.
-    drop(tx);
-    let _ = writer.join();
-    let _ = stream.shutdown(Shutdown::Both);
-}
+    /// Moves watcher-queued response frames into the write buffer and
+    /// pushes them toward the socket.
+    fn pump(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        loop {
+            let Some(frame) = conn.shared.outbound.lock().pop_front() else {
+                break;
+            };
+            queue_frame(&self.counters, conn, &frame);
+        }
+        if conn.pending_writes() > self.config.max_pending_writes {
+            self.close(slot);
+            return;
+        }
+        self.flush(slot);
+    }
 
-fn request_loop(
-    reader: &mut FrameReader,
-    stream: &mut TcpStream,
-    tx: &mpsc::Sender<Frame>,
-    service: &Arc<QueryService>,
-    config: &NetServerConfig,
-    shutdown: &AtomicBool,
-    counters: &Arc<NetCounters>,
-) {
-    let inflight = Arc::new(AtomicUsize::new(0));
-    let mut last_activity = Instant::now();
-    let mut peer_done = false;
-
-    loop {
-        let draining = shutdown.load(Ordering::SeqCst);
-        match reader.read_from(stream, config.max_frame_payload) {
-            Ok(None) => {
-                let quiet = inflight.load(Ordering::Acquire) == 0;
-                if quiet && (draining || peer_done) {
-                    let _ = tx.send(Frame::Goodbye);
+    /// Writes the pending tail of the write buffer until the socket
+    /// would block. A write error means the response path is dead, and
+    /// the connection closes immediately — jobs must not be admitted for
+    /// a peer that can never see their results.
+    fn flush(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    self.close(slot);
                     return;
                 }
-                if quiet && last_activity.elapsed() >= config.idle_timeout {
-                    let _ = tx.send(Frame::Goodbye);
+                Ok(n) => {
+                    conn.wpos += n;
+                    conn.last_write_progress = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
                     return;
                 }
             }
-            Ok(Some((frame, n))) => {
-                counters.frame_in(n as u64);
-                last_activity = Instant::now();
-                match frame {
-                    Frame::Submit { request_id, job } => {
-                        tcast_obs::event(
-                            job.trace,
-                            "net.recv",
-                            &[("bytes", n as u64), ("request_id", request_id)],
-                        );
-                        if draining {
-                            let _ = tx.send(shutting_down(request_id));
-                            continue;
-                        }
-                        if inflight.load(Ordering::Acquire) >= config.max_inflight_per_conn {
-                            counters.busy_rejection();
-                            let _ = tx.send(busy(request_id, "connection in-flight window full"));
-                            continue;
-                        }
-                        submit(service, request_id, job, tx, &inflight, counters);
+        }
+        if conn.wpos == conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            if conn.wbuf.capacity() > WBUF_COMPACT_AT {
+                conn.wbuf.shrink_to(WBUF_COMPACT_AT);
+            }
+        } else if conn.wpos >= WBUF_COMPACT_AT {
+            conn.wbuf.drain(..conn.wpos);
+            conn.wpos = 0;
+        }
+    }
+
+    /// Reads frames until the socket would block, dispatching each.
+    fn read_cycle(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.read_stopped {
+                break;
+            }
+            let buffered_before = conn.reader.buffered_len();
+            match conn
+                .reader
+                .read_from(&mut conn.stream, self.config.max_frame_payload)
+            {
+                Ok(None) => {
+                    // Partial-frame progress is activity: a slow sender
+                    // mid-frame must not trip the idle timeout.
+                    if conn.reader.buffered_len() > buffered_before {
+                        conn.last_activity = Instant::now();
                     }
-                    Frame::MetricsDump { request_id } => {
-                        let text = service.metrics_registry().snapshot().to_prometheus();
-                        let _ = tx.send(Frame::MetricsText { request_id, text });
-                    }
-                    Frame::Goodbye => peer_done = true,
-                    _ => {
-                        counters.decode_error();
-                        let _ = tx.send(Frame::Error {
-                            request_id: 0,
-                            code: ErrorCode::Malformed,
-                            detail: "unexpected client frame".into(),
-                        });
+                    break;
+                }
+                Ok(Some((frame, n))) => {
+                    self.counters.frame_in(n as u64);
+                    conn.last_activity = Instant::now();
+                    self.handle_frame(slot, frame, n);
+                    let overflow = self.conns[slot]
+                        .as_ref()
+                        .is_some_and(|c| c.pending_writes() > self.config.max_pending_writes);
+                    if overflow {
+                        self.close(slot);
                         return;
                     }
                 }
+                Err(FrameReadError::Malformed(m)) => {
+                    // Framing is broken: report and close rather than
+                    // guess at resynchronization.
+                    self.counters.decode_error();
+                    self.fail_conn(slot, ErrorCode::Malformed, m.to_string());
+                    break;
+                }
+                Err(FrameReadError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    // Peer EOF: stop reading, still drain in-flight
+                    // responses, then close without Goodbye. During the
+                    // handshake there is nothing to drain — close now.
+                    if conn.phase == Phase::Handshake {
+                        self.close(slot);
+                        return;
+                    }
+                    conn.read_stopped = true;
+                    conn.phase = Phase::Draining { goodbye: false };
+                    break;
+                }
+                Err(FrameReadError::Io(_)) => {
+                    self.close(slot);
+                    return;
+                }
             }
-            Err(FrameReadError::Malformed(m)) => {
-                // Framing is broken: report and close rather than guess at
-                // resynchronization.
-                counters.decode_error();
-                let _ = tx.send(Frame::Error {
-                    request_id: 0,
-                    code: ErrorCode::Malformed,
-                    detail: m.to_string(),
-                });
-                return;
+        }
+        self.flush(slot);
+    }
+
+    /// Queues a connection-level error frame and transitions to a
+    /// goodbye-less drain: in-flight responses still flush, new reads
+    /// stop, and the connection closes once quiet.
+    fn fail_conn(&mut self, slot: usize, code: ErrorCode, detail: String) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let frame = Frame::Error {
+            request_id: 0,
+            code,
+            detail,
+        };
+        queue_frame(&self.counters, conn, &frame);
+        conn.read_stopped = true;
+        conn.phase = Phase::Draining { goodbye: false };
+    }
+
+    fn handle_frame(&mut self, slot: usize, frame: Frame, wire_bytes: usize) {
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.phase == Phase::Handshake {
+            match frame {
+                Frame::Hello {
+                    min_version,
+                    max_version,
+                } => {
+                    // Ack the highest version in both ranges: the server
+                    // speaks [V1, V2], so that is min(client max, V2)
+                    // when the ranges overlap at all.
+                    if min_version <= max_version
+                        && min_version <= PROTOCOL_V2
+                        && max_version >= PROTOCOL_V1
+                    {
+                        let ack = Frame::HelloAck {
+                            version: max_version.min(PROTOCOL_V2),
+                        };
+                        queue_frame(&self.counters, conn, &ack);
+                        conn.phase = Phase::Active;
+                    } else {
+                        self.fail_conn(
+                            slot,
+                            ErrorCode::UnsupportedVersion,
+                            format!(
+                                "server speaks versions {PROTOCOL_V1}..={PROTOCOL_V2}, client \
+                                 offered {min_version}..={max_version}"
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    self.counters.decode_error();
+                    self.fail_conn(
+                        slot,
+                        ErrorCode::Malformed,
+                        "expected Hello as the first frame".into(),
+                    );
+                }
             }
-            Err(FrameReadError::Io(_)) => return,
+            return;
+        }
+        match frame {
+            Frame::Submit { request_id, job } => {
+                tcast_obs::event(
+                    job.trace,
+                    "net.recv",
+                    &[("bytes", wire_bytes as u64), ("request_id", request_id)],
+                );
+                if draining {
+                    queue_frame(&self.counters, conn, &shutting_down(request_id));
+                    return;
+                }
+                if conn.shared.inflight.load(Ordering::Acquire) >= self.config.max_inflight_per_conn
+                {
+                    self.counters.busy_rejection();
+                    let frame = busy(request_id, "connection in-flight window full");
+                    queue_frame(&self.counters, conn, &frame);
+                    return;
+                }
+                let shared = conn.shared.clone();
+                self.submit(slot, request_id, job, shared);
+            }
+            Frame::MetricsDump { request_id } => {
+                let text = self.service.metrics_registry().snapshot().to_prometheus();
+                queue_frame(
+                    &self.counters,
+                    conn,
+                    &Frame::MetricsText { request_id, text },
+                );
+            }
+            Frame::Goodbye => conn.peer_done = true,
+            _ => {
+                self.counters.decode_error();
+                self.fail_conn(slot, ErrorCode::Malformed, "unexpected client frame".into());
+            }
+        }
+    }
+
+    fn submit(
+        &mut self,
+        slot: usize,
+        request_id: u64,
+        job: tcast_service::QueryJob,
+        shared: Arc<ConnShared>,
+    ) {
+        // Count the job before the pool can complete it; the watcher
+        // decrements only after the response frame is queued, so drain
+        // never closes the connection underneath a pending response.
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
+        let trace = job.trace;
+        let watcher = {
+            let shared = shared.clone();
+            let inbox = self.inbox.clone();
+            Arc::new(move |_index: usize, result: &tcast_service::JobResult| {
+                tcast_obs::event(trace, "net.respond", &[("request_id", request_id)]);
+                let frame = match result {
+                    Ok(JobOutput::Report(report)) => Frame::JobOk {
+                        request_id,
+                        report: report.clone(),
+                    },
+                    Ok(other) => Frame::JobFailed {
+                        request_id,
+                        error: JobError::Panicked(format!("non-report job output: {other:?}")),
+                    },
+                    Err(e) => Frame::JobFailed {
+                        request_id,
+                        error: e.clone(),
+                    },
+                };
+                if !shared.closed.load(Ordering::Acquire) {
+                    shared.outbound.lock().push_back(frame);
+                }
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if shared
+                    .notified
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    inbox.completions.lock().push(shared.clone());
+                }
+                inbox.waker.wake();
+            })
+        };
+        match self.service.try_submit_watched(vec![job], watcher) {
+            Ok(_batch) => {} // responses flow through the watcher
+            Err(SubmitError::QueueFull(_)) => {
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                self.counters.busy_rejection();
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    let frame = busy(request_id, "service admission queue full");
+                    queue_frame(&self.counters, conn, &frame);
+                }
+            }
+            Err(SubmitError::Closed(_)) => {
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    queue_frame(&self.counters, conn, &shutting_down(request_id));
+                }
+            }
+        }
+    }
+
+    /// Per-tick deadline and lifecycle pass over every connection.
+    fn sweep(&mut self) {
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            self.sweep_conn(slot, draining, now);
+        }
+    }
+
+    fn sweep_conn(&mut self, slot: usize, draining: bool, now: Instant) {
+        // Opportunistically serialize watcher responses even if a wake
+        // was coalesced away; this also keeps the quiet check honest.
+        self.pump(slot);
+
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let quiet = conn.shared.inflight.load(Ordering::Acquire) == 0
+            && conn.shared.outbound.lock().is_empty()
+            && conn.pending_writes() == 0;
+        match conn.phase {
+            Phase::Handshake => {
+                if draining || now.duration_since(conn.opened_at) > self.config.handshake_timeout {
+                    // Dropped silently, exactly as the blocking server
+                    // dropped un-negotiated connections.
+                    self.close(slot);
+                    return;
+                }
+            }
+            Phase::Active => {
+                let idle = now.duration_since(conn.last_activity) >= self.config.idle_timeout;
+                if quiet && (draining || conn.peer_done || idle) {
+                    conn.phase = Phase::Draining { goodbye: true };
+                    conn.read_stopped = true;
+                }
+            }
+            Phase::Draining { .. } => {}
+        }
+
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if let Phase::Draining { goodbye } = conn.phase {
+            let drained = conn.shared.inflight.load(Ordering::Acquire) == 0
+                && conn.shared.outbound.lock().is_empty();
+            if drained {
+                if goodbye && !conn.goodbye_queued {
+                    conn.goodbye_queued = true;
+                    queue_frame(&self.counters, conn, &Frame::Goodbye);
+                    self.flush(slot);
+                }
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
+                if conn.pending_writes() == 0 {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.pending_writes() > 0
+            && now.duration_since(conn.last_write_progress) > self.config.write_stall_timeout
+        {
+            // The peer accepts no bytes: the write path is dead even
+            // though the socket reports no error. Close instead of
+            // keeping a zombie around.
+            self.close(slot);
         }
     }
 }
 
-fn submit(
-    service: &Arc<QueryService>,
-    request_id: u64,
-    job: tcast_service::QueryJob,
-    tx: &mpsc::Sender<Frame>,
-    inflight: &Arc<AtomicUsize>,
-    counters: &Arc<NetCounters>,
+fn accept_loop(
+    listener: &TcpListener,
+    inboxes: &[Arc<Inbox>],
+    shutdown: &AtomicBool,
+    counters: &NetCounters,
 ) {
-    // Count the job before the pool can complete it; decrement happens in
-    // the watcher after the response frame is queued, so drain never
-    // closes the writer underneath a pending response.
-    inflight.fetch_add(1, Ordering::AcqRel);
-    let trace = job.trace;
-    let watcher = {
-        let tx = tx.clone();
-        let inflight = inflight.clone();
-        Arc::new(move |_index: usize, result: &tcast_service::JobResult| {
-            tcast_obs::event(trace, "net.respond", &[("request_id", request_id)]);
-            let frame = match result {
-                Ok(JobOutput::Report(report)) => Frame::JobOk {
-                    request_id,
-                    report: report.clone(),
-                },
-                Ok(other) => Frame::JobFailed {
-                    request_id,
-                    error: JobError::Panicked(format!("non-report job output: {other:?}")),
-                },
-                Err(e) => Frame::JobFailed {
-                    request_id,
-                    error: e.clone(),
-                },
-            };
-            let _ = tx.send(frame);
-            inflight.fetch_sub(1, Ordering::AcqRel);
-        })
-    };
-    match service.try_submit_watched(vec![job], watcher) {
-        Ok(_batch) => {} // responses flow through the watcher
-        Err(SubmitError::QueueFull(_)) => {
-            inflight.fetch_sub(1, Ordering::AcqRel);
-            counters.busy_rejection();
-            let _ = tx.send(busy(request_id, "service admission queue full"));
+    let mut backoff = AcceptBackoff::new(ACCEPT_BACKOFF_BASE, ACCEPT_BACKOFF_CAP);
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut fds = [PollFd::readable(listener.as_raw_fd())];
+        let _ = poll_fds(&mut fds, POLL_TICK);
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    backoff.on_success();
+                    let inbox = &inboxes[next % inboxes.len()];
+                    next = next.wrapping_add(1);
+                    inbox.new_conns.lock().push(stream);
+                    inbox.waker.wake();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Persistent failure (EMFILE during a flood) must
+                    // neither spin nor pass silently: count it and back
+                    // off geometrically.
+                    counters.accept_error();
+                    let pause = backoff.on_error();
+                    tcast_obs::event(
+                        tcast_obs::TraceId::NONE,
+                        "net.accept.error",
+                        &[("consecutive", u64::from(backoff.consecutive_errors()))],
+                    );
+                    std::thread::sleep(pause);
+                    break;
+                }
+            }
         }
-        Err(SubmitError::Closed(_)) => {
-            inflight.fetch_sub(1, Ordering::AcqRel);
-            let _ = tx.send(shutting_down(request_id));
-        }
+    }
+    for inbox in inboxes {
+        inbox.acceptor_done.store(true, Ordering::Release);
+        inbox.waker.wake();
     }
 }
 

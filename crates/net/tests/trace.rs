@@ -164,8 +164,12 @@ fn metrics_dump_serves_prometheus_exposition_over_the_wire() {
         "missing summary TYPE line:\n{text}"
     );
     assert!(
-        text.contains("tcast_net_frames_in_total{conn=\"net/conn-0\",generation=\"0\"}"),
+        text.contains("tcast_net_frames_in_total{conn=\"net/io-0\",generation=\"0\"}"),
         "net counters not exposed with a generation label:\n{text}"
+    );
+    assert!(
+        text.contains("tcast_net_io_threads{conn=\"net/server\",generation=\"0\"}"),
+        "I/O pool gauge not exposed:\n{text}"
     );
 
     client.close();

@@ -143,6 +143,10 @@ pub struct NetCounters {
     decode_errors: AtomicU64,
     busy_rejections: AtomicU64,
     reconnects: AtomicU64,
+    accept_errors: AtomicU64,
+    conns_opened: AtomicU64,
+    conns_closed: AtomicU64,
+    io_threads: AtomicU64,
 }
 
 impl NetCounters {
@@ -187,6 +191,40 @@ impl NetCounters {
         self.reconnects.load(Ordering::Relaxed)
     }
 
+    /// Records one failed `accept(2)` call on a server listener.
+    ///
+    /// Accept failures (most importantly `EMFILE`/`ENFILE` during a
+    /// connection flood) used to be swallowed silently; this counter
+    /// makes fd exhaustion visible in every dump format.
+    pub fn accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection admitted by a server acceptor.
+    pub fn conn_opened(&self) {
+        self.conns_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one server connection fully closed. Together with
+    /// [`conn_opened`](Self::conn_opened) this yields the open-connection
+    /// gauge (`opened - closed`).
+    pub fn conn_closed(&self) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Currently open connections recorded on this label.
+    pub fn open_connections(&self) -> u64 {
+        self.conns_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.conns_closed.load(Ordering::Relaxed))
+    }
+
+    /// Sets the I/O-thread-count gauge (a server records the size of its
+    /// reactor pool here once at bind time).
+    pub fn set_io_threads(&self, n: u64) {
+        self.io_threads.store(n, Ordering::Relaxed);
+    }
+
     fn snapshot(&self, label: &str) -> NetMetricsRow {
         NetMetricsRow {
             label: label.to_string(),
@@ -197,6 +235,10 @@ impl NetCounters {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             reconnects_total: self.reconnects.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            conns_opened: self.conns_opened.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            io_threads: self.io_threads.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,6 +264,23 @@ pub struct NetMetricsRow {
     /// span `reconnects_total + 1` physical connections, and the live
     /// connection's generation equals this value.
     pub reconnects_total: u64,
+    /// Failed `accept(2)` calls on a server listener (fd exhaustion,
+    /// aborted handshakes). Always 0 on client-side labels.
+    pub accept_errors: u64,
+    /// Server connections admitted under this label.
+    pub conns_opened: u64,
+    /// Server connections fully closed under this label.
+    pub conns_closed: u64,
+    /// Size of the server's reactor pool (0 on client-side labels and on
+    /// labels that never set the gauge).
+    pub io_threads: u64,
+}
+
+impl NetMetricsRow {
+    /// Currently open connections: `conns_opened - conns_closed`.
+    pub fn open_connections(&self) -> u64 {
+        self.conns_opened.saturating_sub(self.conns_closed)
+    }
 }
 
 /// Per-label service metrics, shared by all workers.
@@ -501,11 +560,12 @@ impl MetricsSnapshot {
         if !self.net_rows.is_empty() {
             out.push_str(
                 "\nlabel,frames_in,frames_out,bytes_in,bytes_out,\
-                 decode_errors,busy_rejections,reconnects\n",
+                 decode_errors,busy_rejections,reconnects,accept_errors,\
+                 conns_opened,conns_closed,open_connections,io_threads\n",
             );
             for r in &self.net_rows {
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     r.label,
                     r.frames_in,
                     r.frames_out,
@@ -514,6 +574,11 @@ impl MetricsSnapshot {
                     r.decode_errors,
                     r.busy_rejections,
                     r.reconnects_total,
+                    r.accept_errors,
+                    r.conns_opened,
+                    r.conns_closed,
+                    r.open_connections(),
+                    r.io_threads,
                 ));
             }
         }
@@ -560,13 +625,13 @@ impl MetricsSnapshot {
         if !self.net_rows.is_empty() {
             out.push_str(
                 "\n| connection | frames in | frames out | bytes in | bytes out \
-                 | decode errs | busy | reconnects |\n\
+                 | decode errs | busy | reconnects | accept errs | open | io threads |\n\
                  |------------|----------:|-----------:|---------:|----------:\
-                 |------------:|-----:|-----------:|\n",
+                 |------------:|-----:|-----------:|------------:|-----:|-----------:|\n",
             );
             for r in &self.net_rows {
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                     r.label,
                     r.frames_in,
                     r.frames_out,
@@ -575,6 +640,9 @@ impl MetricsSnapshot {
                     r.decode_errors,
                     r.busy_rejections,
                     r.reconnects_total,
+                    r.accept_errors,
+                    r.open_connections(),
+                    r.io_threads,
                 ));
             }
         }
@@ -737,7 +805,7 @@ impl MetricsSnapshot {
         }
 
         if !self.net_rows.is_empty() {
-            let net: [(&str, &str, NetCounter); 7] = [
+            let net: [(&str, &str, NetCounter); 10] = [
                 (
                     "tcast_net_frames_in_total",
                     "Frames decoded from the peer.",
@@ -771,9 +839,48 @@ impl MetricsSnapshot {
                     "Transport reconnects folded into this connection label.",
                     |r| r.reconnects_total,
                 ),
+                (
+                    "tcast_net_accept_errors_total",
+                    "Failed accept(2) calls on a server listener (fd exhaustion, aborted \
+                     handshakes).",
+                    |r| r.accept_errors,
+                ),
+                (
+                    "tcast_net_conns_opened_total",
+                    "Server connections admitted under this label.",
+                    |r| r.conns_opened,
+                ),
+                (
+                    "tcast_net_conns_closed_total",
+                    "Server connections fully closed under this label.",
+                    |r| r.conns_closed,
+                ),
             ];
             for (name, help, get) in net {
                 out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                for r in &self.net_rows {
+                    out.push_str(&format!(
+                        "{name}{{conn=\"{}\",generation=\"{}\"}} {}\n",
+                        esc(&r.label),
+                        r.reconnects_total,
+                        get(r)
+                    ));
+                }
+            }
+            let gauges: [(&str, &str, NetCounter); 2] = [
+                (
+                    "tcast_net_open_connections",
+                    "Currently open server connections (opened - closed).",
+                    |r| r.open_connections(),
+                ),
+                (
+                    "tcast_net_io_threads",
+                    "Reactor I/O threads serving this label (0 on client-side labels).",
+                    |r| r.io_threads,
+                ),
+            ];
+            for (name, help, get) in gauges {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
                 for r in &self.net_rows {
                     out.push_str(&format!(
                         "{name}{{conn=\"{}\",generation=\"{}\"}} {}\n",
@@ -1053,10 +1160,58 @@ mod tests {
         assert_eq!((r.decode_errors, r.busy_rejections), (1, 1));
         assert_eq!(r.reconnects_total, 0);
         let csv = snap.to_csv();
-        assert!(csv.contains("net/conn-0,2,2,192,350,1,1,0"), "csv: {csv}");
+        assert!(
+            csv.contains("net/conn-0,2,2,192,350,1,1,0,0,0,0,0,0"),
+            "csv: {csv}"
+        );
         assert!(snap
             .to_markdown()
-            .contains("| net/conn-0 | 2 | 2 | 192 | 350 | 1 | 1 | 0 |"));
+            .contains("| net/conn-0 | 2 | 2 | 192 | 350 | 1 | 1 | 0 | 0 | 0 | 0 |"));
+    }
+
+    #[test]
+    fn accept_errors_and_connection_gauges_surface_in_dumps() {
+        // Regression (satellite): accept(2) failures used to be swallowed
+        // with a silent sleep, making fd exhaustion invisible. The counter
+        // must reach every dump format, alongside the connection gauge and
+        // the reactor-pool size.
+        let m = MetricsRegistry::new();
+        let server = m.net_counters("net/server");
+        server.set_io_threads(4);
+        server.accept_error();
+        server.accept_error();
+        for _ in 0..3 {
+            server.conn_opened();
+        }
+        server.conn_closed();
+        assert_eq!(server.open_connections(), 2);
+        let snap = m.snapshot();
+        let row = &snap.net_rows[0];
+        assert_eq!(row.accept_errors, 2);
+        assert_eq!((row.conns_opened, row.conns_closed), (3, 1));
+        assert_eq!(row.open_connections(), 2);
+        assert_eq!(row.io_threads, 4);
+        let csv = snap.to_csv();
+        assert!(csv.contains("accept_errors"), "csv header: {csv}");
+        assert!(csv.contains("net/server,0,0,0,0,0,0,0,2,3,1,2,4"), "{csv}");
+        let md = snap.to_markdown();
+        assert!(
+            md.contains("| net/server | 0 | 0 | 0 | 0 | 0 | 0 | 0 | 2 | 2 | 4 |"),
+            "{md}"
+        );
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("tcast_net_accept_errors_total{conn=\"net/server\",generation=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tcast_net_open_connections{conn=\"net/server\",generation=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tcast_net_io_threads{conn=\"net/server\",generation=\"0\"} 4"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -1074,7 +1229,9 @@ mod tests {
         assert_eq!(conn.generation(), 2);
         let snap = m.snapshot();
         assert_eq!(snap.net_rows[0].reconnects_total, 2);
-        assert!(snap.to_csv().contains("net/conn-3,0,2,0,20,0,0,2"));
+        assert!(snap
+            .to_csv()
+            .contains("net/conn-3,0,2,0,20,0,0,2,0,0,0,0,0"));
         // The exposition tags every net series with the generation.
         let text = snap.to_prometheus();
         assert!(
@@ -1189,6 +1346,21 @@ tcast_net_busy_rejections_total{conn="net/conn-0",generation="1"} 0
 # HELP tcast_net_reconnects_total Transport reconnects folded into this connection label.
 # TYPE tcast_net_reconnects_total counter
 tcast_net_reconnects_total{conn="net/conn-0",generation="1"} 1
+# HELP tcast_net_accept_errors_total Failed accept(2) calls on a server listener (fd exhaustion, aborted handshakes).
+# TYPE tcast_net_accept_errors_total counter
+tcast_net_accept_errors_total{conn="net/conn-0",generation="1"} 0
+# HELP tcast_net_conns_opened_total Server connections admitted under this label.
+# TYPE tcast_net_conns_opened_total counter
+tcast_net_conns_opened_total{conn="net/conn-0",generation="1"} 0
+# HELP tcast_net_conns_closed_total Server connections fully closed under this label.
+# TYPE tcast_net_conns_closed_total counter
+tcast_net_conns_closed_total{conn="net/conn-0",generation="1"} 0
+# HELP tcast_net_open_connections Currently open server connections (opened - closed).
+# TYPE tcast_net_open_connections gauge
+tcast_net_open_connections{conn="net/conn-0",generation="1"} 0
+# HELP tcast_net_io_threads Reactor I/O threads serving this label (0 on client-side labels).
+# TYPE tcast_net_io_threads gauge
+tcast_net_io_threads{conn="net/conn-0",generation="1"} 0
 "#;
         assert_eq!(m.snapshot().to_prometheus(), expected);
     }
