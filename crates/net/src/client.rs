@@ -28,11 +28,40 @@ use tcast_service::{JobError, NetCounters, QueryJob};
 
 use crate::frame::{
     write_frame, write_frame_versioned, ErrorCode, Frame, FrameReadError, FrameReader,
-    DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V2,
+    DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V3,
 };
 
+/// Credentials for the `Auth` handshake against a multi-tenant server.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TenantAuth {
+    /// The tenant name registered on the server.
+    pub tenant: String,
+    /// The tenant's shared HMAC key.
+    pub key: Vec<u8>,
+}
+
+impl TenantAuth {
+    /// Credentials for `tenant` with the given shared key.
+    pub fn new(tenant: impl Into<String>, key: impl Into<Vec<u8>>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            key: key.into(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TenantAuth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The key must never end up in logs via a derived Debug.
+        f.debug_struct("TenantAuth")
+            .field("tenant", &self.tenant)
+            .field("key", &"<redacted>")
+            .finish()
+    }
+}
+
 /// Tuning knobs for [`NetClient`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NetClientConfig {
     /// Number of TCP connections to spread submitted jobs across.
     pub pool_size: usize,
@@ -46,6 +75,11 @@ pub struct NetClientConfig {
     pub handshake_timeout: Duration,
     /// Frames whose payload exceeds this are rejected as malformed.
     pub max_frame_payload: u32,
+    /// Tenant credentials answered when the server's `HelloAck` carries
+    /// an auth challenge. `None` (the default) connects unauthenticated;
+    /// a challenging server then rejects the handshake with
+    /// [`ErrorCode::AuthRequired`].
+    pub auth: Option<TenantAuth>,
 }
 
 impl Default for NetClientConfig {
@@ -56,6 +90,7 @@ impl Default for NetClientConfig {
             busy_backoff: Duration::from_millis(2),
             handshake_timeout: Duration::from_secs(5),
             max_frame_payload: DEFAULT_MAX_PAYLOAD,
+            auth: None,
         }
     }
 }
@@ -71,8 +106,35 @@ pub enum NetError {
     ServerShutdown,
     /// The connection died before a response arrived.
     ConnectionLost(String),
+    /// The server rejected the handshake with a typed error frame before
+    /// the session became active. [`NetError::is_retryable`] is the
+    /// difference between a transient rejection (`Busy`, `ShuttingDown`)
+    /// and one that will repeat forever (`UnsupportedVersion`,
+    /// `AuthRequired`, `AuthFailed`).
+    Handshake {
+        /// The typed code from the server's error frame.
+        code: ErrorCode,
+        /// Human-readable detail from the server, possibly empty.
+        detail: String,
+    },
     /// The peer violated the protocol.
     Protocol(String),
+}
+
+impl NetError {
+    /// Whether retrying the same operation against the same server can
+    /// ever succeed. Version mismatches and credential failures are
+    /// permanent until configuration changes; busy/shutdown/transport
+    /// errors are conditions that pass.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Self::Busy | Self::ServerShutdown | Self::ConnectionLost(_) => true,
+            Self::Handshake { code, .. } => {
+                matches!(code, ErrorCode::Busy | ErrorCode::ShuttingDown)
+            }
+            Self::Job(_) | Self::Protocol(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for NetError {
@@ -82,6 +144,13 @@ impl std::fmt::Display for NetError {
             Self::Busy => write!(f, "server busy: retry budget exhausted"),
             Self::ServerShutdown => write!(f, "server is shutting down"),
             Self::ConnectionLost(detail) => write!(f, "connection lost: {detail}"),
+            Self::Handshake { code, detail } => {
+                write!(f, "handshake rejected: {code}")?;
+                if !detail.is_empty() {
+                    write!(f, " ({detail})")?;
+                }
+                Ok(())
+            }
             Self::Protocol(detail) => write!(f, "protocol violation: {detail}"),
         }
     }
@@ -256,6 +325,101 @@ fn emit_rtt(p: &Pending, request_id: u64) {
     );
 }
 
+/// Runs the client half of the connection handshake on a fresh stream:
+/// `Hello`/`HelloAck` version negotiation plus, when the ack carries a
+/// challenge, the `Auth`/`AuthOk` exchange. Returns the negotiated
+/// protocol version.
+fn negotiate(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    config: &NetClientConfig,
+    counters: Option<&Arc<NetCounters>>,
+) -> Result<u8, NetError> {
+    fn read_one(
+        stream: &mut TcpStream,
+        reader: &mut FrameReader,
+        max_payload: u32,
+        counters: Option<&Arc<NetCounters>>,
+    ) -> Result<Frame, NetError> {
+        match reader.read_from(stream, max_payload) {
+            Ok(Some((frame, n))) => {
+                if let Some(c) = counters {
+                    c.frame_in(n as u64);
+                }
+                Ok(frame)
+            }
+            Ok(None) => Err(NetError::ConnectionLost("handshake timed out".into())),
+            Err(e) => Err(NetError::ConnectionLost(format!("handshake failed: {e}"))),
+        }
+    }
+
+    let hello_bytes = write_frame(
+        stream,
+        &Frame::Hello {
+            min_version: PROTOCOL_V1,
+            max_version: PROTOCOL_V3,
+        },
+    )
+    .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
+    if let Some(c) = counters {
+        c.frame_out(hello_bytes as u64);
+    }
+
+    let (version, challenge) = match read_one(stream, reader, config.max_frame_payload, counters)? {
+        Frame::HelloAck { version, challenge } => {
+            if !(PROTOCOL_V1..=PROTOCOL_V3).contains(&version) {
+                return Err(NetError::Protocol(format!(
+                    "server acknowledged unsupported version {version}"
+                )));
+            }
+            (version, challenge)
+        }
+        Frame::Error { code, detail, .. } => return Err(NetError::Handshake { code, detail }),
+        other => {
+            return Err(NetError::Protocol(format!(
+                "unexpected handshake frame: {other:?}"
+            )))
+        }
+    };
+
+    let Some(nonce) = challenge else {
+        return Ok(version);
+    };
+    // Fail locally with the same typed error the server would answer
+    // with: without credentials, nothing useful can be sent.
+    let Some(auth) = &config.auth else {
+        return Err(NetError::Handshake {
+            code: ErrorCode::AuthRequired,
+            detail: "server demands authentication but no credentials are configured".into(),
+        });
+    };
+    let mac = tcast_tenant::auth_mac(&auth.key, &nonce, &auth.tenant);
+    let auth_bytes = write_frame_versioned(
+        stream,
+        &Frame::Auth {
+            tenant: auth.tenant.clone(),
+            mac,
+        },
+        version,
+    )
+    .map_err(|e| NetError::ConnectionLost(format!("auth write failed: {e}")))?;
+    if let Some(c) = counters {
+        c.frame_out(auth_bytes as u64);
+    }
+    match read_one(stream, reader, config.max_frame_payload, counters)? {
+        Frame::AuthOk => Ok(version),
+        Frame::Error { code, detail, .. } => {
+            if let Some(c) = counters {
+                c.auth_failure();
+            }
+            Err(NetError::Handshake { code, detail })
+        }
+        other => Err(NetError::Protocol(format!(
+            "unexpected auth response: {other:?}"
+        ))),
+    }
+}
+
 /// Shared state of one pooled connection.
 struct Conn {
     addr: SocketAddr,
@@ -307,7 +471,8 @@ impl Conn {
     }
 
     /// (Re-)establishes the TCP connection and negotiates the protocol
-    /// version, replacing the reader thread.
+    /// version (authenticating if challenged), replacing the reader
+    /// thread.
     fn reconnect(self: &Arc<Self>) -> Result<(), NetError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.config.handshake_timeout)
             .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
@@ -319,48 +484,14 @@ impl Conn {
         let mut handshake = stream
             .try_clone()
             .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
-        let hello_bytes = write_frame(
-            &mut handshake,
-            &Frame::Hello {
-                min_version: PROTOCOL_V1,
-                max_version: PROTOCOL_V2,
-            },
-        )
-        .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
-        if let Some(c) = &self.counters {
-            c.frame_out(hello_bytes as u64);
-        }
-
         let mut reader = FrameReader::new();
-        match reader.read_from(&mut handshake, self.config.max_frame_payload) {
-            Ok(None) => {
-                return Err(NetError::ConnectionLost("handshake timed out".into()));
-            }
-            Ok(Some((Frame::HelloAck { version }, n))) => {
-                if let Some(c) = &self.counters {
-                    c.frame_in(n as u64);
-                }
-                if !(PROTOCOL_V1..=PROTOCOL_V2).contains(&version) {
-                    return Err(NetError::Protocol(format!(
-                        "server acknowledged unsupported version {version}"
-                    )));
-                }
-                self.version.store(version, Ordering::SeqCst);
-            }
-            Ok(Some((Frame::Error { code, detail, .. }, _))) => {
-                return Err(NetError::Protocol(format!(
-                    "handshake rejected ({code:?}): {detail}"
-                )));
-            }
-            Ok(Some((other, _))) => {
-                return Err(NetError::Protocol(format!(
-                    "unexpected handshake frame: {other:?}"
-                )));
-            }
-            Err(e) => {
-                return Err(NetError::ConnectionLost(format!("handshake failed: {e}")));
-            }
-        }
+        let version = negotiate(
+            &mut handshake,
+            &mut reader,
+            &self.config,
+            self.counters.as_ref(),
+        )?;
+        self.version.store(version, Ordering::SeqCst);
 
         // Switch to a short poll timeout so the reader can notice
         // `closing` while idle without losing partial frames.
@@ -625,7 +756,7 @@ impl NetClient {
         let pool_size = config.pool_size.max(1);
         let mut conns = Vec::with_capacity(pool_size);
         for _ in 0..pool_size {
-            conns.push(Conn::dial(addr, config, counters.clone())?);
+            conns.push(Conn::dial(addr, config.clone(), counters.clone())?);
         }
         Ok(Self {
             conns,
@@ -708,21 +839,14 @@ impl NetClient {
     /// and their reader threads stay untouched; metrics fetches never
     /// interleave with job responses.
     pub fn metrics_text(&self) -> Result<String, NetError> {
-        let (addr, config) = (self.conns[0].addr, self.conns[0].config);
+        let (addr, config) = (self.conns[0].addr, self.conns[0].config.clone());
         let mut stream = TcpStream::connect_timeout(&addr, config.handshake_timeout)
             .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
         stream
             .set_read_timeout(Some(config.handshake_timeout))
             .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
-        write_frame(
-            &mut stream,
-            &Frame::Hello {
-                min_version: PROTOCOL_V1,
-                max_version: PROTOCOL_V2,
-            },
-        )
-        .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
         let mut reader = FrameReader::new();
+        let version = negotiate(&mut stream, &mut reader, &config, None)?;
         let read_one =
             |stream: &mut TcpStream, reader: &mut FrameReader| -> Result<Frame, NetError> {
                 match reader.read_from(stream, config.max_frame_payload) {
@@ -731,19 +855,6 @@ impl NetClient {
                     Err(e) => Err(NetError::ConnectionLost(e.to_string())),
                 }
             };
-        let version = match read_one(&mut stream, &mut reader)? {
-            Frame::HelloAck { version } => version,
-            Frame::Error { code, detail, .. } => {
-                return Err(NetError::Protocol(format!(
-                    "handshake rejected ({code:?}): {detail}"
-                )))
-            }
-            other => {
-                return Err(NetError::Protocol(format!(
-                    "unexpected handshake frame: {other:?}"
-                )))
-            }
-        };
         write_frame_versioned(&mut stream, &Frame::MetricsDump { request_id: 1 }, version)
             .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
         loop {

@@ -44,7 +44,7 @@ use crate::client::{NetClient, NetClientConfig, NetError, NetJobHandle, NetJobRe
 const PROBE_TICK: Duration = Duration::from_millis(10);
 
 /// Tuning knobs for [`ShardedClient`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Per-shard connection settings (pool size, busy retries, ...).
     pub client: NetClientConfig,
@@ -206,7 +206,11 @@ impl ClusterInner {
             // Dial outside the shard lock: a handshake can take up to
             // `handshake_timeout` and must not block routing decisions.
             let counters = self.metrics.net_counters(&format!("cluster/shard-{shard}"));
-            match NetClient::connect_instrumented(self.addrs[shard], self.config.client, counters) {
+            match NetClient::connect_instrumented(
+                self.addrs[shard],
+                self.config.client.clone(),
+                counters,
+            ) {
                 Ok(client) => {
                     let mut state = self.shards[shard].lock();
                     if self.closing.load(Ordering::SeqCst) {
@@ -371,18 +375,18 @@ impl ShardedClient {
         let mut last_error = None;
         for (shard, addr) in resolved.iter().enumerate() {
             let counters = metrics.net_counters(&format!("cluster/shard-{shard}"));
-            let (client, up) = match NetClient::connect_instrumented(*addr, config.client, counters)
-            {
-                Ok(client) => (Some(client), true),
-                Err(e) => {
-                    events.push(ClusterEvent::ShardDown {
-                        shard,
-                        detail: e.to_string(),
-                    });
-                    last_error = Some(e);
-                    (None, false)
-                }
-            };
+            let (client, up) =
+                match NetClient::connect_instrumented(*addr, config.client.clone(), counters) {
+                    Ok(client) => (Some(client), true),
+                    Err(e) => {
+                        events.push(ClusterEvent::ShardDown {
+                            shard,
+                            detail: e.to_string(),
+                        });
+                        last_error = Some(e);
+                        (None, false)
+                    }
+                };
             shards.push(Mutex::new(ShardState {
                 client,
                 backoff: Duration::ZERO,

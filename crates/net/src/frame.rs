@@ -28,15 +28,29 @@
 //! frame but deliberately *ignored on Hello*, so a future client can
 //! still open negotiation with a server that only speaks version 1.
 //!
-//! Two versions exist. [`PROTOCOL_V2`] extends `Submit` with a trailing
-//! trace id ([`tcast_obs::TraceId`]) so one query's observability trace
-//! spans client, wire, and server; every other payload is identical.
+//! Three versions exist. [`PROTOCOL_V2`] extends `Submit` with a
+//! trailing trace id ([`tcast_obs::TraceId`]) so one query's
+//! observability trace spans client, wire, and server. [`PROTOCOL_V3`]
+//! appends a priority-class byte after the trace id, letting a client
+//! mark a submit High/Normal/Low for the server's weighted-fair
+//! scheduler; every other payload is identical across versions.
 //! Frames are *self-describing*: the header byte states the version the
 //! frame was encoded with, and receivers accept any supported version on
 //! any frame, so only the sender of a `Submit` needs to remember what
 //! was negotiated (a V2 `Submit` must not be sent to a V1-only peer).
 //! The `MetricsDump`/`MetricsText` pair was introduced alongside V2 but
-//! is gated by frame type, not version.
+//! is gated by frame type, not version, as are the `Auth`/`AuthOk` pair.
+//!
+//! ## Authentication
+//!
+//! A server with a tenant registry attached appends a 16-byte challenge
+//! nonce to its [`Frame::HelloAck`]. The client must answer with
+//! [`Frame::Auth`] carrying its tenant name and an HMAC-SHA-256 over
+//! `nonce ‖ name` under the tenant's shared key before any `Submit` is
+//! accepted; the server replies [`Frame::AuthOk`] or a typed
+//! [`ErrorCode::AuthFailed`] error and closes. Servers without a
+//! registry send no challenge and accept unauthenticated traffic
+//! exactly as before.
 //!
 //! ## Request scoping
 //!
@@ -61,8 +75,13 @@ pub const MAGIC: [u8; 4] = *b"TCQW";
 pub const PROTOCOL_V1: u8 = 1;
 
 /// Protocol version 2: `Submit` carries a trailing trace id for
-/// end-to-end observability. The highest version this build speaks.
+/// end-to-end observability.
 pub const PROTOCOL_V2: u8 = 2;
+
+/// Protocol version 3: `Submit` additionally carries a trailing
+/// priority-class byte ([`tcast_tenant::Priority`]). The highest version
+/// this build speaks.
+pub const PROTOCOL_V3: u8 = 3;
 
 /// Fixed header size in bytes (magic + type + version + request id + length).
 pub const HEADER_LEN: usize = 18;
@@ -84,6 +103,8 @@ mod frame_type {
     pub const GOODBYE: u8 = 0x07;
     pub const METRICS_DUMP: u8 = 0x08;
     pub const METRICS_TEXT: u8 = 0x09;
+    pub const AUTH: u8 = 0x0B;
+    pub const AUTH_OK: u8 = 0x0C;
 }
 
 /// Typed error frame codes.
@@ -100,6 +121,15 @@ pub enum ErrorCode {
     UnsupportedVersion,
     /// The server is draining and accepts no new requests.
     ShuttingDown,
+    /// The server requires an [`Frame::Auth`] handshake before this
+    /// frame is acceptable (tenant registry attached, no credentials
+    /// presented).
+    AuthRequired,
+    /// The [`Frame::Auth`] credentials were rejected: unknown tenant,
+    /// wrong key, or a MAC that does not match this connection's
+    /// challenge (e.g. a replayed response). The server closes the
+    /// connection afterwards.
+    AuthFailed,
 }
 
 impl ErrorCode {
@@ -109,6 +139,8 @@ impl ErrorCode {
             ErrorCode::Malformed => 2,
             ErrorCode::UnsupportedVersion => 3,
             ErrorCode::ShuttingDown => 4,
+            ErrorCode::AuthRequired => 5,
+            ErrorCode::AuthFailed => 6,
         }
     }
 
@@ -118,6 +150,8 @@ impl ErrorCode {
             2 => ErrorCode::Malformed,
             3 => ErrorCode::UnsupportedVersion,
             4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::AuthRequired,
+            6 => ErrorCode::AuthFailed,
             _ => return None,
         })
     }
@@ -130,6 +164,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Malformed => "malformed frame",
             ErrorCode::UnsupportedVersion => "unsupported protocol version",
             ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::AuthRequired => "authentication required",
+            ErrorCode::AuthFailed => "authentication failed",
         })
     }
 }
@@ -150,7 +186,23 @@ pub enum Frame {
     HelloAck {
         /// The agreed protocol version.
         version: u8,
+        /// Present iff the server requires authentication: a fresh
+        /// per-connection nonce the client must MAC in its
+        /// [`Frame::Auth`] answer. A fresh nonce per connection makes a
+        /// recorded `Auth` frame worthless on any other connection.
+        challenge: Option<[u8; 16]>,
     },
+    /// Client → server: answers a [`Frame::HelloAck`] challenge with the
+    /// tenant's name and `HMAC-SHA-256(key, nonce ‖ name)`.
+    Auth {
+        /// The tenant name registered on the server.
+        tenant: String,
+        /// MAC over the challenge nonce and tenant name.
+        mac: [u8; 32],
+    },
+    /// Server → client: the [`Frame::Auth`] credentials were accepted;
+    /// submits are now admitted under that tenant's quotas.
+    AuthOk,
     /// Client → server: run one query job.
     Submit {
         /// Client-chosen id echoed on the response.
@@ -255,6 +307,8 @@ impl Frame {
         match self {
             Frame::Hello { .. } => frame_type::HELLO,
             Frame::HelloAck { .. } => frame_type::HELLO_ACK,
+            Frame::Auth { .. } => frame_type::AUTH,
+            Frame::AuthOk => frame_type::AUTH_OK,
             Frame::Submit { .. } => frame_type::SUBMIT,
             Frame::JobOk { .. } => frame_type::JOB_OK,
             Frame::JobFailed { .. } => frame_type::JOB_FAILED,
@@ -274,7 +328,11 @@ impl Frame {
             | Frame::Error { request_id, .. }
             | Frame::MetricsDump { request_id }
             | Frame::MetricsText { request_id, .. } => *request_id,
-            Frame::Hello { .. } | Frame::HelloAck { .. } | Frame::Goodbye => 0,
+            Frame::Hello { .. }
+            | Frame::HelloAck { .. }
+            | Frame::Auth { .. }
+            | Frame::AuthOk
+            | Frame::Goodbye => 0,
         }
     }
 
@@ -287,7 +345,15 @@ impl Frame {
                 out.push(*min_version);
                 out.push(*max_version);
             }
-            Frame::HelloAck { version } => out.push(*version),
+            Frame::HelloAck { version, challenge } => {
+                out.push(*version);
+                put_option(out, challenge, |out, c| out.extend_from_slice(c));
+            }
+            Frame::Auth { tenant, mac } => {
+                tenant.encode(out);
+                out.extend_from_slice(mac);
+            }
+            Frame::AuthOk => {}
             Frame::Submit { job, .. } => encode_job(job, out, version),
             Frame::JobOk { report, .. } => report.encode(out),
             Frame::JobFailed { error, .. } => match error {
@@ -296,6 +362,7 @@ impl Frame {
                     msg.encode(out);
                 }
                 JobError::DeadlineExceeded => out.push(2),
+                JobError::QuotaExceeded => out.push(3),
             },
             Frame::Error { code, detail, .. } => {
                 out.push(code.to_wire_tag());
@@ -375,7 +442,7 @@ impl Frame {
         if received != computed {
             return Err(MalformedFrame::BadCrc { computed, received });
         }
-        if frame_type != frame_type::HELLO && !(PROTOCOL_V1..=PROTOCOL_V2).contains(&version) {
+        if frame_type != frame_type::HELLO && !(PROTOCOL_V1..=PROTOCOL_V3).contains(&version) {
             return Err(MalformedFrame::Version(version));
         }
         let mut r = Reader::new(&bytes[HEADER_LEN..body_end]);
@@ -386,7 +453,19 @@ impl Frame {
             },
             frame_type::HELLO_ACK => Frame::HelloAck {
                 version: r.u8().map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+                challenge: r
+                    .option(|r| r.bytes(16).map(|b| <[u8; 16]>::try_from(b).unwrap()))
+                    .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
             },
+            frame_type::AUTH => Frame::Auth {
+                tenant: String::decode(&mut r)
+                    .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+                mac: r
+                    .bytes(32)
+                    .map(|b| <[u8; 32]>::try_from(b).unwrap())
+                    .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+            },
+            frame_type::AUTH_OK => Frame::AuthOk,
             frame_type::SUBMIT => Frame::Submit {
                 request_id,
                 job: decode_job(&mut r, version).map_err(MalformedFrame::Payload)?,
@@ -403,6 +482,7 @@ impl Frame {
                             .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
                     ),
                     2 => JobError::DeadlineExceeded,
+                    3 => JobError::QuotaExceeded,
                     tag => return Err(malformed(&format!("job error tag {tag}"))),
                 };
                 Frame::JobFailed { request_id, error }
@@ -449,6 +529,11 @@ fn encode_job(job: &QueryJob, out: &mut Vec<u8>, version: u8) {
         // Trailing so the V1 prefix is byte-identical under both versions.
         put_u64(out, job.trace.0);
     }
+    if version >= PROTOCOL_V3 {
+        // Same trailing-field trick as the trace id: a V2 decoder never
+        // reads this far, so the V2 prefix stays byte-identical.
+        out.push(job.priority.to_wire_tag());
+    }
 }
 
 fn decode_job(r: &mut Reader<'_>, version: u8) -> Result<QueryJob, String> {
@@ -468,6 +553,11 @@ fn decode_job(r: &mut Reader<'_>, version: u8) -> Result<QueryJob, String> {
     job.retry_budget = retry_budget;
     if version >= PROTOCOL_V2 {
         job.trace = tcast_obs::TraceId(r.u64().map_err(|e| e.to_string())?);
+    }
+    if version >= PROTOCOL_V3 {
+        let tag = r.u8().map_err(|e| e.to_string())?;
+        job.priority = tcast_tenant::Priority::from_wire_tag(tag)
+            .ok_or_else(|| format!("priority tag {tag}"))?;
     }
     Ok(job)
 }
@@ -638,7 +728,19 @@ mod tests {
                 min_version: 1,
                 max_version: 3,
             },
-            Frame::HelloAck { version: 1 },
+            Frame::HelloAck {
+                version: 1,
+                challenge: None,
+            },
+            Frame::HelloAck {
+                version: 3,
+                challenge: Some([0xA5; 16]),
+            },
+            Frame::Auth {
+                tenant: "tenant-a".into(),
+                mac: [0x5C; 32],
+            },
+            Frame::AuthOk,
             Frame::Submit {
                 request_id: 42,
                 job: sample_job(),
@@ -650,6 +752,10 @@ mod tests {
             Frame::JobFailed {
                 request_id: 7,
                 error: JobError::Panicked("boom".into()),
+            },
+            Frame::JobFailed {
+                request_id: 8,
+                error: JobError::QuotaExceeded,
             },
             Frame::Error {
                 request_id: 0,
@@ -664,7 +770,7 @@ mod tests {
             Frame::Goodbye,
         ];
         for frame in frames {
-            for version in [PROTOCOL_V1, PROTOCOL_V2] {
+            for version in [PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3] {
                 let bytes = frame.to_bytes_versioned(version);
                 assert_eq!(
                     Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD).unwrap(),
@@ -702,6 +808,52 @@ mod tests {
             .to_bytes(),
             "trace must not leak into V1 bytes"
         );
+    }
+
+    #[test]
+    fn v3_submit_carries_the_priority_and_v2_drops_it() {
+        let frame = Frame::Submit {
+            request_id: 6,
+            job: sample_job().with_priority(tcast_tenant::Priority::High),
+        };
+        // V3 round-trips the priority class bit-exactly.
+        let got =
+            Frame::from_bytes(&frame.to_bytes_versioned(PROTOCOL_V3), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(got, frame);
+        // V2 encodes without it — the receiver sees the default class,
+        // and the wire bytes match an unprioritized V2 submit.
+        let v2 =
+            Frame::from_bytes(&frame.to_bytes_versioned(PROTOCOL_V2), DEFAULT_MAX_PAYLOAD).unwrap();
+        let Frame::Submit { job, .. } = &v2 else {
+            panic!("expected submit");
+        };
+        assert_eq!(job.priority, tcast_tenant::Priority::Normal);
+        assert_eq!(
+            frame.to_bytes_versioned(PROTOCOL_V2),
+            Frame::Submit {
+                request_id: 6,
+                job: sample_job(),
+            }
+            .to_bytes_versioned(PROTOCOL_V2),
+            "priority must not leak into V2 bytes"
+        );
+    }
+
+    #[test]
+    fn bad_priority_tag_is_rejected() {
+        let frame = Frame::Submit {
+            request_id: 6,
+            job: sample_job(),
+        };
+        let mut bytes = frame.to_bytes_versioned(PROTOCOL_V3);
+        let trailer = bytes.len() - TRAILER_LEN;
+        bytes[trailer - 1] = 7; // priority byte is last before the CRC
+        let fixed_crc = crc32(&bytes[..trailer]).to_le_bytes();
+        bytes[trailer..].copy_from_slice(&fixed_crc);
+        assert!(matches!(
+            Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(MalformedFrame::Payload(msg)) if msg.contains("priority tag 7")
+        ));
     }
 
     #[test]
@@ -764,7 +916,11 @@ mod tests {
 
     #[test]
     fn truncated_stream_is_an_io_error() {
-        let bytes = Frame::HelloAck { version: 1 }.to_bytes();
+        let bytes = Frame::HelloAck {
+            version: 1,
+            challenge: None,
+        }
+        .to_bytes();
         let mut reader = FrameReader::new();
         let err = reader
             .read_from(
@@ -777,7 +933,11 @@ mod tests {
 
     #[test]
     fn version_is_checked_on_all_frames_but_hello() {
-        let mut ack = Frame::HelloAck { version: 1 }.to_bytes();
+        let mut ack = Frame::HelloAck {
+            version: 1,
+            challenge: None,
+        }
+        .to_bytes();
         ack[5] = 9; // claim protocol version 9
         let body_end = ack.len() - TRAILER_LEN;
         let fixed_crc = crc32(&ack[..body_end]).to_le_bytes();

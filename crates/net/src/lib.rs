@@ -64,10 +64,12 @@ pub mod frame;
 pub mod reactor;
 pub mod server;
 
-pub use client::{NetBatch, NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult};
+pub use client::{
+    NetBatch, NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult, TenantAuth,
+};
 pub use cluster::{ClusterBatch, ClusterConfig, ClusterEvent, ShardedClient};
 pub use frame::{
     ErrorCode, Frame, FrameReadError, FrameReader, MalformedFrame, DEFAULT_MAX_PAYLOAD,
-    PROTOCOL_V1, PROTOCOL_V2,
+    PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
 };
 pub use server::{NetServer, NetServerConfig};

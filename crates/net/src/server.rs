@@ -48,9 +48,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use tcast_service::{JobError, JobOutput, NetCounters, QueryService, SubmitError};
+use tcast_tenant::{TenantId, TenantRegistry};
 
 use crate::frame::{
-    ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V2,
+    ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V3,
 };
 use crate::reactor::{poll_fds, AcceptBackoff, PollFd, Waker};
 
@@ -178,6 +179,7 @@ impl NetServer {
                 free: Vec::new(),
                 live: 0,
                 inbox: inbox.clone(),
+                tenants: service.tenant_registry(),
                 service: service.clone(),
                 config,
                 shutdown: shutdown.clone(),
@@ -296,6 +298,9 @@ struct ConnShared {
 enum Phase {
     /// Waiting for the client's `Hello`.
     Handshake,
+    /// `HelloAck` carried a challenge; waiting for the client's `Auth`.
+    /// Reached only when the wrapped service has a tenant registry.
+    AuthPending,
     /// Negotiated; frames flow.
     Active,
     /// No longer reading; once in-flight jobs finish and their
@@ -320,6 +325,12 @@ struct Conn {
     read_stopped: bool,
     /// The draining `Goodbye` has been serialized already.
     goodbye_queued: bool,
+    /// The challenge nonce issued in this connection's `HelloAck`, kept
+    /// to verify the `Auth` answer against. `None` when auth is off.
+    challenge: Option<[u8; 16]>,
+    /// The authenticated tenant; stamped onto every job this connection
+    /// submits. Never taken from the wire.
+    tenant: Option<TenantId>,
     /// Serialized-but-unsent response bytes; `wpos..` is the unsent tail.
     wbuf: Vec<u8>,
     wpos: usize,
@@ -350,6 +361,9 @@ struct IoThread {
     live: usize,
     inbox: Arc<Inbox>,
     service: Arc<QueryService>,
+    /// The wrapped service's tenant registry, if any. Present ⇒ every
+    /// connection must pass the `Auth` challenge before submitting.
+    tenants: Option<Arc<TenantRegistry>>,
     config: NetServerConfig,
     shutdown: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
@@ -445,6 +459,8 @@ impl IoThread {
             peer_done: false,
             read_stopped: false,
             goodbye_queued: false,
+            challenge: None,
+            tenant: None,
             wbuf: Vec::new(),
             wpos: 0,
             opened_at: now,
@@ -560,14 +576,24 @@ impl IoThread {
                     // Framing is broken: report and close rather than
                     // guess at resynchronization.
                     self.counters.decode_error();
-                    self.fail_conn(slot, ErrorCode::Malformed, m.to_string());
+                    if conn.phase == Phase::AuthPending {
+                        // A garbled frame where Auth was due (e.g. a
+                        // truncated Auth payload) is a failed handshake,
+                        // answered with the typed auth error so the
+                        // client never mistakes it for wire corruption
+                        // on an open session.
+                        self.counters.auth_failure();
+                        self.fail_conn(slot, ErrorCode::AuthFailed, m.to_string());
+                    } else {
+                        self.fail_conn(slot, ErrorCode::Malformed, m.to_string());
+                    }
                     break;
                 }
                 Err(FrameReadError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
                     // Peer EOF: stop reading, still drain in-flight
                     // responses, then close without Goodbye. During the
                     // handshake there is nothing to drain — close now.
-                    if conn.phase == Phase::Handshake {
+                    if matches!(conn.phase, Phase::Handshake | Phase::AuthPending) {
                         self.close(slot);
                         return;
                     }
@@ -613,23 +639,33 @@ impl IoThread {
                     max_version,
                 } => {
                     // Ack the highest version in both ranges: the server
-                    // speaks [V1, V2], so that is min(client max, V2)
+                    // speaks [V1, V3], so that is min(client max, V3)
                     // when the ranges overlap at all.
                     if min_version <= max_version
-                        && min_version <= PROTOCOL_V2
+                        && min_version <= PROTOCOL_V3
                         && max_version >= PROTOCOL_V1
                     {
+                        // With a tenant registry attached the ack also
+                        // carries a fresh challenge, and the connection
+                        // must authenticate before anything else.
+                        let challenge = self.tenants.as_ref().map(|reg| reg.fresh_nonce());
+                        conn.challenge = challenge;
+                        conn.phase = if challenge.is_some() {
+                            Phase::AuthPending
+                        } else {
+                            Phase::Active
+                        };
                         let ack = Frame::HelloAck {
-                            version: max_version.min(PROTOCOL_V2),
+                            version: max_version.min(PROTOCOL_V3),
+                            challenge,
                         };
                         queue_frame(&self.counters, conn, &ack);
-                        conn.phase = Phase::Active;
                     } else {
                         self.fail_conn(
                             slot,
                             ErrorCode::UnsupportedVersion,
                             format!(
-                                "server speaks versions {PROTOCOL_V1}..={PROTOCOL_V2}, client \
+                                "server speaks versions {PROTOCOL_V1}..={PROTOCOL_V3}, client \
                                  offered {min_version}..={max_version}"
                             ),
                         );
@@ -641,6 +677,41 @@ impl IoThread {
                         slot,
                         ErrorCode::Malformed,
                         "expected Hello as the first frame".into(),
+                    );
+                }
+            }
+            return;
+        }
+        if conn.phase == Phase::AuthPending {
+            match frame {
+                Frame::Auth { tenant, mac } => {
+                    let reg = self.tenants.as_ref().expect("AuthPending implies registry");
+                    let nonce = conn.challenge.expect("AuthPending implies challenge");
+                    match reg.verify(&tenant, &nonce, &mac) {
+                        Ok(id) => {
+                            conn.tenant = Some(id);
+                            conn.phase = Phase::Active;
+                            queue_frame(&self.counters, conn, &Frame::AuthOk);
+                        }
+                        Err(_) => {
+                            // One generic detail for unknown-tenant and
+                            // bad-MAC alike: the error frame must not be
+                            // an oracle for which tenant names exist.
+                            self.counters.auth_failure();
+                            self.fail_conn(
+                                slot,
+                                ErrorCode::AuthFailed,
+                                "credentials rejected".into(),
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    self.counters.auth_failure();
+                    self.fail_conn(
+                        slot,
+                        ErrorCode::AuthRequired,
+                        "this server requires an Auth frame before any other traffic".into(),
                     );
                 }
             }
@@ -664,6 +735,13 @@ impl IoThread {
                     queue_frame(&self.counters, conn, &frame);
                     return;
                 }
+                // The tenant comes from this connection's Auth handshake,
+                // never from the wire: a client cannot submit under
+                // another tenant's quotas by forging a field.
+                let job = match conn.tenant {
+                    Some(id) => job.with_tenant(id),
+                    None => job,
+                };
                 let shared = conn.shared.clone();
                 self.submit(slot, request_id, job, shared);
             }
@@ -738,6 +816,19 @@ impl IoThread {
                     queue_frame(&self.counters, conn, &frame);
                 }
             }
+            Err(SubmitError::QuotaExceeded(_)) => {
+                // The service already counted the rejection per tenant;
+                // answer with a typed job failure rather than Busy so the
+                // client can tell "slow down" from "queue full".
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    let frame = Frame::JobFailed {
+                        request_id,
+                        error: JobError::QuotaExceeded,
+                    };
+                    queue_frame(&self.counters, conn, &frame);
+                }
+            }
             Err(SubmitError::Closed(_)) => {
                 shared.inflight.fetch_sub(1, Ordering::AcqRel);
                 if let Some(conn) = self.conns[slot].as_mut() {
@@ -768,7 +859,7 @@ impl IoThread {
             && conn.shared.outbound.lock().is_empty()
             && conn.pending_writes() == 0;
         match conn.phase {
-            Phase::Handshake => {
+            Phase::Handshake | Phase::AuthPending => {
                 if draining || now.duration_since(conn.opened_at) > self.config.handshake_timeout {
                     // Dropped silently, exactly as the blocking server
                     // dropped un-negotiated connections.

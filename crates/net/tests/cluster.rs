@@ -255,3 +255,79 @@ fn a_cluster_with_no_reachable_shard_refuses_to_connect() {
     let result = ShardedClient::connect(vec![dead_addr(), dead_addr()], ClusterConfig::default());
     assert!(result.is_err(), "connect must fail with every shard down");
 }
+
+#[test]
+fn priorities_and_tenancy_ride_through_the_cluster() {
+    use tcast_net::{NetClientConfig, TenantAuth};
+    use tcast_tenant::{Priority, TenantRegistry, TenantSpec};
+
+    // Two authenticated shards sharing one tenant database.
+    const KEY: &[u8] = b"cluster-tenant-key";
+    let servers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut registry = TenantRegistry::new();
+            registry.register(TenantSpec::new("alice", KEY));
+            let service = Arc::new(QueryService::with_tenants(
+                ServiceConfig::with_workers(2),
+                Arc::new(registry),
+            ));
+            let server =
+                NetServer::bind("127.0.0.1:0", service.clone(), NetServerConfig::default())
+                    .expect("bind ephemeral port");
+            (server, service)
+        })
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(|(s, _)| s.local_addr()).collect();
+    let cluster = ShardedClient::connect(
+        addrs,
+        ClusterConfig {
+            client: NetClientConfig {
+                auth: Some(TenantAuth::new("alice", KEY)),
+                ..NetClientConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("authenticated cluster connect");
+
+    // Mixed priority classes on every job; routing ignores them (the
+    // route is a pure function of the job identity bytes) while the V3
+    // frames carry them to whichever shard wins.
+    let jobs: Vec<QueryJob> = job_mix(30, 0x7E_4A_17)
+        .into_iter()
+        .enumerate()
+        .map(|(i, j)| {
+            j.with_priority(match i % 3 {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                _ => Priority::Low,
+            })
+        })
+        .collect();
+    let expected = in_process(&jobs);
+    let results = cluster.submit(jobs).wait();
+    for (result, expected) in results.into_iter().zip(expected) {
+        assert_eq!(result.expect("job succeeded"), expected);
+    }
+
+    // Every job executed under the authenticated tenant, split across
+    // the shards by rendezvous routing.
+    let alice_jobs: u64 = servers
+        .iter()
+        .map(|(_, service)| {
+            service
+                .metrics_registry()
+                .snapshot()
+                .tenant_rows
+                .iter()
+                .find(|r| r.tenant == "alice")
+                .map_or(0, |r| r.jobs)
+        })
+        .sum();
+    assert_eq!(alice_jobs, 30);
+
+    cluster.close();
+    for (server, _) in servers {
+        server.shutdown();
+    }
+}

@@ -126,6 +126,15 @@ fn all_frames(
         },
         Frame::HelloAck {
             version: (seed % 256) as u8,
+            challenge: if seed.is_multiple_of(2) {
+                None
+            } else {
+                let mut nonce = [0u8; 16];
+                for (i, b) in nonce.iter_mut().enumerate() {
+                    *b = (seed >> (i % 8)) as u8;
+                }
+                Some(nonce)
+            },
         },
         Frame::Submit {
             request_id: seed,

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use tcast::{ChannelSpec, CollisionModel};
 use tcast_net::{
     ClusterConfig, NetClient, NetClientConfig, NetServer, NetServerConfig, ShardedClient,
-    PROTOCOL_V2,
+    PROTOCOL_V3,
 };
 use tcast_obs::{add_sink, check_nesting, MemorySink, Record, RecordKind, TraceId};
 use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
@@ -36,11 +36,11 @@ fn names_of(records: &[Record]) -> Vec<(&'static str, RecordKind)> {
 }
 
 #[test]
-fn client_and_server_negotiate_protocol_v2() {
+fn client_and_server_negotiate_the_latest_protocol() {
     let (server, _service) = start_server(1);
     let client =
         NetClient::connect(server.local_addr(), NetClientConfig::default()).expect("connect");
-    assert_eq!(client.negotiated_version(), PROTOCOL_V2);
+    assert_eq!(client.negotiated_version(), PROTOCOL_V3);
     client.close();
     server.shutdown();
 }

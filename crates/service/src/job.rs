@@ -108,6 +108,15 @@ pub struct QueryJob {
     /// untraced. Like the deadline, the trace id never shapes the
     /// report, so it is excluded from [`QueryJob::cache_key`].
     pub trace: tcast_obs::TraceId,
+    /// Owning tenant, stamped by whichever tier authenticated the
+    /// submitter (never trusted off the wire). `None` = the default
+    /// (single-tenant) lane. Scheduling metadata only: excluded from
+    /// [`QueryJob::cache_key`] because it never shapes the report.
+    pub tenant: Option<tcast_tenant::TenantId>,
+    /// Priority class within the tenant's queue. Like the tenant id,
+    /// pure scheduling metadata — excluded from
+    /// [`QueryJob::cache_key`].
+    pub priority: tcast_tenant::Priority,
 }
 
 impl QueryJob {
@@ -126,6 +135,8 @@ impl QueryJob {
             deadline: None,
             retry_budget: None,
             trace: tcast_obs::TraceId::NONE,
+            tenant: None,
+            priority: tcast_tenant::Priority::Normal,
         }
     }
 
@@ -145,6 +156,20 @@ impl QueryJob {
     /// service spans, and wire hops will all correlate under it.
     pub fn with_trace(mut self, trace: tcast_obs::TraceId) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns the job stamped with its owning tenant. Called by the
+    /// tier that authenticated the submitter — client-supplied tenant
+    /// ids are never honored.
+    pub fn with_tenant(mut self, tenant: tcast_tenant::TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Returns the job in the given priority class.
+    pub fn with_priority(mut self, priority: tcast_tenant::Priority) -> Self {
+        self.priority = priority;
         self
     }
 
@@ -239,6 +264,10 @@ pub enum JobError {
     /// The job's deadline expired before a worker could start it; the
     /// session was never run.
     DeadlineExceeded,
+    /// The submitting tenant was over a quota (token-bucket rate or
+    /// max-in-flight cap); the job was rejected at admission and never
+    /// queued.
+    QuotaExceeded,
 }
 
 impl std::fmt::Display for JobError {
@@ -246,6 +275,7 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::DeadlineExceeded => f.write_str("job deadline exceeded before execution"),
+            JobError::QuotaExceeded => f.write_str("tenant quota exceeded at admission"),
         }
     }
 }
@@ -368,6 +398,17 @@ mod tests {
         assert_eq!(
             base.cache_key(),
             base.with_trace(tcast_obs::TraceId::fresh()).cache_key()
+        );
+        // Nor tenant or priority: scheduling metadata never shapes the
+        // report, and cross-tenant cache hits on identical specs are
+        // exactly the point of a shared session cache.
+        assert_eq!(
+            base.cache_key(),
+            base.with_tenant(tcast_tenant::TenantId(7)).cache_key()
+        );
+        assert_eq!(
+            base.cache_key(),
+            base.with_priority(tcast_tenant::Priority::High).cache_key()
         );
     }
 

@@ -43,7 +43,9 @@ mod metrics;
 mod service;
 
 pub use job::{AlgorithmSpec, JobError, JobOutput, JobResult, QueryJob};
-pub use metrics::{MetricsRegistry, MetricsRow, MetricsSnapshot, NetCounters, NetMetricsRow};
+pub use metrics::{
+    MetricsRegistry, MetricsRow, MetricsSnapshot, NetCounters, NetMetricsRow, TenantMetricsRow,
+};
 pub use service::{
     Batch, CompletionWatcher, JobHandle, QueryService, ServiceClosed, ServiceConfig, SubmitError,
     SubmitOptions,

@@ -142,6 +142,7 @@ pub struct NetCounters {
     bytes_out: AtomicU64,
     decode_errors: AtomicU64,
     busy_rejections: AtomicU64,
+    auth_failures: AtomicU64,
     reconnects: AtomicU64,
     accept_errors: AtomicU64,
     conns_opened: AtomicU64,
@@ -170,6 +171,14 @@ impl NetCounters {
     /// Records one request rejected with a `Busy` error frame.
     pub fn busy_rejection(&self) {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed Auth handshake (wrong key, replayed nonce,
+    /// truncated Auth frame, or a submit on a connection that never
+    /// authenticated). Every rejection path increments exactly once, so
+    /// auth probing is visible in every dump format.
+    pub fn auth_failure(&self) {
+        self.auth_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one transport reconnect under this label and returns the
@@ -234,6 +243,7 @@ impl NetCounters {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            auth_failures: self.auth_failures.load(Ordering::Relaxed),
             reconnects_total: self.reconnects.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             conns_opened: self.conns_opened.load(Ordering::Relaxed),
@@ -260,6 +270,10 @@ pub struct NetMetricsRow {
     pub decode_errors: u64,
     /// Requests rejected with a `Busy` error frame (admission backpressure).
     pub busy_rejections: u64,
+    /// Failed Auth handshakes on this label (wrong key, replayed nonce,
+    /// truncated Auth frame, or submit-before-auth). Always 0 when the
+    /// server runs without a tenant registry.
+    pub auth_failures: u64,
     /// Transport reconnects folded into this label; the counters above
     /// span `reconnects_total + 1` physical connections, and the live
     /// connection's generation equals this value.
@@ -283,6 +297,62 @@ impl NetMetricsRow {
     }
 }
 
+/// Live per-tenant counters, keyed by tenant name. Registered lazily on
+/// the first recorded tenant job or quota rejection, so a single-tenant
+/// service (no registry attached) never grows a tenant section in any
+/// dump.
+struct TenantEntry {
+    jobs: AtomicU64,
+    quota_rejections: AtomicU64,
+    queue_wait: Mutex<(Summary, Histogram)>,
+}
+
+impl Default for TenantEntry {
+    fn default() -> Self {
+        Self {
+            jobs: AtomicU64::new(0),
+            quota_rejections: AtomicU64::new(0),
+            queue_wait: Mutex::new((
+                Summary::new(),
+                Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS),
+            )),
+        }
+    }
+}
+
+impl TenantEntry {
+    fn snapshot(&self, tenant: &str) -> TenantMetricsRow {
+        let (summary, hist) = {
+            let qw = self.queue_wait.lock();
+            (qw.0, qw.1.clone())
+        };
+        TenantMetricsRow {
+            tenant: tenant.to_string(),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
+            queue_wait_us: summary,
+            queue_wait_hist: hist,
+        }
+    }
+}
+
+/// Frozen per-tenant metrics for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantMetricsRow {
+    /// The tenant's registered (wire-visible) name.
+    pub tenant: String,
+    /// Jobs completed for this tenant (whatever the outcome).
+    pub jobs: u64,
+    /// Jobs rejected at admission because the tenant was over quota.
+    pub quota_rejections: u64,
+    /// Queue wait (submission to execution start) per completed job, in
+    /// microseconds.
+    pub queue_wait_us: Summary,
+    /// Queue-wait distribution, 2ms bins over `[0, 100ms)` with an
+    /// overflow counter for slower waits.
+    pub queue_wait_hist: Histogram,
+}
+
 /// Per-label service metrics, shared by all workers.
 ///
 /// The hot path is sharded: each recording thread is pinned to one of
@@ -294,6 +364,7 @@ impl NetMetricsRow {
 pub struct MetricsRegistry {
     shards: Vec<Shard>,
     net: Mutex<BTreeMap<String, Arc<NetCounters>>>,
+    tenants: Mutex<BTreeMap<String, Arc<TenantEntry>>>,
 }
 
 impl Default for MetricsRegistry {
@@ -301,6 +372,7 @@ impl Default for MetricsRegistry {
         Self {
             shards: (0..METRICS_SHARDS).map(|_| Shard::default()).collect(),
             net: Mutex::new(BTreeMap::new()),
+            tenants: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -363,6 +435,12 @@ impl MetricsRegistry {
                 c.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 failed = true;
             }
+            // Quota rejections happen at admission, before a job ever
+            // reaches a worker; they are tracked per tenant via
+            // `record_quota_rejections`, never through per-job record().
+            Err(JobError::QuotaExceeded) => {
+                failed = true;
+            }
         }
         let mut d = entry.dists.lock();
         if failed {
@@ -390,6 +468,35 @@ impl MetricsRegistry {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    fn tenant_entry(&self, tenant: &str) -> Arc<TenantEntry> {
+        let mut tenants = self.tenants.lock();
+        if let Some(e) = tenants.get(tenant) {
+            return e.clone();
+        }
+        let e = Arc::new(TenantEntry::default());
+        tenants.insert(tenant.to_string(), e.clone());
+        e
+    }
+
+    /// Records one completed job for `tenant`, with its queue wait
+    /// (submission to execution start).
+    pub fn record_tenant_job(&self, tenant: &str, queue_wait: Duration) {
+        let entry = self.tenant_entry(tenant);
+        entry.jobs.fetch_add(1, Ordering::Relaxed);
+        let micros = queue_wait.as_secs_f64() * 1e6;
+        let mut qw = entry.queue_wait.lock();
+        qw.0.record(micros);
+        qw.1.record(micros);
+    }
+
+    /// Records `n` jobs rejected at admission because `tenant` was over
+    /// quota.
+    pub fn record_quota_rejections(&self, tenant: &str, n: u64) {
+        self.tenant_entry(tenant)
+            .quota_rejections
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Returns (registering on first use) the live connection counters for
     /// `label`. The returned handle is bumped lock-free by the transport;
     /// snapshots pick the values up under the same label.
@@ -410,6 +517,10 @@ impl MetricsRegistry {
             let net = self.net.lock();
             net.iter().map(|(label, c)| c.snapshot(label)).collect()
         };
+        let tenant_rows = {
+            let tenants = self.tenants.lock();
+            tenants.iter().map(|(name, e)| e.snapshot(name)).collect()
+        };
         let mut folded: BTreeMap<String, MetricsRow> = BTreeMap::new();
         for shard in &self.shards {
             let entries = shard.entries.lock();
@@ -426,6 +537,7 @@ impl MetricsRegistry {
         MetricsSnapshot {
             rows: folded.into_values().collect(),
             net_rows,
+            tenant_rows,
         }
     }
 }
@@ -513,6 +625,10 @@ pub struct MetricsSnapshot {
     /// front-end registered connections via
     /// [`MetricsRegistry::net_counters`].
     pub net_rows: Vec<NetMetricsRow>,
+    /// Per-tenant rows ordered by tenant name; empty unless tenant jobs
+    /// or quota rejections were recorded (i.e. always empty for a
+    /// single-tenant service), so dumps without tenancy are unchanged.
+    pub tenant_rows: Vec<TenantMetricsRow>,
 }
 
 impl MetricsSnapshot {
@@ -560,12 +676,12 @@ impl MetricsSnapshot {
         if !self.net_rows.is_empty() {
             out.push_str(
                 "\nlabel,frames_in,frames_out,bytes_in,bytes_out,\
-                 decode_errors,busy_rejections,reconnects,accept_errors,\
+                 decode_errors,busy_rejections,auth_failures,reconnects,accept_errors,\
                  conns_opened,conns_closed,open_connections,io_threads\n",
             );
             for r in &self.net_rows {
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     r.label,
                     r.frames_in,
                     r.frames_out,
@@ -573,12 +689,36 @@ impl MetricsSnapshot {
                     r.bytes_out,
                     r.decode_errors,
                     r.busy_rejections,
+                    r.auth_failures,
                     r.reconnects_total,
                     r.accept_errors,
                     r.conns_opened,
                     r.conns_closed,
                     r.open_connections(),
                     r.io_threads,
+                ));
+            }
+        }
+        if !self.tenant_rows.is_empty() {
+            out.push_str(
+                "\ntenant,jobs,quota_rejections,mean_queue_wait_us,p50_queue_wait_us,\
+                 p99_queue_wait_us,max_queue_wait_us\n",
+            );
+            for r in &self.tenant_rows {
+                let (mean, max) = if r.queue_wait_us.count() > 0 {
+                    (r.queue_wait_us.mean(), r.queue_wait_us.max())
+                } else {
+                    (0.0, 0.0)
+                };
+                out.push_str(&format!(
+                    "{},{},{},{:.1},{:.1},{:.1},{:.1}\n",
+                    r.tenant,
+                    r.jobs,
+                    r.quota_rejections,
+                    mean,
+                    r.queue_wait_hist.quantile(0.5),
+                    r.queue_wait_hist.quantile(0.99),
+                    max,
                 ));
             }
         }
@@ -625,13 +765,13 @@ impl MetricsSnapshot {
         if !self.net_rows.is_empty() {
             out.push_str(
                 "\n| connection | frames in | frames out | bytes in | bytes out \
-                 | decode errs | busy | reconnects | accept errs | open | io threads |\n\
+                 | decode errs | busy | auth errs | reconnects | accept errs | open | io threads |\n\
                  |------------|----------:|-----------:|---------:|----------:\
-                 |------------:|-----:|-----------:|------------:|-----:|-----------:|\n",
+                 |------------:|-----:|----------:|-----------:|------------:|-----:|-----------:|\n",
             );
             for r in &self.net_rows {
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                     r.label,
                     r.frames_in,
                     r.frames_out,
@@ -639,10 +779,39 @@ impl MetricsSnapshot {
                     r.bytes_out,
                     r.decode_errors,
                     r.busy_rejections,
+                    r.auth_failures,
                     r.reconnects_total,
                     r.accept_errors,
                     r.open_connections(),
                     r.io_threads,
+                ));
+            }
+        }
+        if !self.tenant_rows.is_empty() {
+            out.push_str(
+                "\n| tenant | jobs | quota rejections | queue wait µs (mean) \
+                 | p50 | p99 | max |\n\
+                 |--------|-----:|-----------------:|---------------------:\
+                 |----:|----:|----:|\n",
+            );
+            for r in &self.tenant_rows {
+                let (mean, max) = if r.queue_wait_us.count() > 0 {
+                    (
+                        format!("{:.1}", r.queue_wait_us.mean()),
+                        format!("{:.1}", r.queue_wait_us.max()),
+                    )
+                } else {
+                    ("-".into(), "-".into())
+                };
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {:.1} | {:.1} | {} |\n",
+                    r.tenant,
+                    r.jobs,
+                    r.quota_rejections,
+                    mean,
+                    r.queue_wait_hist.quantile(0.5),
+                    r.queue_wait_hist.quantile(0.99),
+                    max,
                 ));
             }
         }
@@ -805,7 +974,7 @@ impl MetricsSnapshot {
         }
 
         if !self.net_rows.is_empty() {
-            let net: [(&str, &str, NetCounter); 10] = [
+            let net: [(&str, &str, NetCounter); 11] = [
                 (
                     "tcast_net_frames_in_total",
                     "Frames decoded from the peer.",
@@ -833,6 +1002,12 @@ impl MetricsSnapshot {
                     "tcast_net_busy_rejections_total",
                     "Requests rejected with a Busy error frame.",
                     |r| r.busy_rejections,
+                ),
+                (
+                    "tcast_net_auth_failures_total",
+                    "Failed Auth handshakes (wrong key, replayed nonce, truncated Auth frame, \
+                     submit-before-auth).",
+                    |r| r.auth_failures,
                 ),
                 (
                     "tcast_net_reconnects_total",
@@ -889,6 +1064,53 @@ impl MetricsSnapshot {
                         get(r)
                     ));
                 }
+            }
+        }
+        if !self.tenant_rows.is_empty() {
+            type TenantCounter = fn(&TenantMetricsRow) -> u64;
+            let counters: [(&str, &str, TenantCounter); 2] = [
+                (
+                    "tcast_tenant_jobs_total",
+                    "Jobs completed per tenant, whatever the outcome.",
+                    |r| r.jobs,
+                ),
+                (
+                    "tcast_tenant_quota_rejections_total",
+                    "Jobs rejected at admission because the tenant was over quota.",
+                    |r| r.quota_rejections,
+                ),
+            ];
+            for (name, help, get) in counters {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                for r in &self.tenant_rows {
+                    out.push_str(&format!(
+                        "{name}{{tenant=\"{}\"}} {}\n",
+                        esc(&r.tenant),
+                        get(r)
+                    ));
+                }
+            }
+            out.push_str(
+                "# HELP tcast_tenant_queue_wait_microseconds Queue wait (submission to \
+                 execution start) per completed job.\n\
+                 # TYPE tcast_tenant_queue_wait_microseconds summary\n",
+            );
+            for r in &self.tenant_rows {
+                let tenant = esc(&r.tenant);
+                for q in [0.5, 0.9, 0.99] {
+                    out.push_str(&format!(
+                        "tcast_tenant_queue_wait_microseconds{{tenant=\"{tenant}\",quantile=\"{q}\"}} {:.1}\n",
+                        r.queue_wait_hist.quantile(q),
+                    ));
+                }
+                let sum = r.queue_wait_us.mean() * r.queue_wait_us.count() as f64;
+                out.push_str(&format!(
+                    "tcast_tenant_queue_wait_microseconds_sum{{tenant=\"{tenant}\"}} {sum:.1}\n",
+                ));
+                out.push_str(&format!(
+                    "tcast_tenant_queue_wait_microseconds_count{{tenant=\"{tenant}\"}} {}\n",
+                    r.queue_wait_us.count(),
+                ));
             }
         }
         out
@@ -1161,12 +1383,12 @@ mod tests {
         assert_eq!(r.reconnects_total, 0);
         let csv = snap.to_csv();
         assert!(
-            csv.contains("net/conn-0,2,2,192,350,1,1,0,0,0,0,0,0"),
+            csv.contains("net/conn-0,2,2,192,350,1,1,0,0,0,0,0,0,0"),
             "csv: {csv}"
         );
         assert!(snap
             .to_markdown()
-            .contains("| net/conn-0 | 2 | 2 | 192 | 350 | 1 | 1 | 0 | 0 | 0 | 0 |"));
+            .contains("| net/conn-0 | 2 | 2 | 192 | 350 | 1 | 1 | 0 | 0 | 0 | 0 | 0 |"));
     }
 
     #[test]
@@ -1193,10 +1415,13 @@ mod tests {
         assert_eq!(row.io_threads, 4);
         let csv = snap.to_csv();
         assert!(csv.contains("accept_errors"), "csv header: {csv}");
-        assert!(csv.contains("net/server,0,0,0,0,0,0,0,2,3,1,2,4"), "{csv}");
+        assert!(
+            csv.contains("net/server,0,0,0,0,0,0,0,0,2,3,1,2,4"),
+            "{csv}"
+        );
         let md = snap.to_markdown();
         assert!(
-            md.contains("| net/server | 0 | 0 | 0 | 0 | 0 | 0 | 0 | 2 | 2 | 4 |"),
+            md.contains("| net/server | 0 | 0 | 0 | 0 | 0 | 0 | 0 | 0 | 2 | 2 | 4 |"),
             "{md}"
         );
         let text = snap.to_prometheus();
@@ -1231,7 +1456,7 @@ mod tests {
         assert_eq!(snap.net_rows[0].reconnects_total, 2);
         assert!(snap
             .to_csv()
-            .contains("net/conn-3,0,2,0,20,0,0,2,0,0,0,0,0"));
+            .contains("net/conn-3,0,2,0,20,0,0,0,2,0,0,0,0,0"));
         // The exposition tags every net series with the generation.
         let text = snap.to_prometheus();
         assert!(
@@ -1343,6 +1568,9 @@ tcast_net_decode_errors_total{conn="net/conn-0",generation="1"} 0
 # HELP tcast_net_busy_rejections_total Requests rejected with a Busy error frame.
 # TYPE tcast_net_busy_rejections_total counter
 tcast_net_busy_rejections_total{conn="net/conn-0",generation="1"} 0
+# HELP tcast_net_auth_failures_total Failed Auth handshakes (wrong key, replayed nonce, truncated Auth frame, submit-before-auth).
+# TYPE tcast_net_auth_failures_total counter
+tcast_net_auth_failures_total{conn="net/conn-0",generation="1"} 0
 # HELP tcast_net_reconnects_total Transport reconnects folded into this connection label.
 # TYPE tcast_net_reconnects_total counter
 tcast_net_reconnects_total{conn="net/conn-0",generation="1"} 1
@@ -1374,6 +1602,58 @@ tcast_net_io_threads{conn="net/conn-0",generation="1"} 0
             text.contains(r#"tcast_jobs_total{algorithm="od\"d\\label"} 1"#),
             "{text}"
         );
+    }
+
+    #[test]
+    fn tenant_sections_surface_only_with_tenant_activity() {
+        let m = MetricsRegistry::new();
+        m.record("x", &report(true, 4, 1), Duration::from_micros(100));
+
+        // No tenant activity: every dump matches the single-tenant
+        // schema byte for byte (no tenant section anywhere).
+        let plain = m.snapshot();
+        assert!(plain.tenant_rows.is_empty());
+        assert!(!plain.to_csv().contains("tenant"));
+        assert!(!plain.to_markdown().contains("tenant"));
+        assert!(!plain.to_prometheus().contains("tcast_tenant_"));
+
+        m.record_tenant_job("alice", Duration::from_micros(200));
+        m.record_tenant_job("alice", Duration::from_micros(400));
+        m.record_quota_rejections("bob", 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.tenant_rows.len(), 2);
+
+        // The tenant CSV section is schema-pinned: column names and
+        // number formatting are load-bearing for downstream parsing.
+        let csv = snap.to_csv();
+        let tenant_csv = csv
+            .split_once("\ntenant,")
+            .map(|(_, rest)| format!("tenant,{rest}"))
+            .expect("tenant section present");
+        assert_eq!(
+            tenant_csv,
+            "tenant,jobs,quota_rejections,mean_queue_wait_us,p50_queue_wait_us,\
+             p99_queue_wait_us,max_queue_wait_us\n\
+             alice,2,0,300.0,1000.0,1980.0,400.0\n\
+             bob,0,3,0.0,0.0,0.0,0.0\n"
+        );
+
+        let md = snap.to_markdown();
+        assert!(md.contains("| alice | 2 | 0 | 300.0 | 1000.0 | 1980.0 | 400.0 |"));
+        assert!(md.contains("| bob | 0 | 3 | - | 0.0 | 0.0 | - |"));
+
+        let prom = snap.to_prometheus();
+        for line in [
+            "tcast_tenant_jobs_total{tenant=\"alice\"} 2",
+            "tcast_tenant_jobs_total{tenant=\"bob\"} 0",
+            "tcast_tenant_quota_rejections_total{tenant=\"alice\"} 0",
+            "tcast_tenant_quota_rejections_total{tenant=\"bob\"} 3",
+            "tcast_tenant_queue_wait_microseconds{tenant=\"alice\",quantile=\"0.5\"} 1000.0",
+            "tcast_tenant_queue_wait_microseconds_sum{tenant=\"alice\"} 600.0",
+            "tcast_tenant_queue_wait_microseconds_count{tenant=\"alice\"} 2",
+        ] {
+            assert!(prom.contains(line), "missing {line:?} in:\n{prom}");
+        }
     }
 
     #[test]

@@ -2,26 +2,43 @@
 //!
 //! ## Architecture
 //!
-//! Submitted batches become [`WorkUnit`]s in a FIFO admission queue
-//! guarded by one `parking_lot` mutex. Workers claim jobs by bumping the
-//! unit's atomic claim index — work stealing over an index rather than
+//! Submitted batches become [`WorkUnit`]s in the admission queue guarded
+//! by one `parking_lot` mutex. Workers claim jobs by bumping the unit's
+//! atomic claim index — work stealing over an index rather than
 //! per-worker deques, which keeps claiming O(1) and makes job order
 //! irrelevant to results (each job carries its own seeds). Two condvars
 //! implement the bounded-queue protocol: `not_empty` parks idle workers,
 //! `not_full` parks producers once `queue_capacity` jobs are waiting.
+//!
+//! ## Scheduling
+//!
+//! Dequeue is per-tenant **deficit round robin**: each tenant owns a
+//! queue of units (three priority bands — see
+//! [`tcast_tenant::Priority`]), and a rotation of busy tenants is served
+//! in turns of `weight` jobs each. With a single tenant (every job on
+//! the default lane) the rotation has one entry and DRR degenerates to
+//! exactly the old strict-FIFO order, so single-tenant behavior — and
+//! every committed figure — is bit-identical to the pre-tenancy service.
+//!
+//! When a [`TenantRegistry`] is attached
+//! ([`QueryService::with_tenants`]), admission additionally charges each
+//! job's tenant quotas (token bucket + max in flight); a tenant over
+//! quota gets the batch back as [`SubmitError::QuotaExceeded`] without
+//! queueing anything.
 //!
 //! Each job runs under `catch_unwind`, so a panicking session surfaces as
 //! [`JobError::Panicked`] in its own slot without taking down the worker
 //! or the rest of the batch. Shutdown drains the queue: workers keep
 //! claiming until no unit remains, then exit.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use tcast_tenant::{Priority, TenantId, TenantRegistry};
 
 use crate::cache::SessionCache;
 use crate::job::{JobError, JobOutput, JobResult, QueryJob};
@@ -98,7 +115,31 @@ pub enum SubmitError {
     QueueFull(Vec<QueryJob>),
     /// The service is shutting down; contains the rejected jobs.
     Closed(Vec<QueryJob>),
+    /// A submitting tenant is over its quota (token-bucket rate or
+    /// max-in-flight cap); contains the rejected jobs. Nothing was
+    /// queued and nothing stays charged. Unlike `QueueFull`, blocking
+    /// admission does not wait this out — quota rejection is load
+    /// shedding, not backpressure.
+    QuotaExceeded(Vec<QueryJob>),
 }
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(jobs) => {
+                write!(f, "admission queue full ({} jobs rejected)", jobs.len())
+            }
+            SubmitError::Closed(jobs) => {
+                write!(f, "service is shut down ({} jobs rejected)", jobs.len())
+            }
+            SubmitError::QuotaExceeded(jobs) => {
+                write!(f, "tenant quota exceeded ({} jobs rejected)", jobs.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Completion hook invoked on the worker thread as each job of a watched
 /// batch finishes, with the job's index within its batch and its result.
@@ -233,9 +274,31 @@ impl WorkUnit {
     }
 }
 
+/// One tenant's slice of the admission queue: a unit queue per priority
+/// band plus the tenant's DRR deficit (claims left in the current
+/// rotation turn).
+struct TenantQueue {
+    bands: [VecDeque<Arc<WorkUnit>>; Priority::BANDS],
+    deficit: u32,
+}
+
+impl TenantQueue {
+    fn new(deficit: u32) -> Self {
+        Self {
+            bands: Default::default(),
+            deficit,
+        }
+    }
+}
+
 struct QueueState {
-    units: VecDeque<Arc<WorkUnit>>,
-    /// Jobs enqueued but not yet claimed by a worker.
+    /// Per-tenant queues, keyed by tenant id (`None` = the default
+    /// lane). A key is present exactly while the tenant has queued
+    /// units and is then also present in `rotation`.
+    queues: BTreeMap<Option<u32>, TenantQueue>,
+    /// Busy tenants in DRR service order; front is served next.
+    rotation: VecDeque<Option<u32>>,
+    /// Jobs enqueued but not yet claimed by a worker (all tenants).
     queued_jobs: usize,
     shutdown: bool,
 }
@@ -249,6 +312,20 @@ struct Inner {
     /// Optional LRU of finished reports, keyed by exact job identity;
     /// `None` when `ServiceConfig::session_cache` is 0.
     cache: Option<Mutex<SessionCache>>,
+    /// Tenant identities, weights, and quotas; `None` runs the service
+    /// single-tenant (every job on the default lane, no quotas).
+    tenants: Option<Arc<TenantRegistry>>,
+}
+
+impl Inner {
+    /// DRR weight of `key`: the registry's for a known tenant, 1 for
+    /// the default lane (and for any tenant when no registry is set).
+    fn weight_of(&self, key: Option<u32>) -> u32 {
+        match (key, &self.tenants) {
+            (Some(id), Some(reg)) => reg.weight(TenantId(id)),
+            _ => 1,
+        }
+    }
 }
 
 /// Handle to one batch of submitted jobs.
@@ -338,8 +415,20 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Starts the worker pool.
+    /// Starts the worker pool, single-tenant (no registry, no quotas).
     pub fn new(config: ServiceConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Starts the worker pool with a tenant registry: submissions from
+    /// registered tenants are quota-checked at admission and dequeued
+    /// weighted-fair; jobs on the default lane (no tenant) behave as in
+    /// a single-tenant service.
+    pub fn with_tenants(config: ServiceConfig, tenants: Arc<TenantRegistry>) -> Self {
+        Self::build(config, Some(tenants))
+    }
+
+    fn build(config: ServiceConfig, tenants: Option<Arc<TenantRegistry>>) -> Self {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -350,7 +439,8 @@ impl QueryService {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let inner = Arc::new(Inner {
             state: Mutex::new(QueueState {
-                units: VecDeque::new(),
+                queues: BTreeMap::new(),
+                rotation: VecDeque::new(),
                 queued_jobs: 0,
                 shutdown: false,
             }),
@@ -360,6 +450,7 @@ impl QueryService {
             metrics: Arc::new(MetricsRegistry::new()),
             cache: (config.session_cache > 0)
                 .then(|| Mutex::new(SessionCache::new(config.session_cache))),
+            tenants,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -393,6 +484,14 @@ impl QueryService {
         self.inner.metrics.clone()
     }
 
+    /// The tenant registry this service authenticates and schedules
+    /// against, when one was attached via
+    /// [`with_tenants`](Self::with_tenants). Front-ends use it to run
+    /// the Auth handshake.
+    pub fn tenant_registry(&self) -> Option<Arc<TenantRegistry>> {
+        self.inner.tenants.clone()
+    }
+
     /// Jobs enqueued but not yet claimed by a worker. A drain loop can
     /// poll this together with its own in-flight accounting to decide
     /// when the pool has gone quiet.
@@ -416,20 +515,54 @@ impl QueryService {
         jobs: Vec<QueryJob>,
         options: SubmitOptions,
     ) -> Result<Batch, SubmitError> {
-        self.enqueue(
-            jobs.into_iter().map(Payload::Query).collect(),
-            options.blocking,
-            options.watcher,
-        )
-        .map_err(Self::submit_error)
+        if let Some(reg) = &self.inner.tenants {
+            if let Err(tenant) = charge_quotas(reg, &jobs) {
+                self.inner
+                    .metrics
+                    .record_quota_rejections(reg.name_of(tenant), jobs.len() as u64);
+                tcast_obs::event_current("service.quota_rejected", &[("tenant", tenant.0 as u64)]);
+                return Err(SubmitError::QuotaExceeded(jobs));
+            }
+        }
+        // The batch's scheduling lane (tenant + priority band) comes
+        // from its first job; the network tier submits one job per
+        // batch, so mixed batches only arise from in-process callers.
+        let lane = jobs
+            .first()
+            .map_or((None, Priority::Normal), |j| (j.tenant, j.priority));
+        let result = self
+            .enqueue(
+                jobs.into_iter().map(Payload::Query).collect(),
+                options.blocking,
+                options.watcher,
+                lane,
+            )
+            .map_err(Self::submit_error);
+        if let (Err(err), Some(reg)) = (&result, &self.inner.tenants) {
+            // Rejected after admission: return the in-flight slots the
+            // quota charge took.
+            let jobs = match err {
+                SubmitError::QueueFull(jobs)
+                | SubmitError::Closed(jobs)
+                | SubmitError::QuotaExceeded(jobs) => jobs,
+            };
+            for job in jobs {
+                if let Some(t) = job.tenant {
+                    reg.release(t, 1);
+                }
+            }
+        }
+        result
     }
 
     /// Submits a batch of query jobs, blocking while the admission queue
     /// is over capacity (backpressure). Delegates to
-    /// [`submit_with`](Self::submit_with) with default options.
-    pub fn submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, ServiceClosed> {
+    /// [`submit_with`](Self::submit_with) with default options: the
+    /// possible errors are [`SubmitError::Closed`] and — when a tenant
+    /// registry is attached — [`SubmitError::QuotaExceeded`] (quota
+    /// rejection sheds load immediately rather than blocking).
+    pub fn submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, SubmitError> {
         self.submit_with(jobs, SubmitOptions::new())
-            .map_err(Self::closed_only)
     }
 
     /// Like [`submit`](Self::submit), additionally invoking `on_complete`
@@ -439,9 +572,8 @@ impl QueryService {
         &self,
         jobs: Vec<QueryJob>,
         on_complete: CompletionWatcher,
-    ) -> Result<Batch, ServiceClosed> {
+    ) -> Result<Batch, SubmitError> {
         self.submit_with(jobs, SubmitOptions::new().watched(on_complete))
-            .map_err(Self::closed_only)
     }
 
     /// Like [`try_submit`](Self::try_submit) with a completion callback.
@@ -464,16 +596,6 @@ impl QueryService {
     /// [`submit_with`](Self::submit_with).
     pub fn try_submit(&self, jobs: Vec<QueryJob>) -> Result<Batch, SubmitError> {
         self.submit_with(jobs, SubmitOptions::new().nonblocking())
-    }
-
-    /// Collapses a blocking submission's error: with backpressure enabled
-    /// the queue can never be observed full, so only `Closed` remains.
-    fn closed_only(err: SubmitError) -> ServiceClosed {
-        debug_assert!(
-            matches!(err, SubmitError::Closed(_)),
-            "blocking admission cannot see a full queue"
-        );
-        ServiceClosed
     }
 
     fn submit_error((payloads, closed): (Vec<Payload>, bool)) -> SubmitError {
@@ -506,7 +628,7 @@ impl QueryService {
                 task,
             })
             .collect();
-        self.enqueue(payloads, true, None)
+        self.enqueue(payloads, true, None, (None, Priority::Normal))
             .map_err(|_| ServiceClosed)
     }
 
@@ -515,11 +637,13 @@ impl QueryService {
         payloads: Vec<Payload>,
         block: bool,
         watcher: Option<CompletionWatcher>,
+        lane: (Option<TenantId>, Priority),
     ) -> Result<Batch, (Vec<Payload>, bool)> {
         let unit = WorkUnit::new(payloads, watcher);
         if unit.len() == 0 {
             return Ok(Batch { unit });
         }
+        let key = lane.0.map(|t| t.0);
         let mut st = self.inner.state.lock();
         loop {
             if st.shutdown {
@@ -538,7 +662,17 @@ impl QueryService {
             self.inner.not_full.wait(&mut st);
         }
         st.queued_jobs += unit.len();
-        st.units.push_back(unit.clone());
+        let weight = self.inner.weight_of(key);
+        let QueueState {
+            queues, rotation, ..
+        } = &mut *st;
+        let queue = queues.entry(key).or_insert_with(|| {
+            // A newly busy tenant joins the back of the rotation with a
+            // full turn's worth of deficit.
+            rotation.push_back(key);
+            TenantQueue::new(weight)
+        });
+        queue.bands[lane.1.band()].push_back(unit.clone());
         drop(st);
         self.inner.not_empty.notify_all();
         Ok(Batch { unit })
@@ -570,6 +704,31 @@ impl Drop for QueryService {
     }
 }
 
+/// Charges each job's tenant quotas (grouped per tenant, so a batch is
+/// admitted or rejected atomically). On any rejection the charges
+/// already taken are refunded and the offending tenant is reported.
+/// Jobs on the default lane (no tenant) are never charged.
+fn charge_quotas(reg: &TenantRegistry, jobs: &[QueryJob]) -> Result<(), TenantId> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for job in jobs {
+        if let Some(t) = job.tenant {
+            *counts.entry(t.0).or_default() += 1;
+        }
+    }
+    let mut charged: Vec<(TenantId, usize)> = Vec::new();
+    for (&id, &n) in &counts {
+        let id = TenantId(id);
+        if reg.admit(id, n).is_err() {
+            for (done, m) in charged {
+                reg.release(done, m);
+            }
+            return Err(id);
+        }
+        charged.push((id, n));
+    }
+    Ok(())
+}
+
 /// Pulls the payloads back out of a never-enqueued unit (submit rejected).
 fn take_payloads(unit: &WorkUnit) -> Vec<Payload> {
     unit.slots
@@ -583,29 +742,70 @@ fn worker_loop(inner: &Inner) {
         let claimed = {
             let mut st = inner.state.lock();
             loop {
-                if let Some(front) = st.units.front() {
-                    let i = front.next.fetch_add(1, Ordering::Relaxed);
-                    if i < front.len() {
-                        let unit = front.clone();
-                        if i + 1 == unit.len() {
-                            st.units.pop_front();
-                        }
+                match claim_drr(inner, &mut st) {
+                    Some(claim) => {
                         st.queued_jobs -= 1;
                         inner.not_full.notify_all();
-                        break Some((unit, i));
+                        break Some(claim);
                     }
-                    // Exhausted unit (all slots claimed): drop and rescan.
-                    st.units.pop_front();
-                    continue;
+                    None => {
+                        if st.shutdown {
+                            break None;
+                        }
+                        inner.not_empty.wait(&mut st);
+                    }
                 }
-                if st.shutdown {
-                    break None;
-                }
-                inner.not_empty.wait(&mut st);
             }
         };
         let Some((unit, index)) = claimed else { return };
         execute(inner, &unit, index);
+    }
+}
+
+/// Claims the next job under deficit round robin (caller holds the
+/// state lock). The tenant at the rotation front is served from its
+/// most-urgent non-empty band; each claim spends one unit of the
+/// tenant's deficit and an exhausted deficit recharges to the tenant's
+/// weight and sends it to the back of the rotation. A tenant whose
+/// bands drain completely is retired from the rotation (and re-joins on
+/// its next submit). With one busy tenant this is exactly strict FIFO.
+fn claim_drr(inner: &Inner, st: &mut QueueState) -> Option<(Arc<WorkUnit>, usize)> {
+    loop {
+        let key = *st.rotation.front()?;
+        let queue = st.queues.get_mut(&key).expect("rotation tracks queues");
+        let mut claimed = None;
+        'bands: for band in queue.bands.iter_mut() {
+            while let Some(front) = band.front() {
+                let i = front.next.fetch_add(1, Ordering::Relaxed);
+                if i < front.len() {
+                    let unit = front.clone();
+                    if i + 1 == unit.len() {
+                        band.pop_front();
+                    }
+                    claimed = Some((unit, i));
+                    break 'bands;
+                }
+                // Exhausted unit (all slots claimed): drop and rescan.
+                band.pop_front();
+            }
+        }
+        match claimed {
+            Some(claim) => {
+                queue.deficit = queue.deficit.saturating_sub(1);
+                if queue.deficit == 0 {
+                    queue.deficit = inner.weight_of(key);
+                    st.rotation.pop_front();
+                    st.rotation.push_back(key);
+                }
+                return Some(claim);
+            }
+            None => {
+                // Every band drained: retire the tenant until it
+                // submits again.
+                st.queues.remove(&key);
+                st.rotation.pop_front();
+            }
+        }
     }
 }
 
@@ -622,11 +822,18 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
             // the deadline check and the trace agree on the number.
             let queue_wait = unit.submitted_at.elapsed();
             let queue_wait_us = queue_wait.as_micros() as u64;
-            let span = tcast_obs::Span::enter_fields(
-                job.trace,
-                "service.execute",
-                &[("queue_wait_us", queue_wait_us)],
-            );
+            let span = match job.tenant {
+                Some(t) => tcast_obs::Span::enter_fields(
+                    job.trace,
+                    "service.execute",
+                    &[("queue_wait_us", queue_wait_us), ("tenant", t.0 as u64)],
+                ),
+                None => tcast_obs::Span::enter_fields(
+                    job.trace,
+                    "service.execute",
+                    &[("queue_wait_us", queue_wait_us)],
+                ),
+            };
             span.event("service.queue_wait", &[("us", queue_wait_us)]);
             let expired = job.deadline.is_some_and(|d| queue_wait > d);
             let result = if expired {
@@ -641,6 +848,15 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
             } else {
                 run_query(inner, &label, &job)
             };
+            if let (Some(tenant), Some(reg)) = (job.tenant, &inner.tenants) {
+                // The quota charge taken at admission is returned here,
+                // whatever the outcome — in-flight means admitted and
+                // not yet completed.
+                reg.release(tenant, 1);
+                inner
+                    .metrics
+                    .record_tenant_job(reg.name_of(tenant), queue_wait);
+            }
             (label, result)
         }
         Payload::Custom { label, task } => {
@@ -807,7 +1023,10 @@ mod tests {
             let mut st = inner.state.lock();
             st.shutdown = true;
         }
-        assert!(matches!(service.submit(vec![job(0)]), Err(ServiceClosed)));
+        assert!(matches!(
+            service.submit(vec![job(0)]),
+            Err(SubmitError::Closed(_))
+        ));
     }
 
     #[test]
@@ -1061,5 +1280,220 @@ mod tests {
             assert!(row.queries > 0, "{} issued no queries", row.label);
             assert_eq!(row.verdict_yes, 1, "{} x=20 >= t=8", row.label);
         }
+    }
+
+    use tcast_tenant::TenantSpec;
+
+    /// A single-worker tenanted service whose worker is parked inside a
+    /// gate task, plus the channel that releases it. Everything submitted
+    /// while the gate is held queues up behind it, so dequeue order is
+    /// fully determined by the scheduler — no racing the worker.
+    fn gated_service(
+        registry: TenantRegistry,
+    ) -> (QueryService, Batch, std::sync::mpsc::Sender<()>) {
+        let service =
+            QueryService::with_tenants(ServiceConfig::with_workers(1), Arc::new(registry));
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let gate: Box<dyn FnOnce() -> JobOutput + Send> = Box::new(move || {
+            started_tx.send(()).ok();
+            release_rx.recv().ok();
+            JobOutput::Value(0.0)
+        });
+        let gate_batch = service.submit_tasks("gate", vec![gate]).unwrap();
+        started_rx.recv().expect("gate task reached the worker");
+        (service, gate_batch, release_tx)
+    }
+
+    /// Tags completions in arrival order; each submitted job carries its
+    /// own tag through a watcher.
+    type Order = Arc<parking_lot::Mutex<Vec<&'static str>>>;
+
+    fn submit_tagged(
+        service: &QueryService,
+        job: QueryJob,
+        tag: &'static str,
+        order: &Order,
+    ) -> Batch {
+        let order = order.clone();
+        service
+            .submit_watched(vec![job], Arc::new(move |_, _| order.lock().push(tag)))
+            .unwrap()
+    }
+
+    #[test]
+    fn weighted_drr_interleaves_tenants_by_weight() {
+        let mut registry = TenantRegistry::new();
+        let a = registry.register(TenantSpec::new("a", b"ka"));
+        let b = registry.register(TenantSpec::new("b", b"kb").weight(2));
+        let (service, gate_batch, release) = gated_service(registry);
+        let order: Order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        // Queue 3 jobs for weight-1 tenant a, then 6 for weight-2
+        // tenant b, while the single worker is parked in the gate.
+        let mut batches = Vec::new();
+        for (i, tag) in [(1u64, "a1"), (2, "a2"), (3, "a3")] {
+            batches.push(submit_tagged(&service, job(i).with_tenant(a), tag, &order));
+        }
+        for (i, tag) in [
+            (11u64, "b1"),
+            (12, "b2"),
+            (13, "b3"),
+            (14, "b4"),
+            (15, "b5"),
+            (16, "b6"),
+        ] {
+            batches.push(submit_tagged(&service, job(i).with_tenant(b), tag, &order));
+        }
+        release.send(()).unwrap();
+        gate_batch.wait();
+        for batch in batches {
+            batch.wait();
+        }
+
+        // Deficit round robin with weights 1:2 — a gets one claim per
+        // turn, b gets two, and b's surplus runs off the end once a
+        // drains.
+        assert_eq!(
+            *order.lock(),
+            vec!["a1", "b1", "b2", "a2", "b3", "b4", "a3", "b5", "b6"]
+        );
+    }
+
+    #[test]
+    fn priority_bands_reorder_within_a_tenant() {
+        let mut registry = TenantRegistry::new();
+        let t = registry.register(TenantSpec::new("t", b"kt"));
+        let (service, gate_batch, release) = gated_service(registry);
+        let order: Order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        let batches = vec![
+            submit_tagged(
+                &service,
+                job(1).with_tenant(t).with_priority(Priority::Low),
+                "low",
+                &order,
+            ),
+            submit_tagged(&service, job(2).with_tenant(t), "normal", &order),
+            submit_tagged(
+                &service,
+                job(3).with_tenant(t).with_priority(Priority::High),
+                "high",
+                &order,
+            ),
+        ];
+        release.send(()).unwrap();
+        gate_batch.wait();
+        for batch in batches {
+            batch.wait();
+        }
+
+        assert_eq!(*order.lock(), vec!["high", "normal", "low"]);
+    }
+
+    #[test]
+    fn default_lane_stays_strict_fifo() {
+        // Untenanted jobs all share the default lane; with one busy
+        // lane, DRR degenerates to exactly the old FIFO order.
+        let registry = TenantRegistry::new();
+        let (service, gate_batch, release) = gated_service(registry);
+        let order: Order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let batches: Vec<Batch> = [(1u64, "j1"), (2, "j2"), (3, "j3"), (4, "j4")]
+            .into_iter()
+            .map(|(i, tag)| submit_tagged(&service, job(i), tag, &order))
+            .collect();
+        release.send(()).unwrap();
+        gate_batch.wait();
+        for batch in batches {
+            batch.wait();
+        }
+        assert_eq!(*order.lock(), vec!["j1", "j2", "j3", "j4"]);
+    }
+
+    #[test]
+    fn max_in_flight_quota_rejects_and_recovers() {
+        let mut registry = TenantRegistry::new();
+        let t = registry.register(TenantSpec::new("t", b"kt").max_in_flight(2));
+        let service =
+            QueryService::with_tenants(ServiceConfig::with_workers(1), Arc::new(registry));
+
+        // A 3-job batch cannot fit under the 2-slot cap; the jobs come
+        // back in the error, and the charge is rolled back in full.
+        let jobs: Vec<QueryJob> = (1..=3).map(|i| job(i).with_tenant(t)).collect();
+        match service.submit(jobs.clone()) {
+            Err(SubmitError::QuotaExceeded(returned)) => assert_eq!(returned, jobs),
+            Err(e) => panic!("expected QuotaExceeded, got {e:?}"),
+            Ok(_) => panic!("expected QuotaExceeded, got acceptance"),
+        }
+
+        // Two jobs fit; once they complete their slots free up and the
+        // next two are admitted — completion releases in-flight charges.
+        service
+            .submit((1..=2).map(|i| job(i).with_tenant(t)).collect())
+            .unwrap()
+            .wait();
+        service
+            .submit((3..=4).map(|i| job(i).with_tenant(t)).collect())
+            .unwrap()
+            .wait();
+
+        let snap = service.metrics();
+        let row = snap.tenant_rows.iter().find(|r| r.tenant == "t").unwrap();
+        assert_eq!(row.jobs, 4);
+        assert_eq!(row.quota_rejections, 3);
+    }
+
+    #[test]
+    fn token_bucket_quota_sheds_bursts() {
+        // Zero refill, burst 2: exactly two jobs ever pass admission.
+        let mut registry = TenantRegistry::new();
+        let t = registry.register(TenantSpec::new("t", b"kt").rate(0.0, 2.0));
+        let service =
+            QueryService::with_tenants(ServiceConfig::with_workers(1), Arc::new(registry));
+
+        service
+            .submit((1..=2).map(|i| job(i).with_tenant(t)).collect())
+            .unwrap()
+            .wait();
+        match service.submit(vec![job(3).with_tenant(t)]) {
+            Err(SubmitError::QuotaExceeded(_)) => {}
+            Err(e) => panic!("expected QuotaExceeded, got {e:?}"),
+            Ok(_) => panic!("expected QuotaExceeded, got acceptance"),
+        }
+        let snap = service.metrics();
+        let row = snap.tenant_rows.iter().find(|r| r.tenant == "t").unwrap();
+        assert_eq!((row.jobs, row.quota_rejections), (2, 1));
+    }
+
+    #[test]
+    fn tenanted_reports_are_bit_identical_to_the_plain_service() {
+        // The tentpole invariant: tenancy is pure scheduling. The same
+        // jobs through a tenanted service (weights, quotas, priority
+        // bands in play) produce byte-for-byte the reports the plain
+        // FIFO service produces.
+        let plain = QueryService::new(ServiceConfig::with_workers(2));
+        let plain_reports = reports(plain.submit((0..16).map(job).collect()).unwrap().wait());
+
+        let mut registry = TenantRegistry::new();
+        let a = registry.register(TenantSpec::new("a", b"ka"));
+        let b = registry.register(TenantSpec::new("b", b"kb").weight(3));
+        let tenanted =
+            QueryService::with_tenants(ServiceConfig::with_workers(2), Arc::new(registry));
+        let jobs: Vec<QueryJob> = (0..16)
+            .map(|i| {
+                let tenant = if i % 2 == 0 { a } else { b };
+                let priority = match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                };
+                job(i).with_tenant(tenant).with_priority(priority)
+            })
+            .collect();
+        let mut tenanted_reports = Vec::new();
+        for j in jobs {
+            tenanted_reports.extend(reports(tenanted.submit(vec![j]).unwrap().wait()));
+        }
+        assert_eq!(plain_reports, tenanted_reports);
     }
 }

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # tcast-tenant — multi-tenant serving primitives
+//!
+//! Serving threshold queries to millions of users means serving
+//! *competing* users: tenants that must be identified, rate-limited,
+//! and isolated from each other's load. This crate holds the
+//! tenant-facing building blocks, std-only so every tier can depend on
+//! it:
+//!
+//! * **Identity & authentication** — a keyed [`TenantRegistry`] that
+//!   verifies an HMAC-SHA-256 ([`hmac`], implemented from spec — no
+//!   registry access in this build environment) over a server-issued
+//!   nonce. The wire handshake lives in `tcast-net`; this crate only
+//!   answers "does this MAC verify?" and never trusts a tenant id off
+//!   the wire.
+//! * **Quotas** — per-tenant token-bucket admission
+//!   ([`TenantSpec::rate`]) and max-in-flight caps
+//!   ([`TenantSpec::max_in_flight`]), charged by
+//!   [`TenantRegistry::admit`] / returned by
+//!   [`TenantRegistry::release`].
+//! * **Fair-share metadata** — per-tenant weights
+//!   ([`TenantSpec::weight`]) for the service's deficit-round-robin
+//!   dequeue, and [`Priority`] classes carried on jobs end-to-end.
+//!
+//! The scheduling itself lives in `tcast-service` (the queue),
+//! `tcast-net` (the handshake), and `tcast-experiments` (figures);
+//! the starvation-freedom test in `tests/fairness.rs` drives a real
+//! service through this crate's types.
+
+pub mod hmac;
+mod registry;
+
+pub use hmac::{constant_time_eq, hmac_sha256, sha256, Sha256};
+pub use registry::{
+    auth_mac, AuthFailure, Priority, QuotaError, RateLimit, TenantId, TenantRegistry, TenantSpec,
+};

@@ -1,0 +1,494 @@
+//! Tenant identity, quotas, and the keyed registry.
+//!
+//! A [`TenantRegistry`] is built once at service construction and then
+//! shared immutably (buckets and in-flight counters use interior
+//! mutability). It answers three questions:
+//!
+//! 1. **Who is this?** [`TenantRegistry::verify`] checks an
+//!    HMAC-SHA-256 over a server-issued nonce against the tenant's
+//!    registered key.
+//! 2. **May they submit right now?** [`TenantRegistry::admit`] charges
+//!    a token bucket (sustained rate + burst) and a max-in-flight cap;
+//!    [`TenantRegistry::release`] returns in-flight slots on
+//!    completion.
+//! 3. **How much service do they get?** [`TenantRegistry::weight`]
+//!    feeds the service's deficit-round-robin dequeue.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::hmac::{constant_time_eq, hmac_sha256};
+
+/// Opaque tenant identity: an index into the registry, stamped onto
+/// jobs by the tier that authenticated the connection. The wire never
+/// carries it — a client cannot claim a tenant it did not prove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Priority class carried on a job end-to-end. Within one tenant's
+/// queue, higher classes dequeue first; priorities never let one
+/// tenant preempt another (fairness across tenants is by weight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Served before `Normal` and `Low` within the tenant.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Served only when no `High`/`Normal` work is queued.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority bands.
+    pub const BANDS: usize = 3;
+
+    /// Band index (0 = most urgent) — used to pick a per-tenant queue.
+    pub fn band(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Stable single-byte wire encoding.
+    pub fn to_wire_tag(self) -> u8 {
+        self.band() as u8
+    }
+
+    /// Inverse of [`Priority::to_wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::High => write!(f, "high"),
+            Priority::Normal => write!(f, "normal"),
+            Priority::Low => write!(f, "low"),
+        }
+    }
+}
+
+/// Sustained-rate limit for a tenant's token bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Tokens added per second (one job costs one token).
+    pub per_sec: f64,
+    /// Bucket capacity: how far a tenant may burst above the rate.
+    pub burst: f64,
+}
+
+/// Declarative description of one tenant, built fluently:
+///
+/// ```
+/// use tcast_tenant::TenantSpec;
+/// let spec = TenantSpec::new("acme", b"secret-key")
+///     .weight(3)
+///     .rate(100.0, 20.0)
+///     .max_in_flight(64);
+/// assert_eq!(spec.weight, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Wire-visible tenant name, presented during the Auth handshake.
+    pub name: String,
+    /// Shared HMAC key (any length; hashed down if over one block).
+    pub key: Vec<u8>,
+    /// Deficit-round-robin weight; the fraction of service a busy
+    /// tenant receives is `weight / Σ weights of busy tenants`.
+    pub weight: u32,
+    /// Token-bucket admission rate; `None` = unlimited.
+    pub rate: Option<RateLimit>,
+    /// Max jobs admitted but not yet completed; `None` = unlimited.
+    pub max_in_flight: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with default weight 1 and no quotas.
+    pub fn new(name: impl Into<String>, key: impl Into<Vec<u8>>) -> Self {
+        Self {
+            name: name.into(),
+            key: key.into(),
+            weight: 1,
+            rate: None,
+            max_in_flight: None,
+        }
+    }
+
+    /// Sets the fair-share weight (clamped to at least 1).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Sets a token-bucket rate limit of `per_sec` jobs/second with
+    /// room to burst `burst` jobs above it.
+    pub fn rate(mut self, per_sec: f64, burst: f64) -> Self {
+        self.rate = Some(RateLimit { per_sec, burst });
+        self
+    }
+
+    /// Caps the number of admitted-but-incomplete jobs.
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = Some(max);
+        self
+    }
+}
+
+/// Why [`TenantRegistry::verify`] rejected a handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthFailure {
+    /// No tenant registered under the presented name.
+    UnknownTenant,
+    /// The MAC did not verify under the tenant's key (wrong key, or a
+    /// nonce replayed from a different connection).
+    BadMac,
+}
+
+impl fmt::Display for AuthFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthFailure::UnknownTenant => write!(f, "unknown tenant"),
+            AuthFailure::BadMac => write!(f, "MAC verification failed"),
+        }
+    }
+}
+
+/// Why [`TenantRegistry::admit`] turned jobs away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaError {
+    /// The token bucket is empty: the tenant is over its sustained
+    /// submission rate.
+    RateLimited,
+    /// The tenant already has its maximum number of jobs in flight.
+    TooManyInFlight,
+}
+
+impl fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotaError::RateLimited => write!(f, "submission rate quota exceeded"),
+            QuotaError::TooManyInFlight => write!(f, "max in-flight jobs exceeded"),
+        }
+    }
+}
+
+/// Token bucket with continuous refill.
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    bucket: Option<Mutex<Bucket>>,
+    in_flight: AtomicUsize,
+}
+
+/// Keyed tenant registry: identities, quotas, and weights. Built with
+/// [`TenantRegistry::register`] calls at setup, then shared behind an
+/// `Arc` — all runtime operations take `&self`.
+pub struct TenantRegistry {
+    tenants: Vec<TenantState>,
+    by_name: HashMap<String, u32>,
+    nonce_seed: RandomState,
+    nonce_counter: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for TenantRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for TenantRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantRegistry")
+            .field("tenants", &self.tenants.len())
+            .finish()
+    }
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            tenants: Vec::new(),
+            by_name: HashMap::new(),
+            nonce_seed: RandomState::new(),
+            nonce_counter: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Registers `spec` and returns its id. Re-registering a name
+    /// replaces the earlier spec (same id, fresh quota state).
+    pub fn register(&mut self, spec: TenantSpec) -> TenantId {
+        let bucket = spec.rate.map(|r| {
+            Mutex::new(Bucket {
+                tokens: r.burst.max(1.0),
+                last_refill: Instant::now(),
+            })
+        });
+        let state = TenantState {
+            spec,
+            bucket,
+            in_flight: AtomicUsize::new(0),
+        };
+        if let Some(&id) = self.by_name.get(&state.spec.name) {
+            self.tenants[id as usize] = state;
+            return TenantId(id);
+        }
+        let id = self.tenants.len() as u32;
+        self.by_name.insert(state.spec.name.clone(), id);
+        self.tenants.push(state);
+        TenantId(id)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Looks a tenant up by wire name.
+    pub fn lookup(&self, name: &str) -> Option<TenantId> {
+        self.by_name.get(name).copied().map(TenantId)
+    }
+
+    /// The registered name of `id`, or `"?"` for a foreign id.
+    pub fn name_of(&self, id: TenantId) -> &str {
+        self.tenants
+            .get(id.0 as usize)
+            .map(|t| t.spec.name.as_str())
+            .unwrap_or("?")
+    }
+
+    /// The fair-share weight of `id` (1 for unknown ids).
+    pub fn weight(&self, id: TenantId) -> u32 {
+        self.tenants
+            .get(id.0 as usize)
+            .map(|t| t.spec.weight)
+            .unwrap_or(1)
+    }
+
+    /// A fresh, unpredictable 16-byte handshake nonce. Uniqueness comes
+    /// from a process-wide counter; unpredictability from a per-process
+    /// random hasher seed mixed with a monotonic clock.
+    pub fn fresh_nonce(&self) -> [u8; 16] {
+        let n = self.nonce_counter.fetch_add(1, Ordering::Relaxed);
+        let t = self.epoch.elapsed().as_nanos() as u64;
+        let mut out = [0u8; 16];
+        for (half, tweak) in [(0usize, 0x9e37u64), (8, 0x79b9)] {
+            let mut h = self.nonce_seed.build_hasher();
+            h.write_u64(n ^ tweak);
+            h.write_u64(t);
+            out[half..half + 8].copy_from_slice(&h.finish().to_be_bytes());
+        }
+        out
+    }
+
+    /// Verifies an Auth presentation: `mac` must equal
+    /// `HMAC-SHA-256(key, nonce ‖ name)` under the named tenant's key.
+    /// Comparison is constant-time.
+    pub fn verify(&self, name: &str, nonce: &[u8], mac: &[u8]) -> Result<TenantId, AuthFailure> {
+        let id = self.lookup(name).ok_or(AuthFailure::UnknownTenant)?;
+        let expected = auth_mac(&self.tenants[id.0 as usize].spec.key, nonce, name);
+        if constant_time_eq(&expected, mac) {
+            Ok(id)
+        } else {
+            Err(AuthFailure::BadMac)
+        }
+    }
+
+    /// Charges `jobs` jobs against `id`'s quotas: the token bucket
+    /// first, then the in-flight cap. On success the caller owes a
+    /// matching [`TenantRegistry::release`] when the jobs complete;
+    /// on failure nothing is charged.
+    pub fn admit(&self, id: TenantId, jobs: usize) -> Result<(), QuotaError> {
+        let Some(state) = self.tenants.get(id.0 as usize) else {
+            return Ok(());
+        };
+        if let Some(bucket) = &state.bucket {
+            let rate = state.spec.rate.expect("bucket implies rate");
+            let mut b = bucket.lock().expect("bucket lock poisoned");
+            let now = Instant::now();
+            let elapsed = now.duration_since(b.last_refill).as_secs_f64();
+            b.tokens = (b.tokens + elapsed * rate.per_sec).min(rate.burst.max(1.0));
+            b.last_refill = now;
+            if b.tokens < jobs as f64 {
+                return Err(QuotaError::RateLimited);
+            }
+            b.tokens -= jobs as f64;
+        }
+        if let Some(max) = state.spec.max_in_flight {
+            let prev = state.in_flight.fetch_add(jobs, Ordering::AcqRel);
+            if prev + jobs > max {
+                state.in_flight.fetch_sub(jobs, Ordering::AcqRel);
+                // Refund the tokens the bucket already charged.
+                if let (Some(bucket), Some(rate)) = (&state.bucket, state.spec.rate) {
+                    let mut b = bucket.lock().expect("bucket lock poisoned");
+                    b.tokens = (b.tokens + jobs as f64).min(rate.burst.max(1.0));
+                }
+                return Err(QuotaError::TooManyInFlight);
+            }
+        } else {
+            state.in_flight.fetch_add(jobs, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// Returns `jobs` in-flight slots to `id` (on completion or on a
+    /// post-admission submit failure).
+    pub fn release(&self, id: TenantId, jobs: usize) {
+        if let Some(state) = self.tenants.get(id.0 as usize) {
+            let mut current = state.in_flight.load(Ordering::Acquire);
+            loop {
+                let next = current.saturating_sub(jobs);
+                match state.in_flight.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+    }
+
+    /// Jobs currently admitted but not yet released for `id`.
+    pub fn in_flight(&self, id: TenantId) -> usize {
+        self.tenants
+            .get(id.0 as usize)
+            .map(|t| t.in_flight.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+}
+
+/// The MAC a client presents to authenticate: HMAC-SHA-256 over the
+/// server nonce concatenated with the tenant's wire name.
+pub fn auth_mac(key: &[u8], nonce: &[u8], name: &str) -> [u8; 32] {
+    let mut msg = Vec::with_capacity(nonce.len() + name.len());
+    msg.extend_from_slice(nonce);
+    msg.extend_from_slice(name.as_bytes());
+    hmac_sha256(key, &msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_accepts_the_right_mac_and_rejects_forgeries() {
+        let mut reg = TenantRegistry::new();
+        reg.register(TenantSpec::new("acme", b"k1"));
+        let nonce = reg.fresh_nonce();
+        let good = auth_mac(b"k1", &nonce, "acme");
+        assert_eq!(reg.verify("acme", &nonce, &good), Ok(TenantId(0)));
+        let wrong_key = auth_mac(b"k2", &nonce, "acme");
+        assert_eq!(
+            reg.verify("acme", &nonce, &wrong_key),
+            Err(AuthFailure::BadMac)
+        );
+        assert_eq!(
+            reg.verify("ghost", &nonce, &good),
+            Err(AuthFailure::UnknownTenant)
+        );
+        // A MAC over one nonce fails under a fresh nonce (replay).
+        let other = reg.fresh_nonce();
+        assert_ne!(nonce, other);
+        assert_eq!(reg.verify("acme", &other, &good), Err(AuthFailure::BadMac));
+    }
+
+    #[test]
+    fn in_flight_cap_admits_and_releases() {
+        let mut reg = TenantRegistry::new();
+        let id = reg.register(TenantSpec::new("acme", b"k").max_in_flight(3));
+        assert_eq!(reg.admit(id, 2), Ok(()));
+        assert_eq!(reg.admit(id, 2), Err(QuotaError::TooManyInFlight));
+        assert_eq!(reg.in_flight(id), 2);
+        assert_eq!(reg.admit(id, 1), Ok(()));
+        reg.release(id, 3);
+        assert_eq!(reg.in_flight(id), 0);
+        assert_eq!(reg.admit(id, 3), Ok(()));
+    }
+
+    #[test]
+    fn token_bucket_limits_burst_and_refills() {
+        let mut reg = TenantRegistry::new();
+        // 1000 jobs/s sustained, burst of 2.
+        let id = reg.register(TenantSpec::new("acme", b"k").rate(1000.0, 2.0));
+        assert_eq!(reg.admit(id, 2), Ok(()));
+        assert_eq!(reg.admit(id, 1), Err(QuotaError::RateLimited));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(reg.admit(id, 1), Ok(()));
+    }
+
+    #[test]
+    fn in_flight_failure_refunds_bucket_tokens() {
+        let mut reg = TenantRegistry::new();
+        let id = reg.register(
+            TenantSpec::new("acme", b"k")
+                .rate(0.0, 2.0)
+                .max_in_flight(1),
+        );
+        assert_eq!(reg.admit(id, 2), Err(QuotaError::TooManyInFlight));
+        // The two tokens taken by the failed admit were refunded: a
+        // one-job admit still fits the bucket (rate 0 ⇒ no refill).
+        assert_eq!(reg.admit(id, 1), Ok(()));
+    }
+
+    #[test]
+    fn weights_default_to_one() {
+        let mut reg = TenantRegistry::new();
+        let a = reg.register(TenantSpec::new("a", b"k").weight(4));
+        let b = reg.register(TenantSpec::new("b", b"k"));
+        assert_eq!(reg.weight(a), 4);
+        assert_eq!(reg.weight(b), 1);
+        assert_eq!(reg.weight(TenantId(99)), 1);
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let reg = TenantRegistry::new();
+        let a = reg.fresh_nonce();
+        let b = reg.fresh_nonce();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn priority_wire_tags_roundtrip() {
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(Priority::from_wire_tag(p.to_wire_tag()), Some(p));
+        }
+        assert_eq!(Priority::from_wire_tag(3), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

@@ -90,6 +90,7 @@ fn main() {
                 batches.push(batch);
             }
             Err(SubmitError::Closed(_)) => unreachable!("service not shut down"),
+            Err(SubmitError::QuotaExceeded(_)) => unreachable!("no tenant registry configured"),
         }
     }
     println!("queue pushed back on {rejected_bursts} bursts (blocking submit took over)");
