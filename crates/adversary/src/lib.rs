@@ -28,7 +28,7 @@
 //!
 //! ```
 //! use tcast::{AdversaryConfig, AdversaryModel, ChannelSpec, CollisionModel,
-//!             DefensePolicy, RunOptions, ThresholdQuerier, TwoTBins, population};
+//!             DefensePolicy, ExecutionProfile, ThresholdQuerier, TwoTBins, population};
 //! use rand::rngs::SmallRng;
 //! use rand::SeedableRng;
 //!
@@ -42,7 +42,7 @@
 //! let mut rng = SmallRng::seed_from_u64(42);
 //! let report = TwoTBins.run_with_options(
 //!     &population(128), 16, &mut channel, &mut rng,
-//!     RunOptions::new().with_defense(spec.defense));
+//!     ExecutionProfile::new().with_defense(spec.defense).options());
 //! assert!(report.anomalies > 0, "the canary catches an always-on jammer");
 //! ```
 

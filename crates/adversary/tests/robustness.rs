@@ -7,7 +7,8 @@ use rand::SeedableRng;
 
 use tcast::{
     population, Abns, AdversaryConfig, AdversaryModel, ChannelSpec, CollisionModel, DefensePolicy,
-    ExpIncrease, QueryReport, RetryPolicy, RunOptions, ThresholdQuerier, TwoTBins,
+    ExecutionProfile, ExpIncrease, QueryReport, RetryPolicy, RunOptions, ThresholdQuerier,
+    TwoTBins,
 };
 
 const N: usize = 64;
@@ -57,7 +58,9 @@ fn verified_retries_outlast_a_bounded_silence_budget() {
     // consecutive silent probes. A budget-B adversary cannot sustain the
     // lie once max_retries >= B: the budget drains and the truth lands.
     let budget = 2u64;
-    let options = RunOptions::retrying(RetryPolicy::verified(2));
+    let options = ExecutionProfile::new()
+        .with_retry(RetryPolicy::verified(2))
+        .options();
     for algorithm in [
         &TwoTBins as &dyn ThresholdQuerier,
         &ExpIncrease::default(),
@@ -86,8 +89,10 @@ fn hardened_defenses_keep_reports_consistent_under_every_model() {
     // The accounting invariant (queries == first-pass + retries + defenses)
     // must hold with canary, activity-confirmation, and verdict-confirmation
     // all active, whatever the adversary does to the observations.
-    let options =
-        RunOptions::retrying(RetryPolicy::verified(2)).with_defense(DefensePolicy::hardened());
+    let options = ExecutionProfile::new()
+        .with_retry(RetryPolicy::verified(2))
+        .with_defense(DefensePolicy::hardened())
+        .options();
     for model in [
         AdversaryModel::FalseResponders { count: 3 },
         AdversaryModel::Colluders { size: T as u32 - 1 },
@@ -119,7 +124,9 @@ fn canary_flags_a_full_duty_jammer_every_round() {
         let r = run(
             &TwoTBins,
             AdversaryModel::Jammer { duty_mille: 1000 },
-            RunOptions::new().with_defense(DefensePolicy::hardened()),
+            ExecutionProfile::new()
+                .with_defense(DefensePolicy::hardened())
+                .options(),
             seed,
         );
         r.assert_consistent();
@@ -133,8 +140,10 @@ fn defended_verdicts_are_exact_against_a_bounded_drop_adversary() {
     // Acceptance-style check at small scale: with permutation (inherent),
     // verified retries, and confirmation rounds, a non-colluding bounded
     // adversary can no longer flip any exact algorithm's verdict.
-    let options =
-        RunOptions::retrying(RetryPolicy::verified(2)).with_defense(DefensePolicy::hardened());
+    let options = ExecutionProfile::new()
+        .with_retry(RetryPolicy::verified(2))
+        .with_defense(DefensePolicy::hardened())
+        .options();
     for algorithm in [
         &TwoTBins as &dyn ThresholdQuerier,
         &ExpIncrease::default(),

@@ -12,8 +12,10 @@
 
 use rand::RngCore;
 
+use crate::batch::EngineScratch;
 use crate::channel::GroupQueryChannel;
-use crate::engine::{drive, ChannelMut, RunOptions};
+use crate::engine::{self, drive, ChannelMut, RoundStats, RunOptions, Session};
+use crate::profile::ExecutionProfile;
 use crate::querier::ThresholdQuerier;
 use crate::types::{NodeId, QueryReport};
 
@@ -68,6 +70,22 @@ impl Abns {
             InitialEstimate::Fixed(v) => v,
         }
     }
+
+    /// The round policy: `b = p + 1` with `p` refreshed from Eq. (6).
+    fn policy(&self, t: usize) -> impl FnMut(&Session, Option<&RoundStats>) -> usize {
+        let mut p = self.initial_p(t).max(0.0);
+        move |session, last| {
+            if let Some(stats) = last {
+                p = estimate_p(
+                    stats.silent_bins,
+                    stats.queried_bins,
+                    session.remaining_len(),
+                );
+            }
+            // Line 6: b_i = p_i + 1.
+            (p.round() as usize).saturating_add(1)
+        }
+    }
 }
 
 /// Eq. (6) with a half-count continuity correction: `e_real = 0` would send
@@ -103,24 +121,33 @@ impl ThresholdQuerier for Abns {
         rng: &mut dyn RngCore,
         options: RunOptions,
     ) -> QueryReport {
-        let mut p = self.initial_p(t).max(0.0);
         drive(
             nodes,
             t,
             ChannelMut::Single(channel),
             rng,
             options,
-            move |session, last| {
-                if let Some(stats) = last {
-                    p = estimate_p(
-                        stats.silent_bins,
-                        stats.queried_bins,
-                        session.remaining_len(),
-                    );
-                }
-                // Line 6: b_i = p_i + 1.
-                (p.round() as usize).saturating_add(1)
-            },
+            self.policy(t),
+        )
+    }
+
+    fn run_with_profile(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        profile: ExecutionProfile,
+        scratch: &mut EngineScratch,
+    ) -> QueryReport {
+        engine::drive_with_scratch(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            profile.options(),
+            scratch,
+            self.policy(t),
         )
     }
 }

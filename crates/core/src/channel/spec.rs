@@ -114,8 +114,8 @@ pub struct ChannelSpec {
     pub channel_seed: u64,
     /// Verified-silence retry policy executors should run sessions with.
     /// Plain data riding along with the channel description — the built
-    /// channel itself ignores it; `QueryJob` and sweep drivers pass it to
-    /// [`crate::ThresholdQuerier::run_with_retry`].
+    /// channel itself ignores it; `QueryJob` and sweep drivers fold it
+    /// into the [`crate::ExecutionProfile`] they run sessions with.
     pub retry: RetryPolicy,
     /// Byzantine participant model wrapped around the honest channel;
     /// `None` is the honest baseline. Building an adversarial spec

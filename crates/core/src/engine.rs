@@ -19,6 +19,7 @@
 use rand::seq::SliceRandom;
 use rand::RngCore;
 
+use crate::batch::EngineScratch;
 use crate::channel::{GroupQueryChannel, PairedGroupQueryChannel};
 use crate::retry::{DefensePolicy, RetryPolicy};
 use crate::types::{CollisionModel, NodeId, Observation, QueryReport, RoundTrace};
@@ -53,6 +54,9 @@ pub struct Session {
     defense_queries: u64,
     /// Observations an honest channel could not have produced.
     anomalies: u64,
+    /// Scratch buffer for the paired executor's chunk boundaries, reused
+    /// across rounds to avoid per-round allocation.
+    ranges: Vec<(usize, usize)>,
 }
 
 /// Result of executing one round.
@@ -83,13 +87,25 @@ impl Session {
     /// Starts a session over `nodes` with threshold `t` and no silence
     /// verification (the ideal-channel configuration).
     pub fn new(nodes: &[NodeId], t: usize) -> Self {
-        Self::with_retry(nodes, t, RetryPolicy::none())
+        Self::with_options(nodes, t, RunOptions::new())
     }
 
     /// Starts a session that verifies silence per `retry` before
     /// eliminating candidates.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a profile instead: `Session::with_options(nodes, t, \
+                ExecutionProfile::new().with_retry(retry).options())`"
+    )]
     pub fn with_retry(nodes: &[NodeId], t: usize, retry: RetryPolicy) -> Self {
-        Self::with_options(nodes, t, RunOptions::retrying(retry))
+        Self::with_options(
+            nodes,
+            t,
+            RunOptions {
+                retry,
+                defense: DefensePolicy::none(),
+            },
+        )
     }
 
     /// Starts a session with the full option set: verified-silence
@@ -109,7 +125,91 @@ impl Session {
             defense: options.defense,
             defense_queries: 0,
             anomalies: 0,
+            ranges: Vec::new(),
         }
+    }
+
+    /// Starts a session reusing the buffers pooled in `scratch` instead of
+    /// allocating fresh ones. Behaviour is identical to
+    /// [`Session::with_options`] — the buffers only carry capacity, never
+    /// state — which the batch-identity proptests pin.
+    pub(crate) fn with_options_in(
+        nodes: &[NodeId],
+        t: usize,
+        options: RunOptions,
+        scratch: &mut EngineScratch,
+    ) -> Self {
+        let mut remaining = std::mem::take(&mut scratch.remaining);
+        remaining.clear();
+        remaining.extend_from_slice(nodes);
+        let mut reuse = std::mem::take(&mut scratch.scratch);
+        reuse.clear();
+        reuse.reserve(nodes.len());
+        let mut trace = std::mem::take(&mut scratch.trace);
+        trace.clear();
+        let mut eliminated = std::mem::take(&mut scratch.eliminated);
+        eliminated.clear();
+        let mut ranges = std::mem::take(&mut scratch.ranges);
+        ranges.clear();
+        Self {
+            remaining,
+            confirmed: 0,
+            t,
+            queries: 0,
+            rounds: 0,
+            trace,
+            scratch: reuse,
+            retry: options.retry,
+            retry_queries: 0,
+            eliminated,
+            defense: options.defense,
+            defense_queries: 0,
+            anomalies: 0,
+            ranges,
+        }
+    }
+
+    /// Finalizes into a report while handing every buffer except the trace
+    /// (which the report owns) back to `scratch` for the next query.
+    pub(crate) fn finish_reusing(
+        mut self,
+        answer: bool,
+        scratch: &mut EngineScratch,
+    ) -> QueryReport {
+        scratch.remaining = std::mem::take(&mut self.remaining);
+        scratch.scratch = std::mem::take(&mut self.scratch);
+        scratch.eliminated = std::mem::take(&mut self.eliminated);
+        scratch.ranges = std::mem::take(&mut self.ranges);
+        self.into_report(answer)
+    }
+
+    /// Encodes the finished session as a wire [`QueryReport`]
+    /// (byte-identical to `QueryReport::encode` on [`Session::into_report`];
+    /// pinned by a unit test below) without materializing the report.
+    pub(crate) fn encode_report_into(&self, answer: bool, out: &mut Vec<u8>) {
+        use crate::codec::{put_u32, put_u64, put_usize, WireEncode};
+        out.push(u8::from(answer));
+        put_u64(out, self.queries);
+        put_u32(out, self.rounds);
+        put_u64(out, self.retry_queries);
+        put_u64(out, self.defense_queries);
+        put_u64(out, self.anomalies);
+        put_usize(out, self.confirmed);
+        put_u32(out, self.trace.len() as u32);
+        for entry in &self.trace {
+            entry.encode(out);
+        }
+    }
+
+    /// Hands every buffer — including the trace — back to `scratch`.
+    /// Companion to [`Session::encode_report_into`], which borrows the
+    /// trace instead of consuming it.
+    pub(crate) fn reclaim(mut self, scratch: &mut EngineScratch) {
+        scratch.remaining = std::mem::take(&mut self.remaining);
+        scratch.scratch = std::mem::take(&mut self.scratch);
+        scratch.eliminated = std::mem::take(&mut self.eliminated);
+        scratch.ranges = std::mem::take(&mut self.ranges);
+        scratch.trace = std::mem::take(&mut self.trace);
     }
 
     /// Answers decidable without any query: `t == 0` is trivially satisfied
@@ -349,8 +449,12 @@ impl Session {
         self.remaining.shuffle(rng);
         let base = n / bins;
         let extra = n % bins;
-        // Contiguous non-empty chunk boundaries.
-        let mut ranges = Vec::with_capacity(bins.min(n));
+        // Contiguous non-empty chunk boundaries (buffer reused across
+        // rounds; taken out of `self` so the loop below can borrow
+        // `self.remaining` freely).
+        let mut ranges = std::mem::take(&mut self.ranges);
+        ranges.clear();
+        ranges.reserve(bins.min(n));
         let mut offset = 0usize;
         for bin_idx in 0..bins {
             let size = base + usize::from(bin_idx < extra);
@@ -455,6 +559,7 @@ impl Session {
         self.remaining.clear();
         std::mem::swap(&mut self.remaining, &mut kept);
         self.scratch = kept;
+        self.ranges = ranges;
 
         self.trace.push(RoundTrace {
             bins,
@@ -791,6 +896,10 @@ impl RunOptions {
     }
 
     /// Options with the given verified-silence policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a profile instead: `ExecutionProfile::new().with_retry(retry).options()`"
+    )]
     pub fn retrying(retry: RetryPolicy) -> Self {
         Self {
             retry,
@@ -799,6 +908,10 @@ impl RunOptions {
     }
 
     /// Returns the options with the given defense policy attached.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a profile instead: `ExecutionProfile::new().with_defense(defense).options()`"
+    )]
     pub fn with_defense(mut self, defense: DefensePolicy) -> Self {
         self.defense = defense;
         self
@@ -839,59 +952,84 @@ pub fn drive(
     t: usize,
     mut channel: ChannelMut<'_>,
     rng: &mut dyn RngCore,
-    options: RunOptions,
+    options: impl Into<RunOptions>,
     mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
 ) -> QueryReport {
-    let span = tcast_obs::Span::enter_fields(
+    let options = options.into();
+    let span = enter_drive_span(nodes, t);
+    let session = Session::with_options(nodes, t, options);
+    let (session, answer) = drive_session(session, &mut channel, rng, &mut policy);
+    let report = session.into_report(answer);
+    emit_verdict(&span, &report);
+    report
+}
+
+/// [`drive`] over pooled buffers: behaviourally identical (same code
+/// path, same RNG draw order — the batch-identity proptests pin this),
+/// but the session borrows its vectors from `scratch` and returns them
+/// after the report is built, so the steady-state per-query allocation is
+/// just the report's own trace vector.
+pub(crate) fn drive_with_scratch(
+    nodes: &[NodeId],
+    t: usize,
+    mut channel: ChannelMut<'_>,
+    rng: &mut dyn RngCore,
+    options: RunOptions,
+    scratch: &mut EngineScratch,
+    mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> QueryReport {
+    let span = enter_drive_span(nodes, t);
+    let session = Session::with_options_in(nodes, t, options, scratch);
+    let (session, answer) = drive_session(session, &mut channel, rng, &mut policy);
+    let report = session.finish_reusing(answer, scratch);
+    emit_verdict(&span, &report);
+    report
+}
+
+/// [`drive_with_scratch`] that never materializes a [`QueryReport`]: the
+/// finished session is encoded straight into `out` as report wire bytes
+/// (`tcast::codec` layout) and every buffer — including the trace —
+/// returns to `scratch`. Zero steady-state heap allocation per query.
+/// Returns the verdict.
+#[allow(clippy::too_many_arguments)] // mirrors drive_with_scratch + the out buffer
+pub(crate) fn drive_encoded(
+    nodes: &[NodeId],
+    t: usize,
+    mut channel: ChannelMut<'_>,
+    rng: &mut dyn RngCore,
+    options: RunOptions,
+    scratch: &mut EngineScratch,
+    out: &mut Vec<u8>,
+    mut policy: impl FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> bool {
+    let span = enter_drive_span(nodes, t);
+    let session = Session::with_options_in(nodes, t, options, scratch);
+    let (session, answer) = drive_session(session, &mut channel, rng, &mut policy);
+    session.encode_report_into(answer, out);
+    span.event(
+        "engine.verdict",
+        &[
+            ("answer", u64::from(answer)),
+            ("queries", session.queries),
+            ("rounds", u64::from(session.rounds)),
+            ("retry_queries", session.retry_queries),
+            ("defense_queries", session.defense_queries),
+            ("anomalies", session.anomalies),
+        ],
+    );
+    session.reclaim(scratch);
+    answer
+}
+
+fn enter_drive_span(nodes: &[NodeId], t: usize) -> tcast_obs::Span {
+    tcast_obs::Span::enter_fields(
         tcast_obs::current_trace(),
         "engine.drive",
         &[("n", nodes.len() as u64), ("t", t as u64)],
-    );
-    let report = {
-        let mut session = Session::with_options(nodes, t, options);
-        let mut last_stats: Option<RoundStats> = None;
-        // Consecutive Decided(true) rounds observed so far; a pending
-        // `true` verdict built on activity evidence must survive
-        // `defense.confirm_true` extra rounds before it is believed
-        // (the mirror image of `confirm_false`'s pool check). Precheck
-        // `true` — captures alone reaching `t`, or `t == 0` — is exact
-        // and accepted immediately.
-        let mut true_streak = 0u32;
-        loop {
-            if let Some(answer) = session.precheck() {
-                if answer || session.confirm_false(channel.as_single()) {
-                    break session.into_report(answer);
-                }
-                last_stats = None;
-                continue;
-            }
-            let bins = policy(&session, last_stats.as_ref());
-            let outcome = match &mut channel {
-                ChannelMut::Single(ch) => session.run_round(bins, *ch, rng),
-                ChannelMut::Paired(ch) => session.run_round_paired(bins, *ch, rng),
-            };
-            match outcome {
-                RoundOutcome::Decided(true) => {
-                    if true_streak >= options.defense.confirm_true {
-                        break session.into_report(true);
-                    }
-                    true_streak += 1;
-                    last_stats = None;
-                }
-                RoundOutcome::Decided(false) => {
-                    if session.confirm_false(channel.as_single()) {
-                        break session.into_report(false);
-                    }
-                    true_streak = 0;
-                    last_stats = None;
-                }
-                RoundOutcome::Undecided(stats) => {
-                    true_streak = 0;
-                    last_stats = Some(stats);
-                }
-            }
-        }
-    };
+    )
+}
+
+fn emit_verdict(span: &tcast_obs::Span, report: &QueryReport) {
     span.event(
         "engine.verdict",
         &[
@@ -903,7 +1041,60 @@ pub fn drive(
             ("anomalies", report.anomalies),
         ],
     );
-    report
+}
+
+/// The round loop shared by every `drive` flavour: runs `session` to a
+/// verdict and returns it together with the finished session. Extracted
+/// so the allocating, scratch-reusing, and direct-encode entrypoints are
+/// provably one code path.
+fn drive_session(
+    mut session: Session,
+    channel: &mut ChannelMut<'_>,
+    rng: &mut dyn RngCore,
+    policy: &mut dyn FnMut(&Session, Option<&RoundStats>) -> usize,
+) -> (Session, bool) {
+    let mut last_stats: Option<RoundStats> = None;
+    // Consecutive Decided(true) rounds observed so far; a pending
+    // `true` verdict built on activity evidence must survive
+    // `defense.confirm_true` extra rounds before it is believed
+    // (the mirror image of `confirm_false`'s pool check). Precheck
+    // `true` — captures alone reaching `t`, or `t == 0` — is exact
+    // and accepted immediately.
+    let mut true_streak = 0u32;
+    loop {
+        if let Some(answer) = session.precheck() {
+            if answer || session.confirm_false(channel.as_single()) {
+                break (session, answer);
+            }
+            last_stats = None;
+            continue;
+        }
+        let bins = policy(&session, last_stats.as_ref());
+        let outcome = match channel {
+            ChannelMut::Single(ch) => session.run_round(bins, *ch, rng),
+            ChannelMut::Paired(ch) => session.run_round_paired(bins, *ch, rng),
+        };
+        match outcome {
+            RoundOutcome::Decided(true) => {
+                if true_streak >= session.defense.confirm_true {
+                    break (session, true);
+                }
+                true_streak += 1;
+                last_stats = None;
+            }
+            RoundOutcome::Decided(false) => {
+                if session.confirm_false(channel.as_single()) {
+                    break (session, false);
+                }
+                true_streak = 0;
+                last_stats = None;
+            }
+            RoundOutcome::Undecided(stats) => {
+                true_streak = 0;
+                last_stats = Some(stats);
+            }
+        }
+    }
 }
 
 /// Returns `true` when `model` can ever produce captures (used by tests).
@@ -1187,7 +1378,7 @@ mod tests {
             1,
             ChannelMut::single(&mut ch),
             &mut rng,
-            RunOptions::retrying(crate::retry::RetryPolicy::verified(2)),
+            crate::ExecutionProfile::new().with_retry(crate::retry::RetryPolicy::verified(2)),
             |_, _| 1,
         );
         assert!(!report.answer);
@@ -1212,7 +1403,7 @@ mod tests {
             1,
             ChannelMut::single(&mut ch),
             &mut rng,
-            RunOptions::retrying(crate::retry::RetryPolicy::verified(1)),
+            crate::ExecutionProfile::new().with_retry(crate::retry::RetryPolicy::verified(1)),
             |_, _| 1,
         );
         assert!(report.answer, "rescued positives flip the verdict");
@@ -1236,7 +1427,8 @@ mod tests {
             1,
             ChannelMut::single(&mut ch),
             &mut rng,
-            RunOptions::retrying(crate::retry::RetryPolicy::verified(5).with_budget(3)),
+            crate::ExecutionProfile::new()
+                .with_retry(crate::retry::RetryPolicy::verified(5).with_budget(3)),
             |_, _| 1,
         );
         assert!(!report.answer);
@@ -1260,7 +1452,7 @@ mod tests {
             2,
             ChannelMut::paired(&mut ch),
             &mut rng,
-            RunOptions::retrying(crate::retry::RetryPolicy::verified(1)),
+            crate::ExecutionProfile::new().with_retry(crate::retry::RetryPolicy::verified(1)),
             |_, _| 2,
         );
         assert!(!report.answer);
@@ -1283,7 +1475,7 @@ mod tests {
             1,
             ChannelMut::single(&mut ch),
             &mut rng,
-            RunOptions::new().with_defense(DefensePolicy {
+            crate::ExecutionProfile::new().with_defense(DefensePolicy {
                 canary: true,
                 ..DefensePolicy::none()
             }),
@@ -1310,7 +1502,7 @@ mod tests {
             1,
             ChannelMut::single(&mut ch),
             &mut rng,
-            RunOptions::new().with_defense(DefensePolicy {
+            crate::ExecutionProfile::new().with_defense(DefensePolicy {
                 confirm_activity: 1,
                 ..DefensePolicy::none()
             }),
@@ -1335,7 +1527,7 @@ mod tests {
             2,
             ChannelMut::single(&mut ch),
             &mut rng,
-            RunOptions::new().with_defense(DefensePolicy {
+            crate::ExecutionProfile::new().with_defense(DefensePolicy {
                 confirm_activity: 2,
                 ..DefensePolicy::none()
             }),
@@ -1361,7 +1553,7 @@ mod tests {
             1,
             ChannelMut::single(&mut ch),
             &mut rng,
-            RunOptions::new().with_defense(DefensePolicy {
+            crate::ExecutionProfile::new().with_defense(DefensePolicy {
                 confirm_true: 1,
                 ..DefensePolicy::none()
             }),
@@ -1384,7 +1576,7 @@ mod tests {
                 8,
                 ChannelMut::single(&mut ch),
                 &mut rng,
-                RunOptions::new().with_defense(DefensePolicy::hardened()),
+                crate::ExecutionProfile::new().with_defense(DefensePolicy::hardened()),
                 |s, _| 2 * s.threshold(),
             );
             assert_eq!(report.answer, x >= 8, "x={x}");
@@ -1414,7 +1606,7 @@ mod tests {
             8,
             ChannelMut::single(&mut ch2),
             &mut rng2,
-            RunOptions::new().with_defense(DefensePolicy::none()),
+            crate::ExecutionProfile::new().with_defense(DefensePolicy::none()),
             |s, _| 2 * s.threshold(),
         );
         assert_eq!(a, b);

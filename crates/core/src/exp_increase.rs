@@ -9,8 +9,10 @@
 
 use rand::RngCore;
 
+use crate::batch::EngineScratch;
 use crate::channel::GroupQueryChannel;
-use crate::engine::{drive, ChannelMut, RunOptions};
+use crate::engine::{self, drive, ChannelMut, RoundStats, RunOptions, Session};
+use crate::profile::ExecutionProfile;
 use crate::querier::ThresholdQuerier;
 use crate::types::{NodeId, QueryReport};
 
@@ -77,6 +79,45 @@ impl ExpIncrease {
             variant: GrowthVariant::FourFold,
         }
     }
+
+    /// The round policy: start at `initial_bins`, grow per `variant`.
+    fn policy(&self) -> impl FnMut(&Session, Option<&RoundStats>) -> usize {
+        let mut bin_num = self.initial_bins.max(1);
+        let variant = self.variant;
+        let mut first = true;
+        move |session, last| {
+            if first {
+                first = false;
+            } else if let Some(stats) = last {
+                let before = session.remaining_len() + stats.eliminated + stats.captured;
+                let grow = match variant {
+                    GrowthVariant::Double => 2,
+                    GrowthVariant::PauseAndContinue { pause_fraction } => {
+                        let frac = if before == 0 {
+                            0.0
+                        } else {
+                            stats.eliminated as f64 / before as f64
+                        };
+                        if frac >= pause_fraction {
+                            1 // significant elimination: keep the bin count
+                        } else {
+                            2
+                        }
+                    }
+                    GrowthVariant::FourFold => {
+                        if stats.silent_bins == 0 && stats.queried_bins > 0 {
+                            4
+                        } else {
+                            2
+                        }
+                    }
+                };
+                bin_num = bin_num.saturating_mul(grow);
+            }
+            // More bins than nodes adds nothing (zero-member bins are free).
+            bin_num.min(session.remaining_len().max(1))
+        }
+    }
 }
 
 impl ThresholdQuerier for ExpIncrease {
@@ -96,47 +137,33 @@ impl ThresholdQuerier for ExpIncrease {
         rng: &mut dyn RngCore,
         options: RunOptions,
     ) -> QueryReport {
-        let mut bin_num = self.initial_bins.max(1);
-        let variant = self.variant;
-        let mut first = true;
         drive(
             nodes,
             t,
             ChannelMut::Single(channel),
             rng,
             options,
-            move |session, last| {
-                if first {
-                    first = false;
-                } else if let Some(stats) = last {
-                    let before = session.remaining_len() + stats.eliminated + stats.captured;
-                    let grow = match variant {
-                        GrowthVariant::Double => 2,
-                        GrowthVariant::PauseAndContinue { pause_fraction } => {
-                            let frac = if before == 0 {
-                                0.0
-                            } else {
-                                stats.eliminated as f64 / before as f64
-                            };
-                            if frac >= pause_fraction {
-                                1 // significant elimination: keep the bin count
-                            } else {
-                                2
-                            }
-                        }
-                        GrowthVariant::FourFold => {
-                            if stats.silent_bins == 0 && stats.queried_bins > 0 {
-                                4
-                            } else {
-                                2
-                            }
-                        }
-                    };
-                    bin_num = bin_num.saturating_mul(grow);
-                }
-                // More bins than nodes adds nothing (zero-member bins are free).
-                bin_num.min(session.remaining_len().max(1))
-            },
+            self.policy(),
+        )
+    }
+
+    fn run_with_profile(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        profile: ExecutionProfile,
+        scratch: &mut EngineScratch,
+    ) -> QueryReport {
+        engine::drive_with_scratch(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            profile.options(),
+            scratch,
+            self.policy(),
         )
     }
 }

@@ -46,6 +46,7 @@
 
 pub mod abns;
 pub mod baselines;
+pub mod batch;
 pub mod channel;
 pub mod codec;
 pub mod counting;
@@ -56,6 +57,7 @@ pub mod monitor;
 pub mod oracle;
 pub mod prob_abns;
 pub mod probabilistic;
+pub mod profile;
 pub mod querier;
 pub mod render;
 pub mod retry;
@@ -63,6 +65,7 @@ pub mod twotbins;
 pub mod types;
 
 pub use abns::{Abns, InitialEstimate};
+pub use batch::{BatchRunner, EngineScratch};
 pub use channel::{
     random_positive_set, AdversaryConfig, AdversaryModel, ChannelSpec, GroupQueryChannel,
     IdealChannel, LossConfig, LossyChannel,
@@ -76,9 +79,28 @@ pub use monitor::{MonitorConfig, ThresholdMonitor};
 pub use oracle::OracleBins;
 pub use prob_abns::ProbAbns;
 pub use probabilistic::{ProbDecision, ProbabilisticConfig, ProbabilisticQuerier};
+pub use profile::ExecutionProfile;
 pub use querier::ThresholdQuerier;
 pub use retry::{DefensePolicy, RetryPolicy};
 pub use twotbins::TwoTBins;
 pub use types::{
     population, CaptureModel, CollisionModel, NodeId, Observation, QueryReport, RoundTrace,
 };
+
+/// The blessed entrypoints, importable in one line.
+///
+/// Downstream code should prefer `use tcast::prelude::*;` over reaching
+/// into individual modules: the prelude is the stable face of the API,
+/// while module paths may shift as the crate grows. The service and net
+/// crates layer their own preludes on top of this one
+/// (`tcast_service::prelude`, `tcast_net::prelude`).
+pub mod prelude {
+    pub use crate::batch::{BatchRunner, EngineScratch};
+    pub use crate::channel::{ChannelSpec, GroupQueryChannel, IdealChannel, LossyChannel};
+    pub use crate::engine::{drive, RunOptions};
+    pub use crate::profile::ExecutionProfile;
+    pub use crate::querier::ThresholdQuerier;
+    pub use crate::retry::{DefensePolicy, RetryPolicy};
+    pub use crate::types::{population, CaptureModel, CollisionModel, NodeId, QueryReport};
+    pub use crate::{Abns, ExpIncrease, OracleBins, ProbAbns, ProbabilisticQuerier, TwoTBins};
+}

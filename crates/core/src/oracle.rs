@@ -15,8 +15,10 @@
 
 use rand::RngCore;
 
+use crate::batch::EngineScratch;
 use crate::channel::GroupQueryChannel;
-use crate::engine::{drive, ChannelMut, RunOptions};
+use crate::engine::{self, drive, ChannelMut, RoundStats, RunOptions, Session};
+use crate::profile::ExecutionProfile;
 use crate::querier::ThresholdQuerier;
 use crate::types::{NodeId, QueryReport};
 
@@ -38,6 +40,20 @@ impl OracleBins {
             .iter()
             .filter(|id| self.positive.get(id.index()).copied().unwrap_or(false))
             .count()
+    }
+
+    /// The round policy: recount the surviving positives, then apply the
+    /// piecewise optimum.
+    fn policy(&self) -> impl FnMut(&Session, Option<&RoundStats>) -> usize + '_ {
+        |session, _| {
+            let x = self.count_positives(session.remaining());
+            // Captured positives reduce the evidence still needed.
+            let t_eff = session
+                .threshold()
+                .saturating_sub(session.confirmed())
+                .max(1);
+            oracle_bins(session.remaining_len(), t_eff, x)
+        }
     }
 }
 
@@ -80,15 +96,27 @@ impl ThresholdQuerier for OracleBins {
             ChannelMut::Single(channel),
             rng,
             options,
-            |session, _| {
-                let x = self.count_positives(session.remaining());
-                // Captured positives reduce the evidence still needed.
-                let t_eff = session
-                    .threshold()
-                    .saturating_sub(session.confirmed())
-                    .max(1);
-                oracle_bins(session.remaining_len(), t_eff, x)
-            },
+            self.policy(),
+        )
+    }
+
+    fn run_with_profile(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        profile: ExecutionProfile,
+        scratch: &mut EngineScratch,
+    ) -> QueryReport {
+        engine::drive_with_scratch(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            profile.options(),
+            scratch,
+            self.policy(),
         )
     }
 }

@@ -139,7 +139,10 @@ impl ThresholdQuerier for ProbAbns {
             budget: retry.budget.map(|b| b.saturating_sub(probe_retries)),
             ..retry
         };
-        let inner_options = RunOptions::retrying(inner_retry).with_defense(options.defense);
+        let inner_options = RunOptions {
+            retry: inner_retry,
+            defense: options.defense,
+        };
         let mut report = if probe_silent {
             // Likely x < t/2: ABNS seeded with p0 = t/4.
             Abns::with_p0(InitialEstimate::Fixed(t as f64 / 4.0)).run_with_options(

@@ -2,8 +2,10 @@
 
 use rand::RngCore;
 
+use crate::batch::EngineScratch;
 use crate::channel::GroupQueryChannel;
 use crate::engine::RunOptions;
+use crate::profile::ExecutionProfile;
 use crate::retry::RetryPolicy;
 use crate::types::{NodeId, QueryReport};
 
@@ -16,10 +18,14 @@ use crate::types::{NodeId, QueryReport};
 /// parallel sweep driver).
 ///
 /// The one required method is [`run_with_options`](Self::run_with_options);
-/// [`run`](Self::run) and [`run_with_retry`](Self::run_with_retry) are
+/// [`run`](Self::run) and [`run_with_profile`](Self::run_with_profile) are
 /// convenience wrappers over it, so every execution path — trusting,
-/// loss-verified, or adversary-hardened — flows through a single
-/// implementation.
+/// loss-verified, adversary-hardened, or batched — flows through a single
+/// implementation. Algorithms built on `engine::drive` override
+/// [`run_with_profile`](Self::run_with_profile) to reuse the pooled
+/// [`EngineScratch`]; the default simply forwards to
+/// [`run_with_options`](Self::run_with_options), which is always correct
+/// (a scratch carries capacity, never state).
 pub trait ThresholdQuerier: Sync {
     /// Short identifier used in experiment output (e.g. `"2tBins"`).
     fn name(&self) -> &str;
@@ -54,11 +60,35 @@ pub trait ThresholdQuerier: Sync {
         self.run_with_options(nodes, t, channel, rng, RunOptions::new())
     }
 
+    /// Runs one session with an [`ExecutionProfile`] over pooled engine
+    /// buffers. MUST be bit-identical to
+    /// [`run_with_options`](Self::run_with_options) with
+    /// `profile.options()` — the batch-identity proptests pin this for
+    /// every algorithm. The default forwards without reusing `scratch`;
+    /// `drive`-based algorithms override it to run allocation-free.
+    fn run_with_profile(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        profile: ExecutionProfile,
+        scratch: &mut EngineScratch,
+    ) -> QueryReport {
+        let _ = scratch;
+        self.run_with_options(nodes, t, channel, rng, profile.options())
+    }
+
     /// Runs one session with verified-silence retries: silent bins are
     /// re-queried per `retry` before their members are eliminated, and
     /// `false` verdicts are confirmed against the eliminated pool (see the
     /// `retry` module). With [`RetryPolicy::none`] this must behave
     /// exactly like [`run`](Self::run).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a profile instead: \
+                `run_with_options(..., ExecutionProfile::new().with_retry(retry).options())`"
+    )]
     fn run_with_retry(
         &self,
         nodes: &[NodeId],
@@ -67,7 +97,13 @@ pub trait ThresholdQuerier: Sync {
         rng: &mut dyn RngCore,
         retry: RetryPolicy,
     ) -> QueryReport {
-        self.run_with_options(nodes, t, channel, rng, RunOptions::retrying(retry))
+        self.run_with_options(
+            nodes,
+            t,
+            channel,
+            rng,
+            ExecutionProfile::new().with_retry(retry).options(),
+        )
     }
 }
 
@@ -97,6 +133,19 @@ impl<T: ThresholdQuerier + ?Sized> ThresholdQuerier for &T {
         (**self).run(nodes, t, channel, rng)
     }
 
+    fn run_with_profile(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        profile: ExecutionProfile,
+        scratch: &mut EngineScratch,
+    ) -> QueryReport {
+        (**self).run_with_profile(nodes, t, channel, rng, profile, scratch)
+    }
+
+    #[allow(deprecated)]
     fn run_with_retry(
         &self,
         nodes: &[NodeId],

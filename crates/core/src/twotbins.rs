@@ -8,8 +8,10 @@
 
 use rand::RngCore;
 
+use crate::batch::EngineScratch;
 use crate::channel::GroupQueryChannel;
-use crate::engine::{drive, ChannelMut, RunOptions};
+use crate::engine::{self, drive, ChannelMut, RoundStats, RunOptions, Session};
+use crate::profile::ExecutionProfile;
 use crate::querier::ThresholdQuerier;
 use crate::types::{NodeId, QueryReport};
 
@@ -17,6 +19,13 @@ use crate::types::{NodeId, QueryReport};
 /// assignment.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TwoTBins;
+
+impl TwoTBins {
+    /// The round policy: always `2t` bins.
+    fn policy(&self) -> impl FnMut(&Session, Option<&RoundStats>) -> usize {
+        |session, _| 2 * session.threshold()
+    }
+}
 
 impl ThresholdQuerier for TwoTBins {
     fn name(&self) -> &str {
@@ -37,7 +46,27 @@ impl ThresholdQuerier for TwoTBins {
             ChannelMut::Single(channel),
             rng,
             options,
-            |session, _| 2 * session.threshold(),
+            self.policy(),
+        )
+    }
+
+    fn run_with_profile(
+        &self,
+        nodes: &[NodeId],
+        t: usize,
+        channel: &mut dyn GroupQueryChannel,
+        rng: &mut dyn RngCore,
+        profile: ExecutionProfile,
+        scratch: &mut EngineScratch,
+    ) -> QueryReport {
+        engine::drive_with_scratch(
+            nodes,
+            t,
+            ChannelMut::Single(channel),
+            rng,
+            profile.options(),
+            scratch,
+            self.policy(),
         )
     }
 }

@@ -16,6 +16,12 @@
 //!    in its trace through a raw `drive` call reproduces the exact same
 //!    report — the trace is a complete account of the policy's decisions.
 
+// This suite deliberately drives the deprecated per-field setters
+// (`RunOptions::retrying`, `run_with_retry`): they must stay equivalent to
+// the profile-based API until removed. New code goes through
+// `ExecutionProfile` — see `profile_compat.rs`.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -1,0 +1,119 @@
+//! Equivalence of the deprecated per-field setters and the
+//! [`ExecutionProfile`] builder that replaces them.
+//!
+//! The API redesign keeps `RunOptions::retrying`, `RunOptions::with_defense`,
+//! `Session::with_retry`, and `ThresholdQuerier::run_with_retry` as thin
+//! `#[deprecated]` forwards. These proptests (the `drive_compat.rs`
+//! pattern) pin the forwards to the profile path:
+//!
+//! 1. **Options equivalence**: any chain of deprecated setters builds the
+//!    exact `RunOptions` the equivalent profile builds.
+//! 2. **Execution equivalence**: `run_with_retry` and a profile-driven
+//!    `drive` produce bit-identical reports for every algorithm, on ideal
+//!    and lossy channels.
+//! 3. **Conversion round trip**: `ExecutionProfile` ⇄ `RunOptions`
+//!    preserves both engine-facing policies.
+
+// The deprecated setters are this suite's subject.
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tcast::engine::RunOptions;
+use tcast::{
+    population, Abns, ChannelSpec, CollisionModel, DefensePolicy, ExecutionProfile, ExpIncrease,
+    LossConfig, OracleBins, RetryPolicy, ThresholdQuerier, TwoTBins,
+};
+
+/// Decodes a retry policy from two plain proptest bindings (the vendored
+/// proptest has no tuple/option combinators): `budget_raw == 0` means no
+/// budget.
+fn retry_from(max_retries: u32, budget_raw: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        budget: budget_raw.checked_sub(1),
+    }
+}
+
+fn spec(n: usize, x: usize, lossy: bool, seed: u64) -> ChannelSpec {
+    let base = if lossy {
+        ChannelSpec::lossy(n, x, CollisionModel::OnePlus, LossConfig::default())
+    } else {
+        ChannelSpec::ideal(n, x, CollisionModel::two_plus_default())
+    };
+    base.seeded(seed, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The deprecated setter chain and the profile builder construct the
+    /// same `RunOptions`, and the profile round-trips through it.
+    #[test]
+    fn deprecated_setters_build_the_same_options(
+        max_retries in 0u32..4,
+        budget_raw in 0u64..33,
+        confirm_activity in 0u32..3,
+        canary in any::<bool>(),
+        confirm_true in 0u32..3,
+    ) {
+        let retry = retry_from(max_retries, budget_raw);
+        let defense = DefensePolicy { confirm_activity, canary, confirm_true };
+        let old = RunOptions::retrying(retry).with_defense(defense);
+        let profile = ExecutionProfile::new()
+            .with_retry(retry)
+            .with_defense(defense);
+        prop_assert_eq!(old, profile.options());
+
+        // Conversions agree with the explicit builder in both directions.
+        let via_into: RunOptions = profile.into();
+        prop_assert_eq!(via_into, profile.options());
+        let back = ExecutionProfile::from(old);
+        prop_assert_eq!(back.retry, retry);
+        prop_assert_eq!(back.defense, defense);
+    }
+
+    /// `run_with_retry` (deprecated) is bit-identical to `run_with_options`
+    /// with the equivalent profile, for every drive-based algorithm.
+    #[test]
+    fn run_with_retry_matches_profile_execution(
+        n in 1usize..48,
+        x_frac in 0.0f64..=1.0,
+        t in 0usize..52,
+        max_retries in 0u32..4,
+        budget_raw in 0u64..33,
+        seed in any::<u64>(),
+        lossy in any::<bool>(),
+    ) {
+        let retry = retry_from(max_retries, budget_raw);
+        let x = ((n as f64) * x_frac).round() as usize;
+        let s = spec(n, x, lossy, seed);
+        let (_, truth) = s.build_with_truth();
+
+        let algorithms: Vec<Box<dyn ThresholdQuerier>> = vec![
+            Box::new(TwoTBins),
+            Box::new(ExpIncrease::standard()),
+            Box::new(Abns::p0_2t()),
+            Box::new(OracleBins::new(truth)),
+        ];
+
+        for alg in algorithms {
+            let (mut ch, _) = s.build_with_truth();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let old = alg.run_with_retry(&population(n), t, ch.as_mut(), &mut rng, retry);
+
+            let (mut ch, _) = s.build_with_truth();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let new = alg.run_with_options(
+                &population(n),
+                t,
+                ch.as_mut(),
+                &mut rng,
+                ExecutionProfile::new().with_retry(retry).options(),
+            );
+            prop_assert_eq!(&old, &new, "{} diverged from its profile run", alg.name());
+        }
+    }
+}

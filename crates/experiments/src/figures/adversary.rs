@@ -37,7 +37,8 @@ use rand::rngs::SmallRng;
 
 use tcast::{
     population, Abns, AdversaryConfig, AdversaryModel, ChannelSpec, CollisionModel, DefensePolicy,
-    ExpIncrease, QueryReport, RetryPolicy, RunOptions, ThresholdQuerier, TwoTBins,
+    ExecutionProfile, ExpIncrease, QueryReport, RetryPolicy, RunOptions, ThresholdQuerier,
+    TwoTBins,
 };
 
 use crate::output::Figure;
@@ -114,7 +115,10 @@ fn session(
     );
     let (mut ch, _truth) = tcast_adversary::sample_with(&channel_spec, rng);
     let options = if defended {
-        RunOptions::retrying(RetryPolicy::verified(2)).with_defense(DefensePolicy::hardened())
+        ExecutionProfile::new()
+            .with_retry(RetryPolicy::verified(2))
+            .with_defense(DefensePolicy::hardened())
+            .options()
     } else {
         RunOptions::new()
     };

@@ -336,14 +336,12 @@ fn main() {
     };
 
     let service = Arc::new(QueryService::new(ServiceConfig::with_workers(2)));
-    let config = NetServerConfig {
-        // Waves leave thousands of negotiated connections idle while the
-        // submit window moves through the fleet; generous deadlines keep
-        // lifecycle policy out of the measurement.
-        idle_timeout: Duration::from_secs(600),
-        handshake_timeout: Duration::from_secs(120),
-        ..NetServerConfig::default()
-    };
+    // Waves leave thousands of negotiated connections idle while the
+    // submit window moves through the fleet; generous deadlines keep
+    // lifecycle policy out of the measurement.
+    let config = NetServerConfig::default()
+        .with_idle_timeout(Duration::from_secs(600))
+        .with_handshake_timeout(Duration::from_secs(120));
     let io_threads = config.io_thread_count();
     let server = NetServer::bind("127.0.0.1:0", service.clone(), config).expect("bind");
 

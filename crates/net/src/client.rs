@@ -60,8 +60,12 @@ impl std::fmt::Debug for TenantAuth {
     }
 }
 
-/// Tuning knobs for [`NetClient`].
+/// Tuning knobs for [`NetClient`]. Construct via
+/// [`NetClientConfig::default`] plus the `with_*` builders — the struct
+/// is `#[non_exhaustive]` so new knobs can land without breaking
+/// callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct NetClientConfig {
     /// Number of TCP connections to spread submitted jobs across.
     pub pool_size: usize,
@@ -69,7 +73,10 @@ pub struct NetClientConfig {
     /// resolves to [`NetError::Busy`].
     pub busy_retries: u32,
     /// Base backoff between `Busy` retries; the k-th retry sleeps
-    /// `k * busy_backoff`.
+    /// `k * busy_backoff`, scaled by a per-connection random jitter
+    /// drawn from `[0.5, 1.5)` for each retry. Without the jitter,
+    /// pooled connections bounced by the same backpressure wave would
+    /// resend in lockstep and collide at the server again, every round.
     pub busy_backoff: Duration,
     /// Deadline for connect + version negotiation on each connection.
     pub handshake_timeout: Duration,
@@ -92,6 +99,44 @@ impl Default for NetClientConfig {
             max_frame_payload: DEFAULT_MAX_PAYLOAD,
             auth: None,
         }
+    }
+}
+
+impl NetClientConfig {
+    /// Sets [`Self::pool_size`].
+    pub fn with_pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = pool_size;
+        self
+    }
+
+    /// Sets [`Self::busy_retries`].
+    pub fn with_busy_retries(mut self, busy_retries: u32) -> Self {
+        self.busy_retries = busy_retries;
+        self
+    }
+
+    /// Sets [`Self::busy_backoff`].
+    pub fn with_busy_backoff(mut self, busy_backoff: Duration) -> Self {
+        self.busy_backoff = busy_backoff;
+        self
+    }
+
+    /// Sets [`Self::handshake_timeout`].
+    pub fn with_handshake_timeout(mut self, handshake_timeout: Duration) -> Self {
+        self.handshake_timeout = handshake_timeout;
+        self
+    }
+
+    /// Sets [`Self::max_frame_payload`].
+    pub fn with_max_frame_payload(mut self, max_frame_payload: u32) -> Self {
+        self.max_frame_payload = max_frame_payload;
+        self
+    }
+
+    /// Sets [`Self::auth`].
+    pub fn with_auth(mut self, auth: TenantAuth) -> Self {
+        self.auth = Some(auth);
+        self
     }
 }
 
@@ -443,6 +488,41 @@ struct Conn {
     /// busy rejections, reconnects), shared with a metrics registry by
     /// the caller.
     counters: Option<Arc<NetCounters>>,
+    /// Per-connection xorshift state feeding the `Busy` backoff jitter.
+    /// Seeded uniquely per connection so pooled connections never share
+    /// a retry schedule.
+    jitter: AtomicU64,
+}
+
+/// A unique, unpredictable nonzero seed per connection: hash of a
+/// process-wide counter under `RandomState`'s per-process random keys.
+fn jitter_seed() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut hasher = RandomState::new().build_hasher();
+    hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    hasher.finish() | 1
+}
+
+fn xorshift_step(x: u64) -> u64 {
+    let mut y = x;
+    y ^= y << 13;
+    y ^= y >> 7;
+    y ^= y << 17;
+    y
+}
+
+/// Advances the jitter state and maps the draw onto `[0.5, 1.5)`.
+fn next_jitter(state: &AtomicU64) -> f64 {
+    let mut cur = state.load(Ordering::Relaxed);
+    loop {
+        let next = xorshift_step(cur);
+        match state.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return 0.5 + (next >> 11) as f64 / (1u64 << 53) as f64,
+            Err(seen) => cur = seen,
+        }
+    }
 }
 
 impl Conn {
@@ -465,6 +545,7 @@ impl Conn {
             version: AtomicU8::new(PROTOCOL_V1),
             dials: AtomicU64::new(0),
             counters,
+            jitter: AtomicU64::new(jitter_seed()),
         });
         conn.reconnect()?;
         Ok(conn)
@@ -667,8 +748,11 @@ impl Conn {
         }
     }
 
-    /// Resends a `Busy`-rejected job after a linear backoff, off-thread
-    /// so the reader keeps draining responses meanwhile.
+    /// Resends a `Busy`-rejected job after a jittered linear backoff,
+    /// off-thread so the reader keeps draining responses meanwhile. The
+    /// jitter is decorrelated — drawn fresh per retry from this
+    /// connection's own stream — so connections rejected by the same
+    /// backpressure wave spread out instead of resending in lockstep.
     fn handle_busy(self: &Arc<Self>, request_id: u64) {
         let resend = {
             let mut pending = self.pending.lock();
@@ -690,7 +774,8 @@ impl Conn {
         let (job, attempt) = resend;
         let conn = self.clone();
         std::thread::spawn(move || {
-            std::thread::sleep(conn.config.busy_backoff * attempt);
+            let scale = f64::from(attempt) * next_jitter(&conn.jitter);
+            std::thread::sleep(conn.config.busy_backoff.mul_f64(scale));
             let frame = Frame::Submit { request_id, job };
             if let Err(e) = conn.send(&frame) {
                 conn.take_pending(request_id, |p| p.slot.resolve(Err(e)));
@@ -839,44 +924,52 @@ impl NetClient {
     /// and their reader threads stay untouched; metrics fetches never
     /// interleave with job responses.
     pub fn metrics_text(&self) -> Result<String, NetError> {
-        let (addr, config) = (self.conns[0].addr, self.conns[0].config.clone());
-        let mut stream = TcpStream::connect_timeout(&addr, config.handshake_timeout)
-            .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
-        stream
-            .set_read_timeout(Some(config.handshake_timeout))
-            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
-        let mut reader = FrameReader::new();
-        let version = negotiate(&mut stream, &mut reader, &config, None)?;
-        let read_one =
-            |stream: &mut TcpStream, reader: &mut FrameReader| -> Result<Frame, NetError> {
-                match reader.read_from(stream, config.max_frame_payload) {
-                    Ok(Some((frame, _))) => Ok(frame),
-                    Ok(None) => Err(NetError::ConnectionLost("metrics fetch timed out".into())),
-                    Err(e) => Err(NetError::ConnectionLost(e.to_string())),
-                }
-            };
-        write_frame_versioned(&mut stream, &Frame::MetricsDump { request_id: 1 }, version)
-            .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
-        loop {
-            match read_one(&mut stream, &mut reader)? {
-                Frame::MetricsText { text, .. } => {
-                    let _ = write_frame_versioned(&mut stream, &Frame::Goodbye, version);
-                    return Ok(text);
-                }
-                Frame::Goodbye => {
-                    return Err(NetError::Protocol(
-                        "server closed before answering the metrics dump".into(),
-                    ))
-                }
-                _other => continue,
-            }
-        }
+        fetch_metrics_text(self.conns[0].addr, &self.conns[0].config)
     }
 
     /// Says `Goodbye` on every connection and joins the reader threads.
     pub fn close(self) {
         for conn in &self.conns {
             conn.close();
+        }
+    }
+}
+
+/// One-shot metrics fetch over its own short-lived connection. The
+/// cluster's load sampler calls this directly with a shard address so
+/// sampling never takes a shard lock or touches pooled connections.
+pub(crate) fn fetch_metrics_text(
+    addr: SocketAddr,
+    config: &NetClientConfig,
+) -> Result<String, NetError> {
+    let mut stream = TcpStream::connect_timeout(&addr, config.handshake_timeout)
+        .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
+    stream
+        .set_read_timeout(Some(config.handshake_timeout))
+        .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+    let mut reader = FrameReader::new();
+    let version = negotiate(&mut stream, &mut reader, config, None)?;
+    let read_one = |stream: &mut TcpStream, reader: &mut FrameReader| -> Result<Frame, NetError> {
+        match reader.read_from(stream, config.max_frame_payload) {
+            Ok(Some((frame, _))) => Ok(frame),
+            Ok(None) => Err(NetError::ConnectionLost("metrics fetch timed out".into())),
+            Err(e) => Err(NetError::ConnectionLost(e.to_string())),
+        }
+    };
+    write_frame_versioned(&mut stream, &Frame::MetricsDump { request_id: 1 }, version)
+        .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+    loop {
+        match read_one(&mut stream, &mut reader)? {
+            Frame::MetricsText { text, .. } => {
+                let _ = write_frame_versioned(&mut stream, &Frame::Goodbye, version);
+                return Ok(text);
+            }
+            Frame::Goodbye => {
+                return Err(NetError::Protocol(
+                    "server closed before answering the metrics dump".into(),
+                ))
+            }
+            _other => continue,
         }
     }
 }
@@ -888,5 +981,51 @@ impl Drop for NetClient {
                 conn.close();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `Busy` retry schedules used to be `attempt *
+    /// busy_backoff` with no randomness, so every pooled connection
+    /// bounced by one backpressure wave slept the exact same interval
+    /// and resent in lockstep. The jittered schedules of two
+    /// connections must de-synchronize at every attempt.
+    #[test]
+    fn pooled_retry_schedules_desynchronize() {
+        let a = AtomicU64::new(jitter_seed());
+        let b = AtomicU64::new(jitter_seed());
+        let backoff = Duration::from_millis(2);
+        let mut distinct = 0usize;
+        for attempt in 1..=16u32 {
+            let sleep_a = backoff.mul_f64(f64::from(attempt) * next_jitter(&a));
+            let sleep_b = backoff.mul_f64(f64::from(attempt) * next_jitter(&b));
+            if sleep_a != sleep_b {
+                distinct += 1;
+            }
+        }
+        assert!(
+            distinct >= 15,
+            "two connections' retry timestamps stayed synchronized \
+             ({distinct}/16 attempts differed)"
+        );
+    }
+
+    /// The jitter multiplier stays inside `[0.5, 1.5)` (the backoff is
+    /// scaled, never zeroed or amplified past 1.5x) and the stream is
+    /// not constant.
+    #[test]
+    fn jitter_draws_are_bounded_and_vary() {
+        let state = AtomicU64::new(jitter_seed());
+        let draws: Vec<f64> = (0..256).map(|_| next_jitter(&state)).collect();
+        for &j in &draws {
+            assert!((0.5..1.5).contains(&j), "jitter {j} out of range");
+        }
+        assert!(
+            draws.windows(2).any(|w| w[0] != w[1]),
+            "jitter stream is constant"
+        );
     }
 }

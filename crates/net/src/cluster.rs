@@ -13,6 +13,18 @@
 //!   (each re-hashes among the survivors); jobs on healthy shards do
 //!   not reshuffle.
 //!
+//! With [`ClusterConfig::load_aware`] enabled, routing upgrades to
+//! *weighted* rendezvous: a background sampler on the prober thread
+//! polls each healthy shard's wire-exposed Prometheus metrics and reads
+//! the service-wide `tcast_queue_wait_microseconds` p50. Each shard's
+//! hash draw is converted to an exponential score `-ln(u) / w` with
+//! weight `w = REF / (REF + queue_wait_us)`, and the lowest score wins
+//! — so a backed-up shard sheds load proportionally while placement
+//! stays sticky for most keys. Signals degrade safely: a shard whose
+//! sample is stale (older than [`ClusterConfig::load_staleness`])
+//! weighs as if idle, and when *no* fresh signal exists the router
+//! falls back to exactly the unweighted integer rendezvous above.
+//!
 //! Failure handling is transparent: a handle that resolves to
 //! [`NetError::ConnectionLost`] or [`NetError::ServerShutdown`] marks
 //! the shard down, re-routes the job to the best surviving shard, and
@@ -28,7 +40,7 @@
 //! own metrics registry ([`ShardedClient::metrics`]).
 
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,8 +55,17 @@ use crate::client::{NetClient, NetClientConfig, NetError, NetJobHandle, NetJobRe
 /// How often the prober thread wakes to check for due re-dials.
 const PROBE_TICK: Duration = Duration::from_millis(10);
 
-/// Tuning knobs for [`ShardedClient`].
+/// Reference queue wait for the load weight `REF / (REF + wait_us)`: a
+/// shard whose median queue wait reaches this carries half the routing
+/// weight of an idle one.
+const LOAD_REF_US: f64 = 1000.0;
+
+/// Tuning knobs for [`ShardedClient`]. Construct via
+/// [`ClusterConfig::default`] plus the `with_*` builders — the struct
+/// is `#[non_exhaustive]` so new knobs can land without breaking
+/// callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClusterConfig {
     /// Per-shard connection settings (pool size, busy retries, ...).
     pub client: NetClientConfig,
@@ -53,6 +74,18 @@ pub struct ClusterConfig {
     pub probe_backoff: Duration,
     /// Upper bound on the probe backoff.
     pub probe_max_backoff: Duration,
+    /// Route by *weighted* rendezvous, biased away from shards reporting
+    /// high queue waits in their wire-exposed metrics. Off by default:
+    /// unweighted routing keeps placement a pure function of the job key
+    /// and the healthy set, which maximizes per-shard cache affinity.
+    pub load_aware: bool,
+    /// How often the background sampler polls each healthy shard's
+    /// metrics for its queue-wait signal (only with `load_aware`).
+    pub load_sample_interval: Duration,
+    /// A load sample older than this no longer biases routing: the shard
+    /// weighs as if idle, and with no fresh sample anywhere the router
+    /// is exactly the unweighted rendezvous.
+    pub load_staleness: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -61,7 +94,48 @@ impl Default for ClusterConfig {
             client: NetClientConfig::default(),
             probe_backoff: Duration::from_millis(50),
             probe_max_backoff: Duration::from_secs(2),
+            load_aware: false,
+            load_sample_interval: Duration::from_millis(500),
+            load_staleness: Duration::from_secs(3),
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Sets [`Self::client`].
+    pub fn with_client(mut self, client: NetClientConfig) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// Sets [`Self::probe_backoff`].
+    pub fn with_probe_backoff(mut self, probe_backoff: Duration) -> Self {
+        self.probe_backoff = probe_backoff;
+        self
+    }
+
+    /// Sets [`Self::probe_max_backoff`].
+    pub fn with_probe_max_backoff(mut self, probe_max_backoff: Duration) -> Self {
+        self.probe_max_backoff = probe_max_backoff;
+        self
+    }
+
+    /// Sets [`Self::load_aware`].
+    pub fn with_load_aware(mut self, load_aware: bool) -> Self {
+        self.load_aware = load_aware;
+        self
+    }
+
+    /// Sets [`Self::load_sample_interval`].
+    pub fn with_load_sample_interval(mut self, load_sample_interval: Duration) -> Self {
+        self.load_sample_interval = load_sample_interval;
+        self
+    }
+
+    /// Sets [`Self::load_staleness`].
+    pub fn with_load_staleness(mut self, load_staleness: Duration) -> Self {
+        self.load_staleness = load_staleness;
+        self
     }
 }
 
@@ -102,6 +176,59 @@ struct ShardState {
     next_probe: Instant,
 }
 
+/// The latest queue-wait signal for one shard, as sampled from its
+/// wire-exposed Prometheus metrics (or injected by a test seam).
+struct ShardLoad {
+    /// Sampled p50 queue wait in microseconds, stored as `f64` bits.
+    queue_wait_us: AtomicU64,
+    /// Milliseconds since the cluster started, plus one, at sampling
+    /// time; `0` means never sampled.
+    sampled_at_ms: AtomicU64,
+}
+
+impl ShardLoad {
+    fn new() -> Self {
+        Self {
+            queue_wait_us: AtomicU64::new(0),
+            sampled_at_ms: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, queue_wait_us: f64, now_ms: u64) {
+        self.queue_wait_us
+            .store(queue_wait_us.to_bits(), Ordering::Relaxed);
+        self.sampled_at_ms.store(now_ms + 1, Ordering::Release);
+    }
+
+    fn is_fresh(&self, now_ms: u64, staleness: Duration) -> bool {
+        let at = self.sampled_at_ms.load(Ordering::Acquire);
+        at != 0 && now_ms.saturating_sub(at - 1) <= staleness.as_millis() as u64
+    }
+
+    /// The routing weight in `(0, 1]`: `1` when idle or when the sample
+    /// went stale, shrinking toward `0` as queue waits grow past
+    /// [`LOAD_REF_US`].
+    fn weight(&self, now_ms: u64, staleness: Duration) -> f64 {
+        if !self.is_fresh(now_ms, staleness) {
+            return 1.0;
+        }
+        let wait = f64::from_bits(self.queue_wait_us.load(Ordering::Relaxed)).max(0.0);
+        LOAD_REF_US / (LOAD_REF_US + wait)
+    }
+}
+
+/// Extracts the p50 of the service-wide queue-wait summary from a
+/// Prometheus exposition dump. Absent until the shard has executed at
+/// least one job (the section is activity-gated).
+fn parse_queue_wait_us(text: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        line.strip_prefix("tcast_queue_wait_microseconds{quantile=\"0.5\"}")?
+            .trim()
+            .parse()
+            .ok()
+    })
+}
+
 struct ClusterInner {
     addrs: Vec<SocketAddr>,
     /// Stable per-shard identity fed into the rendezvous hash.
@@ -110,6 +237,11 @@ struct ClusterInner {
     /// Health flags readable without touching a shard lock, so routing
     /// never blocks on a shard that is mid-(re)connect.
     healthy: Vec<AtomicBool>,
+    /// Per-shard load signals feeding weighted routing (inert unless
+    /// [`ClusterConfig::load_aware`]).
+    loads: Vec<ShardLoad>,
+    /// Epoch for the millisecond timestamps in [`ShardLoad`].
+    started: Instant,
     events: Mutex<Vec<ClusterEvent>>,
     metrics: MetricsRegistry,
     config: ClusterConfig,
@@ -121,10 +253,31 @@ impl ClusterInner {
         self.events.lock().push(event);
     }
 
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
     /// Rendezvous-hashes `job` over the healthy, non-excluded shards.
+    ///
+    /// With `load_aware` set and at least one candidate carrying a fresh
+    /// load sample, each shard's draw becomes the exponential score
+    /// `-ln(u) / w` (lowest wins), which picks shards with probability
+    /// proportional to their weight while staying sticky per key. With
+    /// no fresh signal this is bit-for-bit the classic unweighted
+    /// integer rendezvous (highest fingerprint wins, ties to the lowest
+    /// index).
     fn route(&self, job: &QueryJob, excluded: &[bool]) -> Option<usize> {
         let key = job.cache_key();
-        let mut best: Option<(u64, usize)> = None;
+        let now_ms = self.now_ms();
+        let staleness = self.config.load_staleness;
+        let weighted = self.config.load_aware
+            && self.loads.iter().enumerate().any(|(shard, load)| {
+                !excluded[shard]
+                    && self.healthy[shard].load(Ordering::SeqCst)
+                    && load.is_fresh(now_ms, staleness)
+            });
+        let mut best_plain: Option<(u64, usize)> = None;
+        let mut best_scored: Option<(f64, usize)> = None;
         for (shard, label) in self.labels.iter().enumerate() {
             if excluded[shard] || !self.healthy[shard].load(Ordering::SeqCst) {
                 continue;
@@ -132,13 +285,56 @@ impl ClusterInner {
             let mut buf = Vec::with_capacity(label.len() + key.len());
             buf.extend_from_slice(label.as_bytes());
             buf.extend_from_slice(&key);
-            let weight = fingerprint64(&buf);
-            // Strict `>` keeps ties deterministic (lowest index wins).
-            if best.is_none_or(|(w, _)| weight > w) {
-                best = Some((weight, shard));
+            let fingerprint = fingerprint64(&buf);
+            if weighted {
+                // Top 53 bits → uniform in (0, 1), so ln never sees 0.
+                let u = ((fingerprint >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+                let score = -u.ln() / self.loads[shard].weight(now_ms, staleness);
+                // Strict `<` keeps ties deterministic (lowest index wins).
+                if best_scored.is_none_or(|(s, _)| score < s) {
+                    best_scored = Some((score, shard));
+                }
+            } else {
+                // Strict `>` keeps ties deterministic (lowest index wins).
+                if best_plain.is_none_or(|(w, _)| fingerprint > w) {
+                    best_plain = Some((fingerprint, shard));
+                }
             }
         }
-        best.map(|(_, shard)| shard)
+        best_scored
+            .map(|(_, shard)| shard)
+            .or(best_plain.map(|(_, shard)| shard))
+    }
+
+    /// One sampler pass: poll each healthy shard's metrics over its own
+    /// short-lived connection (never a shard lock) and record the
+    /// queue-wait signal. Shards that answer without the queue-wait
+    /// section (no jobs executed yet) simply contribute no sample.
+    fn sample_shard_loads(&self) {
+        for shard in 0..self.addrs.len() {
+            if self.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            if !self.healthy[shard].load(Ordering::SeqCst) {
+                continue;
+            }
+            let Ok(text) =
+                crate::client::fetch_metrics_text(self.addrs[shard], &self.config.client)
+            else {
+                continue;
+            };
+            if let Some(queue_wait_us) = parse_queue_wait_us(&text) {
+                self.loads[shard].record(queue_wait_us, self.now_ms());
+                tcast_obs::event(
+                    tcast_obs::TraceId::NONE,
+                    "cluster.load_sample",
+                    &[
+                        ("shard", shard as u64),
+                        ("queue_wait_us", queue_wait_us as u64),
+                    ],
+                );
+            }
+        }
     }
 
     /// Writes `job` to `shard`'s connection; `None` when the shard has
@@ -405,11 +601,14 @@ impl ShardedClient {
             .enumerate()
             .map(|(shard, addr)| format!("{shard}:{addr}"))
             .collect();
+        let loads = (0..resolved.len()).map(|_| ShardLoad::new()).collect();
         let inner = Arc::new(ClusterInner {
             addrs: resolved,
             labels,
             shards,
             healthy,
+            loads,
+            started: Instant::now(),
             events: Mutex::new(events),
             metrics,
             config,
@@ -421,8 +620,16 @@ impl ShardedClient {
             std::thread::Builder::new()
                 .name("tcast-cluster-prober".into())
                 .spawn(move || {
+                    let mut last_sample: Option<Instant> = None;
                     while !inner.closing.load(Ordering::SeqCst) {
                         inner.probe_down_shards();
+                        let due = inner.config.load_aware
+                            && last_sample
+                                .is_none_or(|at| at.elapsed() >= inner.config.load_sample_interval);
+                        if due {
+                            inner.sample_shard_loads();
+                            last_sample = Some(Instant::now());
+                        }
                         std::thread::sleep(PROBE_TICK);
                     }
                 })
@@ -450,10 +657,21 @@ impl ShardedClient {
     }
 
     /// The shard `job` would route to right now, or `None` when no
-    /// shard is healthy. Stable while the healthy set is unchanged.
+    /// shard is healthy. Stable while the healthy set is unchanged —
+    /// and, under [`ClusterConfig::load_aware`], while the shards' load
+    /// samples are unchanged.
     pub fn route_of(&self, job: &QueryJob) -> Option<usize> {
         let excluded = vec![false; self.inner.addrs.len()];
         self.inner.route(job, &excluded)
+    }
+
+    /// Records a queue-wait load sample for `shard` as if the background
+    /// sampler had just fetched it off the wire. A deterministic seam
+    /// for tests and external control planes; routing treats injected
+    /// and sampled signals identically (including staleness decay).
+    pub fn inject_load_sample(&self, shard: usize, queue_wait: Duration) {
+        assert!(shard < self.inner.addrs.len(), "no such shard: {shard}");
+        self.inner.loads[shard].record(queue_wait.as_secs_f64() * 1e6, self.inner.now_ms());
     }
 
     /// Submits `jobs` across the cluster, pipelined: every job is

@@ -399,18 +399,39 @@ impl Frame {
     /// frame can reach.
     pub fn to_bytes_versioned(&self, version: u8) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + 64);
-        out.extend_from_slice(&MAGIC);
-        out.push(self.type_byte());
-        out.push(version);
-        put_u64(&mut out, self.request_id());
-        put_u32(&mut out, 0); // payload length backpatched below
-        self.encode_payload(&mut out, version);
-        let payload_len = out.len() - HEADER_LEN;
-        let len32 = u32::try_from(payload_len).expect("payload exceeds u32::MAX");
-        out[14..18].copy_from_slice(&len32.to_le_bytes());
-        let crc = crc32(&out[..HEADER_LEN + payload_len]);
-        put_u32(&mut out, crc);
+        self.encode_into(&mut out, version);
         out
+    }
+
+    /// Appends the frame's full wire representation (header, payload, CRC
+    /// trailer) at `version` to `out` — the zero-copy sibling of
+    /// [`Frame::to_bytes_versioned`]: many frames encode back to back
+    /// into one outbound buffer with no intermediate allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes, which no legal
+    /// frame can reach.
+    pub fn encode_into(&self, out: &mut Vec<u8>, version: u8) {
+        encode_frame_into(out, version, self.type_byte(), self.request_id(), |out| {
+            self.encode_payload(out, version)
+        });
+    }
+
+    /// Appends a `JobOk` response for `request_id` carrying `report` —
+    /// the zero-copy response path: the server encodes straight from a
+    /// borrowed report into the connection's outbound buffer, without
+    /// materializing a [`Frame`] (which would clone the report).
+    /// Byte-identical to `Frame::JobOk { .. }.encode_into(..)`.
+    pub fn encode_job_ok_into(
+        out: &mut Vec<u8>,
+        version: u8,
+        request_id: u64,
+        report: &QueryReport,
+    ) {
+        encode_frame_into(out, version, frame_type::JOB_OK, request_id, |out| {
+            report.encode(out)
+        });
     }
 
     /// Parses one complete frame (header + payload + CRC) from `bytes`.
@@ -510,6 +531,30 @@ impl Frame {
             .map_err(|e| MalformedFrame::Payload(e.to_string()))?;
         Ok(frame)
     }
+}
+
+/// Appends one framed message to `out`: header, the payload produced by
+/// `payload`, then the CRC trailer, with the length backpatched relative
+/// to the frame's own base (so frames stack in one buffer).
+fn encode_frame_into(
+    out: &mut Vec<u8>,
+    version: u8,
+    type_byte: u8,
+    request_id: u64,
+    payload: impl FnOnce(&mut Vec<u8>),
+) {
+    let base = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(type_byte);
+    out.push(version);
+    put_u64(out, request_id);
+    put_u32(out, 0); // payload length backpatched below
+    payload(out);
+    let payload_len = out.len() - base - HEADER_LEN;
+    let len32 = u32::try_from(payload_len).expect("payload exceeds u32::MAX");
+    out[base + 14..base + 18].copy_from_slice(&len32.to_le_bytes());
+    let crc = crc32(&out[base..]);
+    put_u32(out, crc);
 }
 
 fn encode_job(job: &QueryJob, out: &mut Vec<u8>, version: u8) {
@@ -854,6 +899,42 @@ mod tests {
             Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD),
             Err(MalformedFrame::Payload(msg)) if msg.contains("priority tag 7")
         ));
+    }
+
+    #[test]
+    fn encode_into_stacks_frames_and_matches_to_bytes() {
+        let a = Frame::Submit {
+            request_id: 1,
+            job: sample_job(),
+        };
+        let b = Frame::JobOk {
+            request_id: 1,
+            report: QueryReport::trivial(true),
+        };
+        let mut out = Vec::new();
+        a.encode_into(&mut out, PROTOCOL_V3);
+        b.encode_into(&mut out, PROTOCOL_V3);
+        let mut expected = a.to_bytes_versioned(PROTOCOL_V3);
+        expected.extend_from_slice(&b.to_bytes_versioned(PROTOCOL_V3));
+        assert_eq!(
+            out, expected,
+            "stacked frames must match one-at-a-time bytes"
+        );
+    }
+
+    #[test]
+    fn job_ok_encodes_zero_copy_from_a_borrowed_report() {
+        let report = QueryReport::trivial(false);
+        let mut out = Vec::new();
+        Frame::encode_job_ok_into(&mut out, PROTOCOL_V2, 9, &report);
+        assert_eq!(
+            out,
+            Frame::JobOk {
+                request_id: 9,
+                report,
+            }
+            .to_bytes_versioned(PROTOCOL_V2),
+        );
     }
 
     #[test]

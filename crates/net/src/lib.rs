@@ -73,3 +73,17 @@ pub use frame::{
     PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
 };
 pub use server::{NetServer, NetServerConfig};
+
+/// Blessed network-tier entrypoints, layered over
+/// [`tcast_service::prelude`].
+///
+/// `use tcast_net::prelude::*;` brings in everything a typical remote
+/// embedding needs: the core + service surface plus the wire client,
+/// server, and sharded-cluster front-end.
+pub mod prelude {
+    pub use tcast_service::prelude::*;
+
+    pub use crate::client::{NetClient, NetClientConfig, NetError, TenantAuth};
+    pub use crate::cluster::{ClusterConfig, ShardedClient};
+    pub use crate::server::{NetServer, NetServerConfig};
+}

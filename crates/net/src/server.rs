@@ -15,12 +15,14 @@
 //! stacks.
 //!
 //! Responses are produced by completion watchers running on the
-//! service's workers. A watcher enqueues the response frame on its
-//! connection's outbound queue and rings the I/O thread's doorbell
-//! ([`crate::reactor::Waker`]); the reactor serializes the frame into
-//! the connection's write buffer and arms write-interest. Results
-//! stream back in *completion* order, matched by request id, never by
-//! arrival order.
+//! service's workers. A watcher serializes the response straight into
+//! its connection's outbound byte buffer — a `JobOk` is encoded from
+//! the borrowed report via [`Frame::encode_job_ok_into`], so the report
+//! is never cloned into an owned frame — and rings the I/O thread's
+//! doorbell ([`crate::reactor::Waker`]); the reactor hands the bytes to
+//! the connection's write buffer (a buffer swap when the write buffer
+//! is drained) and arms write-interest. Results stream back in
+//! *completion* order, matched by request id, never by arrival order.
 //!
 //! Backpressure is explicit at both edges. Inbound, a full service
 //! queue or in-flight window answers the request with an
@@ -37,7 +39,6 @@
 //! their responses are written, then each connection says `Goodbye` and
 //! closes.
 
-use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -55,8 +56,12 @@ use crate::frame::{
 };
 use crate::reactor::{poll_fds, AcceptBackoff, PollFd, Waker};
 
-/// Tuning knobs for [`NetServer`].
+/// Tuning knobs for [`NetServer`]. Construct via
+/// [`NetServerConfig::default`] plus the `with_*` builders — the struct
+/// is `#[non_exhaustive]` so new knobs can land without breaking
+/// callers.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct NetServerConfig {
     /// Maximum jobs one connection may have in flight before further
     /// submits are answered with `Busy`.
@@ -98,6 +103,48 @@ impl Default for NetServerConfig {
 }
 
 impl NetServerConfig {
+    /// Sets [`Self::max_inflight_per_conn`].
+    pub fn with_max_inflight_per_conn(mut self, max_inflight_per_conn: usize) -> Self {
+        self.max_inflight_per_conn = max_inflight_per_conn;
+        self
+    }
+
+    /// Sets [`Self::idle_timeout`].
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Sets [`Self::handshake_timeout`].
+    pub fn with_handshake_timeout(mut self, handshake_timeout: Duration) -> Self {
+        self.handshake_timeout = handshake_timeout;
+        self
+    }
+
+    /// Sets [`Self::max_frame_payload`].
+    pub fn with_max_frame_payload(mut self, max_frame_payload: u32) -> Self {
+        self.max_frame_payload = max_frame_payload;
+        self
+    }
+
+    /// Sets [`Self::io_threads`].
+    pub fn with_io_threads(mut self, io_threads: usize) -> Self {
+        self.io_threads = io_threads;
+        self
+    }
+
+    /// Sets [`Self::max_pending_writes`].
+    pub fn with_max_pending_writes(mut self, max_pending_writes: usize) -> Self {
+        self.max_pending_writes = max_pending_writes;
+        self
+    }
+
+    /// Sets [`Self::write_stall_timeout`].
+    pub fn with_write_stall_timeout(mut self, write_stall_timeout: Duration) -> Self {
+        self.write_stall_timeout = write_stall_timeout;
+        self
+    }
+
     /// The resolved I/O pool size: the configured [`Self::io_threads`],
     /// or `min(8, available cores)` when left at `0`.
     pub fn io_thread_count(&self) -> usize {
@@ -257,7 +304,7 @@ impl Drop for NetServer {
 struct Inbox {
     /// Sockets accepted but not yet registered with the reactor.
     new_conns: Mutex<Vec<TcpStream>>,
-    /// Connections whose watchers queued response frames since the
+    /// Connections whose watchers queued response bytes since the
     /// reactor last looked.
     completions: Mutex<Vec<Arc<ConnShared>>>,
     /// Set by the acceptor on exit: no more `new_conns` will ever come.
@@ -282,8 +329,9 @@ struct ConnShared {
     /// Index of the connection in its I/O thread's slab. Slots are
     /// reused, so consumers must also check pointer identity.
     slot: usize,
-    /// Response frames queued by watchers, not yet serialized.
-    outbound: Mutex<VecDeque<Frame>>,
+    /// Response bytes serialized by watchers, awaiting handoff to the
+    /// connection's write buffer on the reactor thread.
+    outbound: Mutex<Vec<u8>>,
     /// Jobs admitted but whose response frame is not yet queued.
     inflight: AtomicUsize,
     /// Set once the reactor closes the socket; watchers stop queueing.
@@ -348,9 +396,9 @@ impl Conn {
 /// Serializes `frame` onto the connection's write buffer (responses are
 /// encoded at protocol version 1, which every negotiated peer accepts).
 fn queue_frame(counters: &NetCounters, conn: &mut Conn, frame: &Frame) {
-    let bytes = frame.to_bytes();
-    counters.frame_out(bytes.len() as u64);
-    conn.wbuf.extend_from_slice(&bytes);
+    let before = conn.wbuf.len();
+    frame.encode_into(&mut conn.wbuf, PROTOCOL_V1);
+    counters.frame_out((conn.wbuf.len() - before) as u64);
 }
 
 /// One reactor thread: owns a slab of connections and multiplexes them
@@ -450,7 +498,7 @@ impl IoThread {
             reader: FrameReader::new(),
             shared: Arc::new(ConnShared {
                 slot,
-                outbound: Mutex::new(VecDeque::new()),
+                outbound: Mutex::new(Vec::new()),
                 inflight: AtomicUsize::new(0),
                 closed: AtomicBool::new(false),
                 notified: AtomicBool::new(false),
@@ -481,17 +529,24 @@ impl IoThread {
         self.live -= 1;
     }
 
-    /// Moves watcher-queued response frames into the write buffer and
-    /// pushes them toward the socket.
+    /// Moves watcher-serialized response bytes into the write buffer and
+    /// pushes them toward the socket. When the write buffer is fully
+    /// drained this is a buffer swap, not a copy — the watchers' bytes
+    /// go to the socket untouched, and the watchers inherit the write
+    /// buffer's capacity for the next responses.
     fn pump(&mut self, slot: usize) {
         let Some(conn) = self.conns[slot].as_mut() else {
             return;
         };
-        loop {
-            let Some(frame) = conn.shared.outbound.lock().pop_front() else {
-                break;
-            };
-            queue_frame(&self.counters, conn, &frame);
+        {
+            let mut out = conn.shared.outbound.lock();
+            if !out.is_empty() {
+                if conn.wbuf.is_empty() && conn.wpos == 0 {
+                    std::mem::swap(&mut conn.wbuf, &mut *out);
+                } else {
+                    conn.wbuf.append(&mut *out);
+                }
+            }
         }
         if conn.pending_writes() > self.config.max_pending_writes {
             self.close(slot);
@@ -776,24 +831,31 @@ impl IoThread {
         let watcher = {
             let shared = shared.clone();
             let inbox = self.inbox.clone();
+            let counters = self.counters.clone();
             Arc::new(move |_index: usize, result: &tcast_service::JobResult| {
                 tcast_obs::event(trace, "net.respond", &[("request_id", request_id)]);
-                let frame = match result {
-                    Ok(JobOutput::Report(report)) => Frame::JobOk {
-                        request_id,
-                        report: report.clone(),
-                    },
-                    Ok(other) => Frame::JobFailed {
-                        request_id,
-                        error: JobError::Panicked(format!("non-report job output: {other:?}")),
-                    },
-                    Err(e) => Frame::JobFailed {
-                        request_id,
-                        error: e.clone(),
-                    },
-                };
                 if !shared.closed.load(Ordering::Acquire) {
-                    shared.outbound.lock().push_back(frame);
+                    // Serialize straight into the shared outbound buffer:
+                    // a report is encoded borrowed, never cloned into an
+                    // owned frame on the worker's completion path.
+                    let mut out = shared.outbound.lock();
+                    let before = out.len();
+                    match result {
+                        Ok(JobOutput::Report(report)) => {
+                            Frame::encode_job_ok_into(&mut out, PROTOCOL_V1, request_id, report);
+                        }
+                        Ok(other) => Frame::JobFailed {
+                            request_id,
+                            error: JobError::Panicked(format!("non-report job output: {other:?}")),
+                        }
+                        .encode_into(&mut out, PROTOCOL_V1),
+                        Err(e) => Frame::JobFailed {
+                            request_id,
+                            error: e.clone(),
+                        }
+                        .encode_into(&mut out, PROTOCOL_V1),
+                    }
+                    counters.frame_out((out.len() - before) as u64);
                 }
                 shared.inflight.fetch_sub(1, Ordering::AcqRel);
                 if shared

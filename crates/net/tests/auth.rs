@@ -46,10 +46,10 @@ fn sample_job() -> QueryJob {
 }
 
 fn client_config(auth: Option<TenantAuth>) -> NetClientConfig {
-    NetClientConfig {
-        handshake_timeout: Duration::from_secs(2),
-        auth,
-        ..NetClientConfig::default()
+    let config = NetClientConfig::default().with_handshake_timeout(Duration::from_secs(2));
+    match auth {
+        Some(auth) => config.with_auth(auth),
+        None => config,
     }
 }
 

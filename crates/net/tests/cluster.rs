@@ -176,11 +176,9 @@ fn a_shard_that_is_down_at_connect_recovers_through_the_prober() {
     let dead = dead_addr();
     let addrs = vec![server_a.local_addr(), server_b.local_addr(), dead];
 
-    let config = ClusterConfig {
-        probe_backoff: Duration::from_millis(10),
-        probe_max_backoff: Duration::from_millis(50),
-        ..ClusterConfig::default()
-    };
+    let config = ClusterConfig::default()
+        .with_probe_backoff(Duration::from_millis(10))
+        .with_probe_max_backoff(Duration::from_millis(50));
     let cluster = ShardedClient::connect(addrs, config).expect("two of three shards suffice");
     assert_eq!(cluster.healthy_shards(), 2);
     assert!(
@@ -280,13 +278,8 @@ fn priorities_and_tenancy_ride_through_the_cluster() {
     let addrs: Vec<_> = servers.iter().map(|(s, _)| s.local_addr()).collect();
     let cluster = ShardedClient::connect(
         addrs,
-        ClusterConfig {
-            client: NetClientConfig {
-                auth: Some(TenantAuth::new("alice", KEY)),
-                ..NetClientConfig::default()
-            },
-            ..ClusterConfig::default()
-        },
+        ClusterConfig::default()
+            .with_client(NetClientConfig::default().with_auth(TenantAuth::new("alice", KEY))),
     )
     .expect("authenticated cluster connect");
 
@@ -330,4 +323,163 @@ fn priorities_and_tenancy_ride_through_the_cluster() {
     for (server, _) in servers {
         server.shutdown();
     }
+}
+
+/// Load-aware weighted routing under a skewed 3-shard load signal:
+/// placements shed off the loaded shard, the modeled p99 queue wait
+/// beats pure rendezvous, and the reports stay bit-identical.
+#[test]
+fn weighted_routing_beats_rendezvous_p99_under_skewed_load() {
+    let servers: Vec<_> = (0..3).map(|_| start_server(2)).collect();
+    let addrs: Vec<_> = servers.iter().map(|(s, _)| s.local_addr()).collect();
+    // Two front-ends over the same shards (identical labels): one pure
+    // rendezvous, one load-aware. The aware one keeps the background
+    // sampler out of the way so the test owns the signal via the
+    // injection seam.
+    let plain = ShardedClient::connect(addrs.clone(), ClusterConfig::default()).expect("connect");
+    let aware = ShardedClient::connect(
+        addrs,
+        ClusterConfig::default()
+            .with_load_aware(true)
+            .with_load_sample_interval(Duration::from_secs(3600))
+            .with_load_staleness(Duration::from_secs(3600)),
+    )
+    .expect("connect");
+
+    // Shard 0 reports a 20 ms median queue wait; shards 1 and 2 idle.
+    aware.inject_load_sample(0, Duration::from_millis(20));
+    aware.inject_load_sample(1, Duration::from_micros(50));
+    aware.inject_load_sample(2, Duration::from_micros(50));
+
+    let jobs = job_mix(600, 0x10AD_BA1A);
+    let place = |cluster: &ShardedClient| -> Vec<usize> {
+        jobs.iter()
+            .map(|j| cluster.route_of(j).expect("healthy shard"))
+            .collect()
+    };
+    let plain_placement = place(&plain);
+    let aware_placement = place(&aware);
+
+    let share = |placement: &[usize], shard: usize| {
+        placement.iter().filter(|&&s| s == shard).count() as f64 / placement.len() as f64
+    };
+    assert!(
+        (0.2..0.47).contains(&share(&plain_placement, 0)),
+        "pure rendezvous should spread evenly; shard 0 got {:.3}",
+        share(&plain_placement, 0)
+    );
+    assert!(
+        share(&aware_placement, 0) < 0.15,
+        "weighted routing should shed load off the slow shard; it kept {:.3}",
+        share(&aware_placement, 0)
+    );
+
+    // Model each shard as a serial queue, 10x slower service on the
+    // loaded shard: a job's wait is the work queued ahead of it on its
+    // shard. The weighted placement's p99 wait must beat rendezvous.
+    let p99_wait = |placement: &[usize]| -> u64 {
+        let mut depth = [0u64; 3];
+        let mut waits: Vec<u64> = placement
+            .iter()
+            .map(|&s| {
+                let wait = depth[s];
+                depth[s] += if s == 0 { 10 } else { 1 };
+                wait
+            })
+            .collect();
+        waits.sort_unstable();
+        waits[(waits.len() * 99) / 100]
+    };
+    let (plain_p99, aware_p99) = (p99_wait(&plain_placement), p99_wait(&aware_placement));
+    assert!(
+        aware_p99 < plain_p99,
+        "weighted p99 wait {aware_p99} must beat rendezvous p99 {plain_p99}"
+    );
+
+    // The weighted path changes placement only — reports stay
+    // bit-identical to in-process execution.
+    let sample: Vec<QueryJob> = jobs.iter().take(24).copied().collect();
+    let expected = in_process(&sample);
+    let got: Vec<QueryReport> = aware
+        .submit(sample)
+        .wait()
+        .into_iter()
+        .map(|r| r.expect("job succeeded"))
+        .collect();
+    assert_eq!(expected, got);
+
+    plain.close();
+    aware.close();
+    for (server, _service) in servers {
+        server.shutdown();
+    }
+}
+
+/// Signal-degradation contract: before any load sample arrives and
+/// again after every sample goes stale, a load-aware cluster routes
+/// exactly like pure rendezvous.
+#[test]
+fn load_aware_routing_degrades_to_rendezvous_on_stale_signals() {
+    let servers: Vec<_> = (0..3).map(|_| start_server(1)).collect();
+    let addrs: Vec<_> = servers.iter().map(|(s, _)| s.local_addr()).collect();
+    let plain = ShardedClient::connect(addrs.clone(), ClusterConfig::default()).expect("connect");
+    let aware = ShardedClient::connect(
+        addrs,
+        ClusterConfig::default()
+            .with_load_aware(true)
+            .with_load_sample_interval(Duration::from_secs(3600))
+            .with_load_staleness(Duration::from_millis(80)),
+    )
+    .expect("connect");
+
+    let jobs = job_mix(120, 0x0005_7A1E);
+    let routes = |cluster: &ShardedClient| -> Vec<Option<usize>> {
+        jobs.iter().map(|j| cluster.route_of(j)).collect()
+    };
+
+    // No sample yet: the weighted router IS the unweighted one.
+    assert_eq!(routes(&aware), routes(&plain), "no-signal routing differs");
+
+    // A heavily skewed fresh signal must move at least one placement.
+    aware.inject_load_sample(0, Duration::from_millis(50));
+    aware.inject_load_sample(1, Duration::from_micros(1));
+    aware.inject_load_sample(2, Duration::from_micros(1));
+    assert_ne!(
+        routes(&aware),
+        routes(&plain),
+        "a skewed fresh signal must bias placement"
+    );
+
+    // Once the samples age past the staleness window, the router falls
+    // back to pure rendezvous — bit-for-bit the same placements.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(routes(&aware), routes(&plain), "stale routing differs");
+
+    plain.close();
+    aware.close();
+    for (server, _service) in servers {
+        server.shutdown();
+    }
+}
+
+/// The queue-wait signal the sampler feeds on is actually exposed over
+/// the wire: after a shard executes jobs, its Prometheus dump carries
+/// the `tcast_queue_wait_microseconds` summary the sampler parses.
+#[test]
+fn queue_wait_signal_is_exposed_over_the_wire() {
+    use tcast_net::{NetClient, NetClientConfig};
+
+    let (server, _service) = start_server(2);
+    let client =
+        NetClient::connect(server.local_addr(), NetClientConfig::default()).expect("connect");
+    for result in client.submit(job_mix(8, 0x9_1E7)).wait() {
+        result.expect("job succeeded");
+    }
+    let text = client.metrics_text().expect("metrics fetch");
+    assert!(
+        text.contains("tcast_queue_wait_microseconds{quantile=\"0.5\"}"),
+        "queue-wait p50 missing from the wire exposition:\n{text}"
+    );
+    client.close();
+    server.shutdown();
 }

@@ -116,14 +116,12 @@ fn tiny_job(seed: u64) -> QueryJob {
 fn stalled_reader_is_closed_promptly_instead_of_becoming_a_zombie() {
     let (server, service) = start_server(
         1,
-        NetServerConfig {
-            // The close must come from the dead write path, not from
-            // idle or stall slack: generous idle, tight write budget.
-            idle_timeout: Duration::from_secs(120),
-            max_pending_writes: 32 * 1024,
-            write_stall_timeout: Duration::from_millis(300),
-            ..NetServerConfig::default()
-        },
+        // The close must come from the dead write path, not from
+        // idle or stall slack: generous idle, tight write budget.
+        NetServerConfig::default()
+            .with_idle_timeout(Duration::from_secs(120))
+            .with_max_pending_writes(32 * 1024)
+            .with_write_stall_timeout(Duration::from_millis(300)),
     );
     let (mut stream, _reader) = handshake(&server);
     assert!(
@@ -158,10 +156,7 @@ fn stalled_reader_is_closed_promptly_instead_of_becoming_a_zombie() {
 fn slow_sender_mid_frame_survives_the_idle_timeout() {
     let (server, _service) = start_server(
         1,
-        NetServerConfig {
-            idle_timeout: Duration::from_millis(200),
-            ..NetServerConfig::default()
-        },
+        NetServerConfig::default().with_idle_timeout(Duration::from_millis(200)),
     );
     let (mut stream, mut reader) = handshake(&server);
 

@@ -113,18 +113,12 @@ fn batch_handles_are_non_consuming_and_wait_timeout_resolves() {
 fn a_connection_pipelines_64_inflight_requests_with_out_of_order_completion() {
     let (server, _service) = start_server(
         4,
-        NetServerConfig {
-            max_inflight_per_conn: 128,
-            ..NetServerConfig::default()
-        },
+        NetServerConfig::default().with_max_inflight_per_conn(128),
     );
     // One connection only: every request id rides the same TCP stream.
     let client = NetClient::connect(
         server.local_addr(),
-        NetClientConfig {
-            pool_size: 1,
-            ..NetClientConfig::default()
-        },
+        NetClientConfig::default().with_pool_size(1),
     )
     .expect("connect");
 
@@ -186,21 +180,14 @@ fn busy_backpressure_is_retried_transparently() {
     // In-flight window of 1 forces the server to bounce overlapping
     // submits with `Busy`; the client's retry loop must still land every
     // job, with results identical to an unconstrained run.
-    let (server, _service) = start_server(
-        2,
-        NetServerConfig {
-            max_inflight_per_conn: 1,
-            ..NetServerConfig::default()
-        },
-    );
+    let (server, _service) =
+        start_server(2, NetServerConfig::default().with_max_inflight_per_conn(1));
     let client = NetClient::connect(
         server.local_addr(),
-        NetClientConfig {
-            pool_size: 1,
-            busy_retries: 200,
-            busy_backoff: Duration::from_millis(1),
-            ..NetClientConfig::default()
-        },
+        NetClientConfig::default()
+            .with_pool_size(1)
+            .with_busy_retries(200)
+            .with_busy_backoff(Duration::from_millis(1)),
     )
     .expect("connect");
 

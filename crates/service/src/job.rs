@@ -11,8 +11,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use tcast::{
-    population, Abns, ChannelSpec, ExpIncrease, OracleBins, ProbAbns, QueryReport, RetryPolicy,
-    RunOptions, ThresholdQuerier, TwoTBins,
+    population, Abns, ChannelSpec, EngineScratch, ExecutionProfile, ExpIncrease, OracleBins,
+    ProbAbns, QueryReport, RetryPolicy, ThresholdQuerier, TwoTBins,
 };
 use tcast_stats::Summary;
 
@@ -152,6 +152,18 @@ impl QueryJob {
         self
     }
 
+    /// Returns the job running under `profile`: the profile's retry and
+    /// defense policies replace the channel spec's. The batch-size knob
+    /// is service-side scheduling (see `ServiceConfig::with_batch_size`)
+    /// and does not shape the job. Both policies participate in
+    /// [`QueryJob::cache_key`] via the channel spec, so two jobs differing
+    /// only in profile never collide in the session cache.
+    pub fn with_profile(mut self, profile: ExecutionProfile) -> Self {
+        self.channel.retry = profile.retry;
+        self.channel.defense = profile.defense;
+        self
+    }
+
     /// Returns the job tagged with a trace id; its engine rounds,
     /// service spans, and wire hops will all correlate under it.
     pub fn with_trace(mut self, trace: tcast_obs::TraceId) -> Self {
@@ -227,7 +239,10 @@ impl QueryJob {
         let (mut channel, truth) = tcast_adversary::build_with_truth(&self.channel);
         let algorithm = self.algorithm.build(truth);
         let mut rng = SmallRng::seed_from_u64(self.session_seed);
-        let options = RunOptions::retrying(self.retry_policy()).with_defense(self.channel.defense);
+        let options = ExecutionProfile::new()
+            .with_retry(self.retry_policy())
+            .with_defense(self.channel.defense)
+            .options();
         algorithm.run_with_options(
             &population(self.channel.n),
             self.t,
@@ -235,6 +250,32 @@ impl QueryJob {
             &mut rng,
             options,
         )
+    }
+
+    /// [`execute`](Self::execute) over pooled engine buffers: the
+    /// batch-native path workers use, reusing `scratch` across jobs so
+    /// steady-state execution stops allocating per query. Bit-identical
+    /// to [`execute`](Self::execute) — a scratch is capacity, never state
+    /// (pinned by `tests/batch_parity.rs`).
+    pub fn execute_in(&self, scratch: &mut EngineScratch) -> QueryReport {
+        let _scope = tcast_obs::scoped_trace(self.trace);
+        let (mut channel, truth) = tcast_adversary::build_with_truth(&self.channel);
+        let algorithm = self.algorithm.build(truth);
+        let mut rng = SmallRng::seed_from_u64(self.session_seed);
+        let profile = ExecutionProfile::new()
+            .with_retry(self.retry_policy())
+            .with_defense(self.channel.defense);
+        let nodes = scratch.take_population(self.channel.n);
+        let report = algorithm.run_with_profile(
+            &nodes,
+            self.t,
+            channel.as_mut(),
+            &mut rng,
+            profile,
+            scratch,
+        );
+        scratch.restore_population(nodes);
+        report
     }
 }
 

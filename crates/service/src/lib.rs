@@ -50,3 +50,18 @@ pub use service::{
     Batch, CompletionWatcher, JobHandle, QueryService, ServiceClosed, ServiceConfig, SubmitError,
     SubmitOptions,
 };
+
+/// Blessed service-tier entrypoints, layered over [`tcast::prelude`].
+///
+/// `use tcast_service::prelude::*;` brings in everything a typical
+/// embedding needs: the core algorithm/engine surface plus the service's
+/// job, submission, and metrics types.
+pub mod prelude {
+    pub use tcast::prelude::*;
+
+    pub use crate::job::{AlgorithmSpec, JobError, JobOutput, JobResult, QueryJob};
+    pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+    pub use crate::service::{
+        Batch, JobHandle, QueryService, ServiceConfig, SubmitError, SubmitOptions,
+    };
+}

@@ -32,6 +32,11 @@ const QUERIES_BINS: usize = 64;
 const RETRIES_HI: f64 = 256.0;
 const RETRIES_BINS: usize = 32;
 
+/// Batch-size histogram range: `[0, 128)` jobs per worker dequeue batch
+/// in 64 bins of 2.
+const BATCH_HI: f64 = 128.0;
+const BATCH_BINS: usize = 64;
+
 /// Number of counter shards in a [`MetricsRegistry`].
 ///
 /// Each worker thread is pinned (round-robin) to one shard and records
@@ -353,6 +358,27 @@ pub struct TenantMetricsRow {
     pub queue_wait_hist: Histogram,
 }
 
+/// Service-global execution-shape distributions: queue wait across every
+/// executed query job (all tenants and the default lane folded together)
+/// and jobs claimed per worker dequeue batch. One sample per job / per
+/// batch keeps the single mutex contention-free in practice.
+struct ServiceDists {
+    queue_wait: (Summary, Histogram),
+    batch_size: (Summary, Histogram),
+}
+
+impl Default for ServiceDists {
+    fn default() -> Self {
+        Self {
+            queue_wait: (
+                Summary::new(),
+                Histogram::new(0.0, LATENCY_HI_US, LATENCY_BINS),
+            ),
+            batch_size: (Summary::new(), Histogram::new(0.0, BATCH_HI, BATCH_BINS)),
+        }
+    }
+}
+
 /// Per-label service metrics, shared by all workers.
 ///
 /// The hot path is sharded: each recording thread is pinned to one of
@@ -365,6 +391,7 @@ pub struct MetricsRegistry {
     shards: Vec<Shard>,
     net: Mutex<BTreeMap<String, Arc<NetCounters>>>,
     tenants: Mutex<BTreeMap<String, Arc<TenantEntry>>>,
+    service: Mutex<ServiceDists>,
 }
 
 impl Default for MetricsRegistry {
@@ -373,6 +400,7 @@ impl Default for MetricsRegistry {
             shards: (0..METRICS_SHARDS).map(|_| Shard::default()).collect(),
             net: Mutex::new(BTreeMap::new()),
             tenants: Mutex::new(BTreeMap::new()),
+            service: Mutex::new(ServiceDists::default()),
         }
     }
 }
@@ -497,6 +525,30 @@ impl MetricsRegistry {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records the queue wait (submission to execution start) of one
+    /// executed query job, service-wide.
+    ///
+    /// Unlike [`record_tenant_job`](Self::record_tenant_job) this covers
+    /// every job — tenanted or on the default lane — and feeds the
+    /// un-labelled `tcast_queue_wait_microseconds` summary in the
+    /// Prometheus exposition: the load signal cluster clients sample for
+    /// weighted shard selection.
+    pub fn record_queue_wait(&self, queue_wait: Duration) {
+        let micros = queue_wait.as_secs_f64() * 1e6;
+        let mut svc = self.service.lock();
+        svc.queue_wait.0.record(micros);
+        svc.queue_wait.1.record(micros);
+    }
+
+    /// Records the number of jobs one worker claimed in a single dequeue
+    /// batch (the batch-native execution path's fan-in shape).
+    pub fn record_batch_size(&self, jobs: usize) {
+        let jobs = jobs as f64;
+        let mut svc = self.service.lock();
+        svc.batch_size.0.record(jobs);
+        svc.batch_size.1.record(jobs);
+    }
+
     /// Returns (registering on first use) the live connection counters for
     /// `label`. The returned handle is bumped lock-free by the transport;
     /// snapshots pick the values up under the same label.
@@ -521,6 +573,15 @@ impl MetricsRegistry {
             let tenants = self.tenants.lock();
             tenants.iter().map(|(name, e)| e.snapshot(name)).collect()
         };
+        let (queue_wait_us, queue_wait_hist, batch_size, batch_size_hist) = {
+            let svc = self.service.lock();
+            (
+                svc.queue_wait.0,
+                svc.queue_wait.1.clone(),
+                svc.batch_size.0,
+                svc.batch_size.1.clone(),
+            )
+        };
         let mut folded: BTreeMap<String, MetricsRow> = BTreeMap::new();
         for shard in &self.shards {
             let entries = shard.entries.lock();
@@ -538,6 +599,10 @@ impl MetricsRegistry {
             rows: folded.into_values().collect(),
             net_rows,
             tenant_rows,
+            queue_wait_us,
+            queue_wait_hist,
+            batch_size,
+            batch_size_hist,
         }
     }
 }
@@ -629,6 +694,18 @@ pub struct MetricsSnapshot {
     /// or quota rejections were recorded (i.e. always empty for a
     /// single-tenant service), so dumps without tenancy are unchanged.
     pub tenant_rows: Vec<TenantMetricsRow>,
+    /// Service-wide queue wait per executed query job, in microseconds
+    /// (all tenants and the default lane folded together). Count 0 until
+    /// a query job executes.
+    pub queue_wait_us: Summary,
+    /// Queue-wait distribution matching
+    /// [`queue_wait_us`](Self::queue_wait_us), 2ms bins over `[0, 100ms)`.
+    pub queue_wait_hist: Histogram,
+    /// Jobs claimed per worker dequeue batch. Count 0 until a worker
+    /// claims its first batch.
+    pub batch_size: Summary,
+    /// Batch-size distribution, 2-job bins over `[0, 128)`.
+    pub batch_size_hist: Histogram,
 }
 
 impl MetricsSnapshot {
@@ -973,6 +1050,46 @@ impl MetricsSnapshot {
             ));
         }
 
+        // Service-global sections are gated on having samples, so a
+        // registry that never ran the batch path (or any query job)
+        // exposes byte-identical text to the pre-batch schema.
+        if self.queue_wait_us.count() > 0 {
+            out.push_str(
+                "# HELP tcast_queue_wait_microseconds Queue wait (submission to execution \
+                 start) across all executed query jobs.\n\
+                 # TYPE tcast_queue_wait_microseconds summary\n",
+            );
+            for q in QUANTILES {
+                out.push_str(&format!(
+                    "tcast_queue_wait_microseconds{{quantile=\"{q}\"}} {:.1}\n",
+                    self.queue_wait_hist.quantile(q),
+                ));
+            }
+            let sum = self.queue_wait_us.mean() * self.queue_wait_us.count() as f64;
+            out.push_str(&format!("tcast_queue_wait_microseconds_sum {sum:.1}\n"));
+            out.push_str(&format!(
+                "tcast_queue_wait_microseconds_count {}\n",
+                self.queue_wait_us.count(),
+            ));
+        }
+        if self.batch_size.count() > 0 {
+            out.push_str(
+                "# HELP tcast_batch_size_jobs Jobs claimed per worker dequeue batch.\n\
+                 # TYPE tcast_batch_size_jobs summary\n",
+            );
+            for q in QUANTILES {
+                out.push_str(&format!(
+                    "tcast_batch_size_jobs{{quantile=\"{q}\"}} {:.1}\n",
+                    self.batch_size_hist.quantile(q),
+                ));
+            }
+            let sum = self.batch_size.mean() * self.batch_size.count() as f64;
+            out.push_str(&format!("tcast_batch_size_jobs_sum {sum:.1}\n"));
+            out.push_str(&format!(
+                "tcast_batch_size_jobs_count {}\n",
+                self.batch_size.count(),
+            ));
+        }
         if !self.net_rows.is_empty() {
             let net: [(&str, &str, NetCounter); 11] = [
                 (
@@ -1654,6 +1771,42 @@ tcast_net_io_threads{conn="net/conn-0",generation="1"} 0
         ] {
             assert!(prom.contains(line), "missing {line:?} in:\n{prom}");
         }
+    }
+
+    #[test]
+    fn global_queue_wait_and_batch_size_gate_on_activity() {
+        // The wire-exposed load signal (`tcast_queue_wait_microseconds`)
+        // only appears once a job has executed; same for the batch-size
+        // summary. A freshly-started service exposes the pre-batch schema
+        // byte for byte.
+        let m = MetricsRegistry::new();
+        m.record("x", &report(true, 4, 1), Duration::from_micros(100));
+        let text = m.snapshot().to_prometheus();
+        assert!(!text.contains("tcast_queue_wait_microseconds"), "{text}");
+        assert!(!text.contains("tcast_batch_size_jobs"), "{text}");
+
+        m.record_queue_wait(Duration::from_micros(250));
+        m.record_queue_wait(Duration::from_micros(750));
+        m.record_batch_size(8);
+        let snap = m.snapshot();
+        assert_eq!(snap.queue_wait_us.count(), 2);
+        assert!((snap.queue_wait_us.mean() - 500.0).abs() < 1.0);
+        assert_eq!(snap.batch_size.count(), 1);
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("tcast_queue_wait_microseconds{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tcast_queue_wait_microseconds_sum 1000.0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tcast_queue_wait_microseconds_count 2"),
+            "{text}"
+        );
+        assert!(text.contains("tcast_batch_size_jobs_sum 8.0"), "{text}");
+        assert!(text.contains("tcast_batch_size_jobs_count 1"), "{text}");
     }
 
     #[test]

@@ -40,12 +40,19 @@ use std::time::Instant;
 use parking_lot::{Condvar, Mutex};
 use tcast_tenant::{Priority, TenantId, TenantRegistry};
 
+use tcast::{BatchRunner, ExecutionProfile};
+
 use crate::cache::SessionCache;
 use crate::job::{JobError, JobOutput, JobResult, QueryJob};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 
 /// Pool configuration.
+///
+/// Non-exhaustive: construct via [`ServiceConfig::default`] (or
+/// [`ServiceConfig::with_workers`]) and the `with_*` builders, so configs
+/// written today keep compiling as knobs are added.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ServiceConfig {
     /// Worker threads; `0` means one per available CPU.
     pub workers: usize,
@@ -57,6 +64,12 @@ pub struct ServiceConfig {
     /// Safe at any size: keys are the job's exact encoded identity
     /// ([`QueryJob::cache_key`]), and execution is a pure function of it.
     pub session_cache: usize,
+    /// Maximum jobs a worker claims per scheduler pass (one lock hold),
+    /// then executes back to back over its pooled engine buffers.
+    /// Scheduling order, per-job queue-wait accounting, deadlines, and
+    /// report bits are identical at any batch size; larger batches only
+    /// amortize lock traffic. `1` restores job-at-a-time dequeueing.
+    pub batch_size: usize,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +78,7 @@ impl Default for ServiceConfig {
             workers: 0,
             queue_capacity: 4096,
             session_cache: 0,
+            batch_size: tcast::ExecutionProfile::DEFAULT_BATCH,
         }
     }
 }
@@ -77,6 +91,14 @@ impl ServiceConfig {
             workers,
             ..Self::default()
         }
+    }
+
+    /// Returns the config with an explicit per-worker dequeue batch size
+    /// (clamped to at least 1).
+    #[must_use = "builder methods return a new config; the original is unchanged"]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
     }
 
     /// Returns the config with an explicit admission-queue capacity.
@@ -315,6 +337,9 @@ struct Inner {
     /// Tenant identities, weights, and quotas; `None` runs the service
     /// single-tenant (every job on the default lane, no quotas).
     tenants: Option<Arc<TenantRegistry>>,
+    /// Jobs a worker claims per scheduler pass (≥ 1); see
+    /// [`ServiceConfig::batch_size`].
+    batch: usize,
 }
 
 impl Inner {
@@ -451,6 +476,7 @@ impl QueryService {
             cache: (config.session_cache > 0)
                 .then(|| Mutex::new(SessionCache::new(config.session_cache))),
             tenants,
+            batch: config.batch_size.max(1),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -738,27 +764,51 @@ fn take_payloads(unit: &WorkUnit) -> Vec<Payload> {
 }
 
 fn worker_loop(inner: &Inner) {
+    // One runner per worker: its scratch buffers grow to steady state
+    // over the first few jobs, after which query execution stops
+    // allocating. Per-job policies come from the jobs themselves
+    // (`QueryJob::execute_in`), so the runner profile here is inert.
+    let mut runner = BatchRunner::new(ExecutionProfile::new());
+    let mut claims: Vec<(Arc<WorkUnit>, usize)> = Vec::with_capacity(inner.batch);
     loop {
-        let claimed = {
+        {
             let mut st = inner.state.lock();
             loop {
-                match claim_drr(inner, &mut st) {
-                    Some(claim) => {
+                if claims.len() < inner.batch {
+                    if let Some(claim) = claim_drr(inner, &mut st) {
+                        // Claiming in one lock hold preserves DRR order
+                        // exactly: the claims execute below in the order
+                        // claim_drr produced them.
                         st.queued_jobs -= 1;
-                        inner.not_full.notify_all();
-                        break Some(claim);
-                    }
-                    None => {
-                        if st.shutdown {
-                            break None;
-                        }
-                        inner.not_empty.wait(&mut st);
+                        claims.push(claim);
+                        continue;
                     }
                 }
+                if !claims.is_empty() || st.shutdown {
+                    break;
+                }
+                inner.not_empty.wait(&mut st);
             }
-        };
-        let Some((unit, index)) = claimed else { return };
-        execute(inner, &unit, index);
+        }
+        if claims.is_empty() {
+            // Shutdown with the queue drained.
+            return;
+        }
+        inner.not_full.notify_all();
+        inner.metrics.record_batch_size(claims.len());
+        // The batch span marks the claim under its own fresh trace and
+        // closes *before* execution: per-job `service.execute` spans
+        // must stay root spans so each job's trace ring drains before
+        // its response leaves the worker (the invariant the net-tier
+        // trace tests pin).
+        drop(tcast_obs::Span::enter_fields(
+            tcast_obs::TraceId::fresh(),
+            "engine.batch",
+            &[("size", claims.len() as u64)],
+        ));
+        for (unit, index) in claims.drain(..) {
+            execute(inner, &unit, index, &mut runner);
+        }
     }
 }
 
@@ -809,7 +859,7 @@ fn claim_drr(inner: &Inner, st: &mut QueueState) -> Option<(Arc<WorkUnit>, usize
     }
 }
 
-fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
+fn execute(inner: &Inner, unit: &WorkUnit, index: usize, runner: &mut BatchRunner) {
     let payload = unit.slots[index]
         .lock()
         .take()
@@ -846,8 +896,9 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
                 );
                 Err(JobError::DeadlineExceeded)
             } else {
-                run_query(inner, &label, &job)
+                run_query(inner, &label, &job, runner)
             };
+            inner.metrics.record_queue_wait(queue_wait);
             if let (Some(tenant), Some(reg)) = (job.tenant, &inner.tenants) {
                 // The quota charge taken at admission is returned here,
                 // whatever the outcome — in-flight means admitted and
@@ -884,14 +935,17 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize) {
 /// (execution is pure, so totals stay identical to an uncached run); the
 /// hit itself is tallied separately as `cache_hits`. Only clean reports
 /// are cached — a panic is not a result worth replaying.
-fn run_query(inner: &Inner, label: &str, job: &QueryJob) -> JobResult {
+fn run_query(inner: &Inner, label: &str, job: &QueryJob, runner: &mut BatchRunner) -> JobResult {
     let cached = inner.cache.as_ref().map(|c| (c, job.cache_key()));
     if let Some(report) = cached.as_ref().and_then(|(c, key)| c.lock().get(key)) {
         inner.metrics.record_cache_hit(label);
         tcast_obs::event_current("service.cache_hit", &[]);
         return Ok(JobOutput::Report(report));
     }
-    let outcome = catch_unwind(AssertUnwindSafe(|| job.execute()))
+    // The worker's pooled scratch survives a panicking session: buffers
+    // are cleared before every use, so a poisoned-looking scratch cannot
+    // exist — capacity is the only state that persists.
+    let outcome = catch_unwind(AssertUnwindSafe(|| job.execute_in(runner.scratch())))
         .map(JobOutput::Report)
         .map_err(to_job_error);
     if let (Some((cache, key)), Ok(JobOutput::Report(report))) = (cached, &outcome) {

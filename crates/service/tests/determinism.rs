@@ -69,11 +69,7 @@ fn shutdown_after_try_submit_rejection_loses_no_jobs() {
     // the queue accounting — after the service drains and shuts down, the
     // metrics must account for exactly the accepted jobs, and the rejected
     // jobs must come back intact for resubmission elsewhere.
-    let service = QueryService::new(ServiceConfig {
-        workers: 1,
-        queue_capacity: 2,
-        ..ServiceConfig::default()
-    });
+    let service = QueryService::new(ServiceConfig::with_workers(1).with_queue_capacity(2));
     let (tx, rx) = std::sync::mpsc::channel::<()>();
     let gate: Box<dyn FnOnce() -> tcast_service::JobOutput + Send> = Box::new(move || {
         rx.recv().ok();

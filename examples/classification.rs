@@ -14,10 +14,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use tcast::prelude::*;
 use tcast::render::render_report;
-use tcast::{
-    classify, population, Abns, CollisionModel, IdealChannel, MonitorConfig, ThresholdMonitor,
-};
+use tcast::{classify, MonitorConfig, ThresholdMonitor};
 
 const N: usize = 128;
 /// detections < 8 ⇒ noise; 8..24 ⇒ soldier; 24..64 ⇒ car; >= 64 ⇒ tank

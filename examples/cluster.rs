@@ -14,9 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use tcast::{CaptureModel, ChannelSpec, CollisionModel, QueryReport};
-use tcast_net::{ClusterConfig, NetServer, NetServerConfig, ShardedClient};
-use tcast_service::{AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig};
+use tcast_net::prelude::*;
 
 const JOBS: usize = 300;
 const N: usize = 96;

@@ -15,8 +15,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use tcast::probabilistic::{ProbabilisticConfig, ProbabilisticQuerier};
-use tcast::{population, CollisionModel, IdealChannel, ThresholdQuerier, TwoTBins};
+use tcast::prelude::*;
+use tcast::probabilistic::ProbabilisticConfig;
 use tcast_stats::{repeats_paper_eq10, BimodalSpec};
 
 fn main() {

@@ -15,9 +15,7 @@
 
 use std::sync::Arc;
 
-use tcast::{CaptureModel, ChannelSpec, CollisionModel};
-use tcast_net::{NetClient, NetClientConfig, NetServer, NetServerConfig};
-use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
+use tcast_net::prelude::*;
 
 const N: usize = 128;
 const T: usize = 16;
@@ -50,18 +48,14 @@ fn traffic() -> Vec<QueryJob> {
 fn main() {
     // Server side: a worker pool fronted by a TCP listener on an
     // ephemeral loopback port.
-    let service = Arc::new(QueryService::new(ServiceConfig {
-        workers: 0, // one per core
-        queue_capacity: 256,
-        ..ServiceConfig::default()
-    }));
+    // workers: 0 = one per core.
+    let service = Arc::new(QueryService::new(
+        ServiceConfig::with_workers(0).with_queue_capacity(256),
+    ));
     let server = NetServer::bind(
         "127.0.0.1:0",
         service.clone(),
-        NetServerConfig {
-            max_inflight_per_conn: 64,
-            ..NetServerConfig::default()
-        },
+        NetServerConfig::default().with_max_inflight_per_conn(64),
     )
     .expect("bind loopback");
     println!(
@@ -73,10 +67,7 @@ fn main() {
     // Client side: two pooled connections, everything pipelined.
     let client = NetClient::connect(
         server.local_addr(),
-        NetClientConfig {
-            pool_size: 2,
-            ..NetClientConfig::default()
-        },
+        NetClientConfig::default().with_pool_size(2),
     )
     .expect("connect");
 

@@ -12,7 +12,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use tcast::baselines::{csma_collect, CsmaConfig};
-use tcast::{population, Abns, CollisionModel, IdealChannel, ThresholdQuerier, TwoTBins};
+use tcast::prelude::*;
 
 fn main() {
     const N: usize = 128;

@@ -16,10 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tcast::baselines::sequential_collect;
-use tcast::{
-    population, Abns, CollisionModel, ExpIncrease, IdealChannel, ProbAbns, ThresholdQuerier,
-    TwoTBins,
-};
+use tcast::prelude::*;
 
 fn main() {
     const TAGS: usize = 2048;

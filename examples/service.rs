@@ -11,10 +11,7 @@
 //! cargo run --release --example service
 //! ```
 
-use tcast::{CaptureModel, ChannelSpec, CollisionModel};
-use tcast_service::{
-    AlgorithmSpec, JobOutput, QueryJob, QueryService, ServiceConfig, SubmitError, SubmitOptions,
-};
+use tcast_service::prelude::*;
 
 const N: usize = 128;
 const T: usize = 16;
@@ -45,11 +42,8 @@ fn station_traffic(algorithm: AlgorithmSpec, station: u64) -> Vec<QueryJob> {
 }
 
 fn main() {
-    let service = QueryService::new(ServiceConfig {
-        workers: 0, // one per core
-        queue_capacity: 512,
-        ..ServiceConfig::default()
-    });
+    // workers: 0 = one per core.
+    let service = QueryService::new(ServiceConfig::with_workers(0).with_queue_capacity(512));
     println!(
         "service up: {} workers, queue capacity 512",
         service.worker_count()

@@ -19,9 +19,7 @@
 
 use std::sync::Arc;
 
-use tcast::{ChannelSpec, CollisionModel};
-use tcast_net::{NetClient, NetClientConfig, NetError, NetServer, NetServerConfig, TenantAuth};
-use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
+use tcast_net::prelude::*;
 use tcast_tenant::{Priority, TenantRegistry, TenantSpec};
 
 const ALICE_KEY: &[u8] = b"alice-shared-key";
@@ -45,11 +43,7 @@ fn main() {
     registry.register(TenantSpec::new("alice", ALICE_KEY).max_in_flight(64));
     registry.register(TenantSpec::new("bob", BOB_KEY).weight(3).rate(200.0, 80.0));
     let service = Arc::new(QueryService::with_tenants(
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: 512,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::with_workers(2).with_queue_capacity(512),
         Arc::new(registry),
     ));
     let server = NetServer::bind("127.0.0.1:0", service.clone(), NetServerConfig::default())
@@ -58,13 +52,10 @@ fn main() {
 
     // A stranger with a bad key never gets past the handshake — and the
     // rejection is a typed, non-retryable error, not a dropped socket.
-    let config_with = |auth: Option<TenantAuth>| NetClientConfig {
-        auth,
-        ..NetClientConfig::default()
-    };
+    let config_with = |auth: TenantAuth| NetClientConfig::default().with_auth(auth);
     match NetClient::connect(
         server.local_addr(),
-        config_with(Some(TenantAuth::new("alice", b"guessed-key"))),
+        config_with(TenantAuth::new("alice", b"guessed-key")),
     ) {
         Err(err @ NetError::Handshake { .. }) => {
             println!(
@@ -80,12 +71,12 @@ fn main() {
     // hers high-priority within her own lane.
     let alice = NetClient::connect(
         server.local_addr(),
-        config_with(Some(TenantAuth::new("alice", ALICE_KEY))),
+        config_with(TenantAuth::new("alice", ALICE_KEY)),
     )
     .expect("alice connects");
     let bob = NetClient::connect(
         server.local_addr(),
-        config_with(Some(TenantAuth::new("bob", BOB_KEY))),
+        config_with(TenantAuth::new("bob", BOB_KEY)),
     )
     .expect("bob connects");
 

@@ -15,10 +15,8 @@
 
 use std::sync::Arc;
 
-use tcast::{ChannelSpec, CollisionModel};
-use tcast_net::{ClusterConfig, NetServer, NetServerConfig, ShardedClient};
+use tcast_net::prelude::*;
 use tcast_obs::{add_sink, check_nesting, MemorySink, RecordKind, TraceId};
-use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
 
 fn main() {
     let sink = Arc::new(MemorySink::new());

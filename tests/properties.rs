@@ -386,7 +386,7 @@ proptest! {
         miss in 0.0f64..0.3,
         seed in any::<u64>(),
     ) {
-        use tcast::{ChannelSpec, LossConfig, RetryPolicy};
+        use tcast::{ChannelSpec, ExecutionProfile, LossConfig, RetryPolicy};
         let x = ((n as f64) * x_frac).round() as usize;
         let loss = LossConfig {
             reply_miss_prob: miss,
@@ -397,12 +397,14 @@ proptest! {
         for alg in all_algorithms() {
             let (mut ch, _) = spec.build_with_truth();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let report = alg.run_with_retry(
+            let report = alg.run_with_options(
                 &population(n),
                 t,
                 ch.as_mut(),
                 &mut rng,
-                RetryPolicy::verified(retries),
+                ExecutionProfile::new()
+                    .with_retry(RetryPolicy::verified(retries))
+                    .options(),
             );
             report.assert_consistent();
         }
