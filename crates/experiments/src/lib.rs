@@ -31,6 +31,7 @@ pub mod figures;
 pub mod output;
 pub mod runner;
 pub mod seeding;
+pub mod top;
 pub mod trace;
 
 pub use output::{Figure, Series, Table};

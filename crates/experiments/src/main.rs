@@ -24,6 +24,7 @@ use tcast_experiments::extensions::{counting, energy, interference, monitoring};
 use tcast_experiments::figures::{
     adversary, fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, loss,
 };
+use tcast_experiments::top;
 use tcast_experiments::trace as trace_cmd;
 use tcast_experiments::{Figure, SweepSpec, Table};
 use tcast_motes::TestbedConfig;
@@ -41,6 +42,7 @@ struct Options {
     ascii: bool,
     out: Option<String>,
     servers: Vec<String>,
+    once: bool,
 }
 
 impl Default for Options {
@@ -57,6 +59,7 @@ impl Default for Options {
             ascii: false,
             out: None,
             servers: Vec::new(),
+            once: false,
         }
     }
 }
@@ -145,6 +148,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
                     return Err("--servers: expected host:port[,host:port...]".into());
                 }
             }
+            "--once" => opts.once = true,
             "--fast" => opts.fast = true,
             "--csv" => opts.csv = true,
             "--ascii" => opts.ascii = true,
@@ -340,6 +344,16 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 eprintln!("[tcast-experiments] wrote {}", path.display());
             }
         }
+        "top" => {
+            let spec = top::TopSpec {
+                servers: opts.servers.clone(),
+                once: opts.once,
+                warmup_jobs: if opts.fast { 24 } else { 48 },
+                seed: opts.seed,
+                ..top::TopSpec::default()
+            };
+            top::run(&spec)?;
+        }
         "help" => {
             println!("{}", HELP);
         }
@@ -382,10 +396,15 @@ commands:
                (queue/engine/retry/wire), slowest queries round by round,
                and the server's wire-fetched Prometheus exposition
                (--out DIR also writes DIR/trace.jsonl)
+  top          live per-shard dashboard: conns, queue-wait p50/p99,
+               batch size, defenses, anomalies, SLO budget + burn, and
+               tail-sampled trace counts, polled over the wire
+               (--servers host:port,... or a self-hosted loopback trio;
+               --once prints one machine-readable snapshot and exits)
 
 options:
   --runs N   --n N   --t T   --seed S   --testbed-runs R   --threads N
-  --servers host:port,...   --fast   --csv   --ascii   --out DIR";
+  --servers host:port,...   --once   --fast   --csv   --ascii   --out DIR";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -461,6 +480,15 @@ mod tests {
         assert!(opts.servers.is_empty(), "default: self-hosted loopback");
         assert!(parse(&args(&["--servers", ","])).is_err(), "empty list");
         assert!(parse(&args(&["--servers"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn once_flag_is_parsed() {
+        let (cmds, opts) = parse(&args(&["top", "--once"])).unwrap();
+        assert_eq!(cmds, ["top"]);
+        assert!(opts.once);
+        let (_, opts) = parse(&args(&["top"])).unwrap();
+        assert!(!opts.once, "default: live refreshing dashboard");
     }
 
     #[test]

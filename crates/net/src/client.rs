@@ -28,7 +28,7 @@ use tcast_service::{JobError, NetCounters, QueryJob};
 
 use crate::frame::{
     write_frame, write_frame_versioned, ErrorCode, Frame, FrameReadError, FrameReader,
-    DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V3,
+    DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V4,
 };
 
 /// Credentials for the `Auth` handshake against a multi-tenant server.
@@ -402,7 +402,7 @@ fn negotiate(
         stream,
         &Frame::Hello {
             min_version: PROTOCOL_V1,
-            max_version: PROTOCOL_V3,
+            max_version: PROTOCOL_V4,
         },
     )
     .map_err(|e| NetError::ConnectionLost(format!("handshake write failed: {e}")))?;
@@ -412,7 +412,7 @@ fn negotiate(
 
     let (version, challenge) = match read_one(stream, reader, config.max_frame_payload, counters)? {
         Frame::HelloAck { version, challenge } => {
-            if !(PROTOCOL_V1..=PROTOCOL_V3).contains(&version) {
+            if !(PROTOCOL_V1..=PROTOCOL_V4).contains(&version) {
                 return Err(NetError::Protocol(format!(
                     "server acknowledged unsupported version {version}"
                 )));
@@ -927,6 +927,15 @@ impl NetClient {
         fetch_metrics_text(self.conns[0].addr, &self.conns[0].config)
     }
 
+    /// Drains up to `max_traces` completed, tail-sampled trace trees
+    /// from the server's trace collector (empty unless the server was
+    /// configured with `NetServerConfig::with_trace_export`). Uses a
+    /// fresh short-lived connection like
+    /// [`metrics_text`](Self::metrics_text).
+    pub fn trace_export(&self, max_traces: u32) -> Result<Vec<tcast_obs::ExportedTrace>, NetError> {
+        fetch_trace_export(self.conns[0].addr, &self.conns[0].config, max_traces)
+    }
+
     /// Says `Goodbye` on every connection and joins the reader threads.
     pub fn close(self) {
         for conn in &self.conns {
@@ -935,13 +944,12 @@ impl NetClient {
     }
 }
 
-/// One-shot metrics fetch over its own short-lived connection. The
-/// cluster's load sampler calls this directly with a shard address so
-/// sampling never takes a shard lock or touches pooled connections.
-pub(crate) fn fetch_metrics_text(
-    addr: SocketAddr,
-    config: &NetClientConfig,
-) -> Result<String, NetError> {
+/// One-shot metrics fetch over its own short-lived connection
+/// (handshake → `MetricsDump` → `MetricsText` → `Goodbye`). The
+/// cluster's load sampler and the `top` dashboard call this directly
+/// with a shard address so sampling never takes a shard lock or touches
+/// pooled connections.
+pub fn fetch_metrics_text(addr: SocketAddr, config: &NetClientConfig) -> Result<String, NetError> {
     let mut stream = TcpStream::connect_timeout(&addr, config.handshake_timeout)
         .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
     stream
@@ -970,6 +978,49 @@ pub(crate) fn fetch_metrics_text(
                 ))
             }
             _other => continue,
+        }
+    }
+}
+
+/// One-shot trace-export fetch over its own short-lived connection
+/// (handshake → `TraceExport` → `TraceData` → `Goodbye`) — the
+/// subscriber side of the server's tail-sampled trace ring. Draining is
+/// destructive: traces returned here are consumed server-side.
+pub fn fetch_trace_export(
+    addr: SocketAddr,
+    config: &NetClientConfig,
+    max_traces: u32,
+) -> Result<Vec<tcast_obs::ExportedTrace>, NetError> {
+    let mut stream = TcpStream::connect_timeout(&addr, config.handshake_timeout)
+        .map_err(|e| NetError::ConnectionLost(format!("connect failed: {e}")))?;
+    stream
+        .set_read_timeout(Some(config.handshake_timeout))
+        .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+    let mut reader = FrameReader::new();
+    let version = negotiate(&mut stream, &mut reader, config, None)?;
+    write_frame_versioned(
+        &mut stream,
+        &Frame::TraceExport {
+            request_id: 1,
+            max_traces,
+        },
+        version,
+    )
+    .map_err(|e| NetError::ConnectionLost(e.to_string()))?;
+    loop {
+        match reader.read_from(&mut stream, config.max_frame_payload) {
+            Ok(Some((Frame::TraceData { traces, .. }, _))) => {
+                let _ = write_frame_versioned(&mut stream, &Frame::Goodbye, version);
+                return Ok(traces);
+            }
+            Ok(Some((Frame::Goodbye, _))) => {
+                return Err(NetError::Protocol(
+                    "server closed before answering the trace export".into(),
+                ))
+            }
+            Ok(Some(_)) => continue,
+            Ok(None) => return Err(NetError::ConnectionLost("trace export timed out".into())),
+            Err(e) => return Err(NetError::ConnectionLost(e.to_string())),
         }
     }
 }

@@ -25,6 +25,15 @@
 //! weighs as if idle, and when *no* fresh signal exists the router
 //! falls back to exactly the unweighted integer rendezvous above.
 //!
+//! [`ClusterConfig::slo_penalty`] folds shard *health* into the same
+//! weighted draw: the sampler also reads each shard's worst
+//! short-window `tcast_slo_burn_rate` and the growth of
+//! `tcast_anomalies_total` since its previous pass, and divides the
+//! shard's weight by `1 + burn + 0.5·new_anomalies` (capped at 16) — a
+//! shard that is burning its error budget or emitting anomalous
+//! verdicts sheds load before it fails outright, yet keeps enough
+//! traffic to demonstrate recovery.
+//!
 //! Failure handling is transparent: a handle that resolves to
 //! [`NetError::ConnectionLost`] or [`NetError::ServerShutdown`] marks
 //! the shard down, re-routes the job to the best surviving shard, and
@@ -60,6 +69,16 @@ const PROBE_TICK: Duration = Duration::from_millis(10);
 /// weight of an idle one.
 const LOAD_REF_US: f64 = 1000.0;
 
+/// Upper bound on the SLO/anomaly health penalty divisor, so one sick
+/// shard is shed aggressively but never rounded fully out of rotation
+/// (it still absorbs a trickle of traffic, which is how it proves it
+/// recovered).
+const MAX_HEALTH_PENALTY: f64 = 16.0;
+
+/// Health-penalty contribution per anomaly observed since the previous
+/// sample of the same shard.
+const ANOMALY_PENALTY: f64 = 0.5;
+
 /// Tuning knobs for [`ShardedClient`]. Construct via
 /// [`ClusterConfig::default`] plus the `with_*` builders — the struct
 /// is `#[non_exhaustive]` so new knobs can land without breaking
@@ -86,6 +105,14 @@ pub struct ClusterConfig {
     /// weighs as if idle, and with no fresh sample anywhere the router
     /// is exactly the unweighted rendezvous.
     pub load_staleness: Duration,
+    /// Additionally penalize shards whose wire-exposed metrics report
+    /// SLO budget burn or fresh anomalies (only with `load_aware`): the
+    /// sampler reads the worst short-window `tcast_slo_burn_rate` and
+    /// the `tcast_anomalies_total` delta since its previous sample, and
+    /// divides the shard's routing weight by
+    /// `1 + burn_short + 0.5 * new_anomalies` (capped). Stale health
+    /// samples decay to no penalty exactly like load samples.
+    pub slo_penalty: bool,
 }
 
 impl Default for ClusterConfig {
@@ -97,6 +124,7 @@ impl Default for ClusterConfig {
             load_aware: false,
             load_sample_interval: Duration::from_millis(500),
             load_staleness: Duration::from_secs(3),
+            slo_penalty: false,
         }
     }
 }
@@ -135,6 +163,12 @@ impl ClusterConfig {
     /// Sets [`Self::load_staleness`].
     pub fn with_load_staleness(mut self, load_staleness: Duration) -> Self {
         self.load_staleness = load_staleness;
+        self
+    }
+
+    /// Sets [`Self::slo_penalty`].
+    pub fn with_slo_penalty(mut self, slo_penalty: bool) -> Self {
+        self.slo_penalty = slo_penalty;
         self
     }
 }
@@ -184,6 +218,15 @@ struct ShardLoad {
     /// Milliseconds since the cluster started, plus one, at sampling
     /// time; `0` means never sampled.
     sampled_at_ms: AtomicU64,
+    /// SLO/anomaly health penalty divisor in `[1, MAX_HEALTH_PENALTY]`,
+    /// stored as `f64` bits.
+    health_penalty: AtomicU64,
+    /// Timestamp of the health penalty, same encoding as
+    /// `sampled_at_ms`; `0` means never sampled.
+    health_at_ms: AtomicU64,
+    /// `tcast_anomalies_total` at the previous sample, plus one, so the
+    /// sampler can penalize the *delta*; `0` means no previous reading.
+    last_anomalies: AtomicU64,
 }
 
 impl ShardLoad {
@@ -191,6 +234,9 @@ impl ShardLoad {
         Self {
             queue_wait_us: AtomicU64::new(0),
             sampled_at_ms: AtomicU64::new(0),
+            health_penalty: AtomicU64::new(1.0f64.to_bits()),
+            health_at_ms: AtomicU64::new(0),
+            last_anomalies: AtomicU64::new(0),
         }
     }
 
@@ -200,20 +246,52 @@ impl ShardLoad {
         self.sampled_at_ms.store(now_ms + 1, Ordering::Release);
     }
 
+    fn record_health(&self, penalty: f64, now_ms: u64) {
+        let penalty = penalty.clamp(1.0, MAX_HEALTH_PENALTY);
+        self.health_penalty
+            .store(penalty.to_bits(), Ordering::Relaxed);
+        self.health_at_ms.store(now_ms + 1, Ordering::Release);
+    }
+
     fn is_fresh(&self, now_ms: u64, staleness: Duration) -> bool {
-        let at = self.sampled_at_ms.load(Ordering::Acquire);
+        Self::fresh_at(
+            self.sampled_at_ms.load(Ordering::Acquire),
+            now_ms,
+            staleness,
+        )
+    }
+
+    fn health_is_fresh(&self, now_ms: u64, staleness: Duration) -> bool {
+        Self::fresh_at(self.health_at_ms.load(Ordering::Acquire), now_ms, staleness)
+    }
+
+    fn fresh_at(at: u64, now_ms: u64, staleness: Duration) -> bool {
         at != 0 && now_ms.saturating_sub(at - 1) <= staleness.as_millis() as u64
     }
 
-    /// The routing weight in `(0, 1]`: `1` when idle or when the sample
-    /// went stale, shrinking toward `0` as queue waits grow past
-    /// [`LOAD_REF_US`].
+    /// Whether any signal (queue wait or health) is fresh enough to
+    /// bias routing.
+    fn has_fresh_signal(&self, now_ms: u64, staleness: Duration) -> bool {
+        self.is_fresh(now_ms, staleness) || self.health_is_fresh(now_ms, staleness)
+    }
+
+    /// The routing weight in `(0, 1]`: `1` when idle or when every
+    /// sample went stale, shrinking toward `0` as queue waits grow past
+    /// [`LOAD_REF_US`] and as the SLO/anomaly health penalty grows.
     fn weight(&self, now_ms: u64, staleness: Duration) -> f64 {
-        if !self.is_fresh(now_ms, staleness) {
-            return 1.0;
-        }
-        let wait = f64::from_bits(self.queue_wait_us.load(Ordering::Relaxed)).max(0.0);
-        LOAD_REF_US / (LOAD_REF_US + wait)
+        let load = if self.is_fresh(now_ms, staleness) {
+            let wait = f64::from_bits(self.queue_wait_us.load(Ordering::Relaxed)).max(0.0);
+            LOAD_REF_US / (LOAD_REF_US + wait)
+        } else {
+            1.0
+        };
+        let penalty = if self.health_is_fresh(now_ms, staleness) {
+            f64::from_bits(self.health_penalty.load(Ordering::Relaxed))
+                .clamp(1.0, MAX_HEALTH_PENALTY)
+        } else {
+            1.0
+        };
+        load / penalty
     }
 }
 
@@ -223,6 +301,35 @@ impl ShardLoad {
 fn parse_queue_wait_us(text: &str) -> Option<f64> {
     text.lines().find_map(|line| {
         line.strip_prefix("tcast_queue_wait_microseconds{quantile=\"0.5\"}")?
+            .trim()
+            .parse()
+            .ok()
+    })
+}
+
+/// Extracts the worst short-window SLO burn rate across every objective
+/// in a Prometheus exposition dump. Absent until the shard has an SLO
+/// tracker attached and at least one observation (the section is
+/// activity-gated).
+fn parse_max_short_burn(text: &str) -> Option<f64> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("tcast_slo_burn_rate{")?;
+            if !rest.contains("window=\"short\"") {
+                return None;
+            }
+            rest.rsplit_once('}')?.1.trim().parse::<f64>().ok()
+        })
+        .fold(None, |max: Option<f64>, v| {
+            Some(max.map_or(v, |m| m.max(v)))
+        })
+}
+
+/// Extracts the anomalous-verdict counter from a Prometheus exposition
+/// dump.
+fn parse_anomalies_total(text: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        line.strip_prefix("tcast_anomalies_total")?
             .trim()
             .parse()
             .ok()
@@ -274,7 +381,7 @@ impl ClusterInner {
             && self.loads.iter().enumerate().any(|(shard, load)| {
                 !excluded[shard]
                     && self.healthy[shard].load(Ordering::SeqCst)
-                    && load.is_fresh(now_ms, staleness)
+                    && load.has_fresh_signal(now_ms, staleness)
             });
         let mut best_plain: Option<(u64, usize)> = None;
         let mut best_scored: Option<(f64, usize)> = None;
@@ -334,7 +441,46 @@ impl ClusterInner {
                     ],
                 );
             }
+            if self.config.slo_penalty {
+                self.sample_shard_health(shard, &text);
+            }
         }
+    }
+
+    /// Folds one shard's SLO burn + anomaly-delta signals into a single
+    /// health-penalty divisor and records it. Anomalies penalize only
+    /// their *growth* since this sampler's previous reading, so a shard
+    /// is not punished forever for ancient history.
+    fn sample_shard_health(&self, shard: usize, text: &str) {
+        let burn = parse_max_short_burn(text);
+        let anomalies = parse_anomalies_total(text);
+        if burn.is_none() && anomalies.is_none() {
+            return;
+        }
+        let new_anomalies = match anomalies {
+            Some(total) => {
+                let prev = self.loads[shard]
+                    .last_anomalies
+                    .swap(total + 1, Ordering::Relaxed);
+                if prev == 0 {
+                    0
+                } else {
+                    total.saturating_sub(prev - 1)
+                }
+            }
+            None => 0,
+        };
+        let penalty = 1.0 + burn.unwrap_or(0.0).max(0.0) + ANOMALY_PENALTY * new_anomalies as f64;
+        self.loads[shard].record_health(penalty, self.now_ms());
+        tcast_obs::event(
+            tcast_obs::TraceId::NONE,
+            "cluster.health_sample",
+            &[
+                ("shard", shard as u64),
+                ("penalty_milli", (penalty * 1000.0) as u64),
+                ("new_anomalies", new_anomalies),
+            ],
+        );
     }
 
     /// Writes `job` to `shard`'s connection; `None` when the shard has
@@ -352,9 +498,22 @@ impl ClusterInner {
             let Some(next) = self.route(&cj.job, &cj.excluded) else {
                 return false;
             };
-            match self.submit_to(next, cj.job) {
+            // The route decision is a span (not a bare event) so the
+            // remote tiers can stitch under it: when the span records,
+            // its id travels in the V4 submit as the job's parent span
+            // context, making the shard's `service.execute` a child of
+            // this client-side `cluster.route` in the assembled tree.
+            let span = tcast_obs::Span::enter_fields(
+                cj.job.trace,
+                "cluster.route",
+                &[("shard", next as u64)],
+            );
+            let mut job = cj.job;
+            if span.is_recording() {
+                job = job.with_parent_span(tcast_obs::SpanContext::child_of(span.id()));
+            }
+            match self.submit_to(next, job) {
                 Some(handle) => {
-                    tcast_obs::event(cj.job.trace, "cluster.route", &[("shard", next as u64)]);
                     cj.shard = Some(next);
                     cj.handle = Some(handle);
                     return true;
@@ -672,6 +831,17 @@ impl ShardedClient {
     pub fn inject_load_sample(&self, shard: usize, queue_wait: Duration) {
         assert!(shard < self.inner.addrs.len(), "no such shard: {shard}");
         self.inner.loads[shard].record(queue_wait.as_secs_f64() * 1e6, self.inner.now_ms());
+    }
+
+    /// Records an SLO/anomaly health-penalty sample for `shard` as if
+    /// the background sampler had just derived it from the shard's
+    /// metrics. The same deterministic seam as
+    /// [`Self::inject_load_sample`]: the penalty divides the shard's
+    /// routing weight (clamped to `[1, 16]`) and decays with the load
+    /// staleness window.
+    pub fn inject_health_sample(&self, shard: usize, penalty: f64) {
+        assert!(shard < self.inner.addrs.len(), "no such shard: {shard}");
+        self.inner.loads[shard].record_health(penalty, self.inner.now_ms());
     }
 
     /// Submits `jobs` across the cluster, pipelined: every job is

@@ -28,12 +28,17 @@
 //! frame but deliberately *ignored on Hello*, so a future client can
 //! still open negotiation with a server that only speaks version 1.
 //!
-//! Three versions exist. [`PROTOCOL_V2`] extends `Submit` with a
+//! Four versions exist. [`PROTOCOL_V2`] extends `Submit` with a
 //! trailing trace id ([`tcast_obs::TraceId`]) so one query's
 //! observability trace spans client, wire, and server. [`PROTOCOL_V3`]
 //! appends a priority-class byte after the trace id, letting a client
 //! mark a submit High/Normal/Low for the server's weighted-fair
-//! scheduler; every other payload is identical across versions.
+//! scheduler. [`PROTOCOL_V4`] appends a parent span id and a sampling
+//! flag ([`tcast_obs::SpanContext`]) after the priority byte, so the
+//! server's `service.execute` span parents under the submitter's span
+//! (e.g. the cluster route span) and one fan-out query forms a single
+//! connected trace tree; every other payload is identical across
+//! versions.
 //! Frames are *self-describing*: the header byte states the version the
 //! frame was encoded with, and receivers accept any supported version on
 //! any frame, so only the sender of a `Submit` needs to remember what
@@ -79,9 +84,14 @@ pub const PROTOCOL_V1: u8 = 1;
 pub const PROTOCOL_V2: u8 = 2;
 
 /// Protocol version 3: `Submit` additionally carries a trailing
-/// priority-class byte ([`tcast_tenant::Priority`]). The highest version
-/// this build speaks.
+/// priority-class byte ([`tcast_tenant::Priority`]).
 pub const PROTOCOL_V3: u8 = 3;
+
+/// Protocol version 4: `Submit` additionally carries a trailing parent
+/// span context ([`tcast_obs::SpanContext`]: parent span id + sampling
+/// flag) for cross-tier trace stitching. The highest version this build
+/// speaks.
+pub const PROTOCOL_V4: u8 = 4;
 
 /// Fixed header size in bytes (magic + type + version + request id + length).
 pub const HEADER_LEN: usize = 18;
@@ -105,6 +115,8 @@ mod frame_type {
     pub const METRICS_TEXT: u8 = 0x09;
     pub const AUTH: u8 = 0x0B;
     pub const AUTH_OK: u8 = 0x0C;
+    pub const TRACE_EXPORT: u8 = 0x0D;
+    pub const TRACE_DATA: u8 = 0x0E;
 }
 
 /// Typed error frame codes.
@@ -248,6 +260,25 @@ pub enum Frame {
         /// Prometheus text exposition of the service's metrics registry.
         text: String,
     },
+    /// Client → server: drain up to `max_traces` completed,
+    /// tail-sampled trace trees from the server's trace collector.
+    /// Drained traces are consumed — two subscribers see disjoint
+    /// traces. Like `MetricsDump`, gated by frame type, not version.
+    TraceExport {
+        /// Client-chosen id echoed on the [`Frame::TraceData`] answer.
+        request_id: u64,
+        /// Cap on the traces returned in one answer.
+        max_traces: u32,
+    },
+    /// Server → client: the completed traces answering a
+    /// [`Frame::TraceExport`]. Empty when the collector has nothing
+    /// (or tracing is disabled server-side).
+    TraceData {
+        /// Id of the `TraceExport` this answers.
+        request_id: u64,
+        /// Completed trace trees, oldest first.
+        traces: Vec<tcast_obs::ExportedTrace>,
+    },
     /// Orderly close: the sender will write nothing further.
     Goodbye,
 }
@@ -315,6 +346,8 @@ impl Frame {
             Frame::Error { .. } => frame_type::ERROR,
             Frame::MetricsDump { .. } => frame_type::METRICS_DUMP,
             Frame::MetricsText { .. } => frame_type::METRICS_TEXT,
+            Frame::TraceExport { .. } => frame_type::TRACE_EXPORT,
+            Frame::TraceData { .. } => frame_type::TRACE_DATA,
             Frame::Goodbye => frame_type::GOODBYE,
         }
     }
@@ -327,7 +360,9 @@ impl Frame {
             | Frame::JobFailed { request_id, .. }
             | Frame::Error { request_id, .. }
             | Frame::MetricsDump { request_id }
-            | Frame::MetricsText { request_id, .. } => *request_id,
+            | Frame::MetricsText { request_id, .. }
+            | Frame::TraceExport { request_id, .. }
+            | Frame::TraceData { request_id, .. } => *request_id,
             Frame::Hello { .. }
             | Frame::HelloAck { .. }
             | Frame::Auth { .. }
@@ -370,6 +405,13 @@ impl Frame {
             }
             Frame::MetricsDump { .. } => {}
             Frame::MetricsText { text, .. } => text.encode(out),
+            Frame::TraceExport { max_traces, .. } => put_u32(out, *max_traces),
+            Frame::TraceData { traces, .. } => {
+                put_usize(out, traces.len());
+                for trace in traces {
+                    encode_exported_trace(trace, out);
+                }
+            }
             Frame::Goodbye => {}
         }
     }
@@ -463,7 +505,7 @@ impl Frame {
         if received != computed {
             return Err(MalformedFrame::BadCrc { computed, received });
         }
-        if frame_type != frame_type::HELLO && !(PROTOCOL_V1..=PROTOCOL_V3).contains(&version) {
+        if frame_type != frame_type::HELLO && !(PROTOCOL_V1..=PROTOCOL_V4).contains(&version) {
             return Err(MalformedFrame::Version(version));
         }
         let mut r = Reader::new(&bytes[HEADER_LEN..body_end]);
@@ -524,6 +566,24 @@ impl Frame {
                 request_id,
                 text: String::decode(&mut r).map_err(|e| MalformedFrame::Payload(e.to_string()))?,
             },
+            frame_type::TRACE_EXPORT => Frame::TraceExport {
+                request_id,
+                max_traces: r
+                    .u32()
+                    .map_err(|e| MalformedFrame::Payload(e.to_string()))?,
+            },
+            frame_type::TRACE_DATA => {
+                let n = r
+                    .usize()
+                    .map_err(|e| MalformedFrame::Payload(e.to_string()))?;
+                // The payload cap bounds the real size; this only stops
+                // a forged count from pre-allocating unbounded memory.
+                let mut traces = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    traces.push(decode_exported_trace(&mut r).map_err(MalformedFrame::Payload)?);
+                }
+                Frame::TraceData { request_id, traces }
+            }
             frame_type::GOODBYE => Frame::Goodbye,
             other => return Err(MalformedFrame::UnknownType(other)),
         };
@@ -579,6 +639,12 @@ fn encode_job(job: &QueryJob, out: &mut Vec<u8>, version: u8) {
         // reads this far, so the V2 prefix stays byte-identical.
         out.push(job.priority.to_wire_tag());
     }
+    if version >= PROTOCOL_V4 {
+        // Trailing again: parent span id + sampling flag, so the V3
+        // prefix stays byte-identical.
+        put_u64(out, job.span_parent.parent);
+        out.push(job.span_parent.sampled as u8);
+    }
 }
 
 fn decode_job(r: &mut Reader<'_>, version: u8) -> Result<QueryJob, String> {
@@ -604,7 +670,78 @@ fn decode_job(r: &mut Reader<'_>, version: u8) -> Result<QueryJob, String> {
         job.priority = tcast_tenant::Priority::from_wire_tag(tag)
             .ok_or_else(|| format!("priority tag {tag}"))?;
     }
+    if version >= PROTOCOL_V4 {
+        let parent = r.u64().map_err(|e| e.to_string())?;
+        let sampled = match r.u8().map_err(|e| e.to_string())? {
+            0 => false,
+            1 => true,
+            tag => return Err(format!("sampled flag {tag}")),
+        };
+        job.span_parent = tcast_obs::SpanContext { parent, sampled };
+    }
     Ok(job)
+}
+
+fn encode_exported_trace(trace: &tcast_obs::ExportedTrace, out: &mut Vec<u8>) {
+    put_u64(out, trace.trace.0);
+    put_usize(out, trace.records.len());
+    for rec in &trace.records {
+        out.push(match rec.kind {
+            tcast_obs::RecordKind::SpanStart => 1,
+            tcast_obs::RecordKind::SpanEnd => 2,
+            tcast_obs::RecordKind::Event => 3,
+        });
+        rec.name.encode(out);
+        put_u64(out, rec.span);
+        put_u64(out, rec.parent);
+        put_u64(out, rec.t_ns);
+        put_u64(out, rec.dur_ns);
+        debug_assert!(rec.fields.len() <= tcast_obs::MAX_FIELDS);
+        out.push(rec.fields.len().min(tcast_obs::MAX_FIELDS) as u8);
+        for (name, value) in rec.fields.iter().take(tcast_obs::MAX_FIELDS) {
+            name.encode(out);
+            put_u64(out, *value);
+        }
+    }
+}
+
+fn decode_exported_trace(r: &mut Reader<'_>) -> Result<tcast_obs::ExportedTrace, String> {
+    let trace = tcast_obs::TraceId(r.u64().map_err(|e| e.to_string())?);
+    let n = r.usize().map_err(|e| e.to_string())?;
+    let mut records = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let kind = match r.u8().map_err(|e| e.to_string())? {
+            1 => tcast_obs::RecordKind::SpanStart,
+            2 => tcast_obs::RecordKind::SpanEnd,
+            3 => tcast_obs::RecordKind::Event,
+            tag => return Err(format!("record kind tag {tag}")),
+        };
+        let name = String::decode(r).map_err(|e| e.to_string())?;
+        let span = r.u64().map_err(|e| e.to_string())?;
+        let parent = r.u64().map_err(|e| e.to_string())?;
+        let t_ns = r.u64().map_err(|e| e.to_string())?;
+        let dur_ns = r.u64().map_err(|e| e.to_string())?;
+        let n_fields = r.u8().map_err(|e| e.to_string())? as usize;
+        if n_fields > tcast_obs::MAX_FIELDS {
+            return Err(format!("{n_fields} fields exceeds MAX_FIELDS"));
+        }
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let fname = String::decode(r).map_err(|e| e.to_string())?;
+            let value = r.u64().map_err(|e| e.to_string())?;
+            fields.push((fname, value));
+        }
+        records.push(tcast_obs::ExportedRecord {
+            kind,
+            name,
+            span,
+            parent,
+            t_ns,
+            dur_ns,
+            fields,
+        });
+    }
+    Ok(tcast_obs::ExportedTrace { trace, records })
 }
 
 /// Writes `frame` to `w` at protocol version 1 and returns the number of
@@ -812,10 +949,59 @@ mod tests {
                 request_id: 11,
                 text: "# TYPE tcast_jobs_total counter\n".into(),
             },
+            Frame::TraceExport {
+                request_id: 12,
+                max_traces: 64,
+            },
+            Frame::TraceData {
+                request_id: 12,
+                traces: vec![
+                    tcast_obs::ExportedTrace {
+                        trace: tcast_obs::TraceId(0x51),
+                        records: vec![
+                            tcast_obs::ExportedRecord {
+                                kind: tcast_obs::RecordKind::SpanStart,
+                                name: "service.execute".into(),
+                                span: 2,
+                                parent: 1,
+                                t_ns: 10,
+                                dur_ns: 0,
+                                fields: vec![("t".into(), 8), ("n".into(), 64)],
+                            },
+                            tcast_obs::ExportedRecord {
+                                kind: tcast_obs::RecordKind::Event,
+                                name: "engine.round".into(),
+                                span: 2,
+                                parent: 1,
+                                t_ns: 20,
+                                dur_ns: 0,
+                                fields: vec![],
+                            },
+                            tcast_obs::ExportedRecord {
+                                kind: tcast_obs::RecordKind::SpanEnd,
+                                name: "service.execute".into(),
+                                span: 2,
+                                parent: 1,
+                                t_ns: 30,
+                                dur_ns: 20,
+                                fields: vec![],
+                            },
+                        ],
+                    },
+                    tcast_obs::ExportedTrace {
+                        trace: tcast_obs::TraceId(0x52),
+                        records: vec![],
+                    },
+                ],
+            },
+            Frame::TraceData {
+                request_id: 13,
+                traces: vec![],
+            },
             Frame::Goodbye,
         ];
         for frame in frames {
-            for version in [PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3] {
+            for version in [PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_V4] {
                 let bytes = frame.to_bytes_versioned(version);
                 assert_eq!(
                     Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD).unwrap(),
@@ -882,6 +1068,55 @@ mod tests {
             .to_bytes_versioned(PROTOCOL_V2),
             "priority must not leak into V2 bytes"
         );
+    }
+
+    #[test]
+    fn v4_submit_carries_the_span_context_and_v3_drops_it() {
+        let frame = Frame::Submit {
+            request_id: 7,
+            job: sample_job().with_parent_span(tcast_obs::SpanContext {
+                parent: 0xCAFE,
+                sampled: false,
+            }),
+        };
+        // V4 round-trips the span context bit-exactly.
+        let got =
+            Frame::from_bytes(&frame.to_bytes_versioned(PROTOCOL_V4), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(got, frame);
+        // V3 encodes without it — the receiver sees SpanContext::NONE,
+        // and the wire bytes match a contextless V3 submit.
+        let v3 =
+            Frame::from_bytes(&frame.to_bytes_versioned(PROTOCOL_V3), DEFAULT_MAX_PAYLOAD).unwrap();
+        let Frame::Submit { job, .. } = &v3 else {
+            panic!("expected submit");
+        };
+        assert_eq!(job.span_parent, tcast_obs::SpanContext::NONE);
+        assert_eq!(
+            frame.to_bytes_versioned(PROTOCOL_V3),
+            Frame::Submit {
+                request_id: 7,
+                job: sample_job(),
+            }
+            .to_bytes_versioned(PROTOCOL_V3),
+            "span context must not leak into V3 bytes"
+        );
+    }
+
+    #[test]
+    fn bad_sampled_flag_is_rejected() {
+        let frame = Frame::Submit {
+            request_id: 7,
+            job: sample_job(),
+        };
+        let mut bytes = frame.to_bytes_versioned(PROTOCOL_V4);
+        let trailer = bytes.len() - TRAILER_LEN;
+        bytes[trailer - 1] = 2; // sampled flag is last before the CRC
+        let fixed_crc = crc32(&bytes[..trailer]).to_le_bytes();
+        bytes[trailer..].copy_from_slice(&fixed_crc);
+        assert!(matches!(
+            Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(MalformedFrame::Payload(msg)) if msg.contains("sampled flag 2")
+        ));
     }
 
     #[test]

@@ -65,12 +65,13 @@ pub mod reactor;
 pub mod server;
 
 pub use client::{
-    NetBatch, NetClient, NetClientConfig, NetError, NetJobHandle, NetJobResult, TenantAuth,
+    fetch_metrics_text, fetch_trace_export, NetBatch, NetClient, NetClientConfig, NetError,
+    NetJobHandle, NetJobResult, TenantAuth,
 };
 pub use cluster::{ClusterBatch, ClusterConfig, ClusterEvent, ShardedClient};
 pub use frame::{
     ErrorCode, Frame, FrameReadError, FrameReader, MalformedFrame, DEFAULT_MAX_PAYLOAD,
-    PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
+    PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_V4,
 };
 pub use server::{NetServer, NetServerConfig};
 

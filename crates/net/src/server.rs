@@ -51,8 +51,10 @@ use parking_lot::Mutex;
 use tcast_service::{JobError, JobOutput, NetCounters, QueryService, SubmitError};
 use tcast_tenant::{TenantId, TenantRegistry};
 
+use tcast_obs::{TraceCollector, TraceCollectorConfig};
+
 use crate::frame::{
-    ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V3,
+    ErrorCode, Frame, FrameReadError, FrameReader, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V4,
 };
 use crate::reactor::{poll_fds, AcceptBackoff, PollFd, Waker};
 
@@ -86,6 +88,11 @@ pub struct NetServerConfig {
     /// for this long is closed: its write path is dead even if the
     /// socket never reports an error.
     pub write_stall_timeout: Duration,
+    /// When set, the server runs a tail-sampling [`TraceCollector`] over
+    /// its own span stream and serves completed trace trees to
+    /// [`Frame::TraceExport`] subscribers. `None` (the default) answers
+    /// every export request with an empty [`Frame::TraceData`].
+    pub trace_export: Option<TraceCollectorConfig>,
 }
 
 impl Default for NetServerConfig {
@@ -98,6 +105,7 @@ impl Default for NetServerConfig {
             io_threads: 0,
             max_pending_writes: 8 << 20,
             write_stall_timeout: Duration::from_secs(30),
+            trace_export: None,
         }
     }
 }
@@ -145,6 +153,13 @@ impl NetServerConfig {
         self
     }
 
+    /// Enables trace export with the given tail-sampler configuration
+    /// (see [`Self::trace_export`]).
+    pub fn with_trace_export(mut self, config: TraceCollectorConfig) -> Self {
+        self.trace_export = Some(config);
+        self
+    }
+
     /// The resolved I/O pool size: the configured [`Self::io_threads`],
     /// or `min(8, available cores)` when left at `0`.
     pub fn io_thread_count(&self) -> usize {
@@ -185,6 +200,10 @@ pub struct NetServer {
     inboxes: Vec<Arc<Inbox>>,
     acceptor: Option<JoinHandle<()>>,
     io_threads: Vec<JoinHandle<()>>,
+    collector: Option<Arc<TraceCollector>>,
+    /// Keeps the collector registered as a process-wide trace sink for
+    /// the server's lifetime.
+    _trace_sink: Option<tcast_obs::SinkGuard>,
 }
 
 impl NetServer {
@@ -203,6 +222,13 @@ impl NetServer {
 
         let server_counters = service.metrics_registry().net_counters("net/server");
         server_counters.set_io_threads(pool as u64);
+
+        let collector = config
+            .trace_export
+            .map(|cfg| Arc::new(TraceCollector::new(cfg)));
+        let trace_sink = collector
+            .clone()
+            .map(|c| tcast_obs::add_sink(c as Arc<dyn tcast_obs::TraceSink>));
 
         let mut inboxes = Vec::with_capacity(pool);
         for _ in 0..pool {
@@ -228,6 +254,7 @@ impl NetServer {
                 inbox: inbox.clone(),
                 tenants: service.tenant_registry(),
                 service: service.clone(),
+                collector: collector.clone(),
                 config,
                 shutdown: shutdown.clone(),
                 counters: service
@@ -263,12 +290,22 @@ impl NetServer {
             inboxes,
             acceptor,
             io_threads,
+            collector,
+            _trace_sink: trace_sink,
         })
     }
 
     /// The address the server is listening on (with the resolved port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The tail-sampling trace collector, when
+    /// [`NetServerConfig::trace_export`] enabled one. In-process callers
+    /// (tests, embedded dashboards) can drain it directly; remote
+    /// subscribers use [`Frame::TraceExport`].
+    pub fn trace_collector(&self) -> Option<Arc<TraceCollector>> {
+        self.collector.clone()
     }
 
     /// Graceful drain: stop accepting, refuse new submits, finish every
@@ -412,6 +449,8 @@ struct IoThread {
     /// The wrapped service's tenant registry, if any. Present ⇒ every
     /// connection must pass the `Auth` challenge before submitting.
     tenants: Option<Arc<TenantRegistry>>,
+    /// The server's tail-sampling trace collector, if export is on.
+    collector: Option<Arc<TraceCollector>>,
     config: NetServerConfig,
     shutdown: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
@@ -694,10 +733,10 @@ impl IoThread {
                     max_version,
                 } => {
                     // Ack the highest version in both ranges: the server
-                    // speaks [V1, V3], so that is min(client max, V3)
+                    // speaks [V1, V4], so that is min(client max, V4)
                     // when the ranges overlap at all.
                     if min_version <= max_version
-                        && min_version <= PROTOCOL_V3
+                        && min_version <= PROTOCOL_V4
                         && max_version >= PROTOCOL_V1
                     {
                         // With a tenant registry attached the ack also
@@ -711,7 +750,7 @@ impl IoThread {
                             Phase::Active
                         };
                         let ack = Frame::HelloAck {
-                            version: max_version.min(PROTOCOL_V3),
+                            version: max_version.min(PROTOCOL_V4),
                             challenge,
                         };
                         queue_frame(&self.counters, conn, &ack);
@@ -720,7 +759,7 @@ impl IoThread {
                             slot,
                             ErrorCode::UnsupportedVersion,
                             format!(
-                                "server speaks versions {PROTOCOL_V1}..={PROTOCOL_V3}, client \
+                                "server speaks versions {PROTOCOL_V1}..={PROTOCOL_V4}, client \
                                  offered {min_version}..={max_version}"
                             ),
                         );
@@ -746,6 +785,12 @@ impl IoThread {
                         Ok(id) => {
                             conn.tenant = Some(id);
                             conn.phase = Phase::Active;
+                            // Pre-register the tenant's metric series so
+                            // its Prometheus rows exist (at zero) from
+                            // first sight onward, and feed the auth SLO.
+                            let registry = self.service.metrics_registry();
+                            registry.seen_tenant(&tenant);
+                            registry.slo_observe(tcast_obs::SloSignal::Auth, true);
                             queue_frame(&self.counters, conn, &Frame::AuthOk);
                         }
                         Err(_) => {
@@ -753,6 +798,9 @@ impl IoThread {
                             // bad-MAC alike: the error frame must not be
                             // an oracle for which tenant names exist.
                             self.counters.auth_failure();
+                            self.service
+                                .metrics_registry()
+                                .slo_observe(tcast_obs::SloSignal::Auth, false);
                             self.fail_conn(
                                 slot,
                                 ErrorCode::AuthFailed,
@@ -793,10 +841,20 @@ impl IoThread {
                 // The tenant comes from this connection's Auth handshake,
                 // never from the wire: a client cannot submit under
                 // another tenant's quotas by forging a field.
-                let job = match conn.tenant {
+                let mut job = match conn.tenant {
                     Some(id) => job.with_tenant(id),
                     None => job,
                 };
+                // With a trace collector attached, untraced jobs get a
+                // server-minted trace id so tail sampling covers traffic
+                // from clients that do no tracing of their own — unless
+                // the submitter explicitly opted the job out.
+                if self.collector.is_some()
+                    && job.trace == tcast_obs::TraceId::NONE
+                    && job.span_parent.sampled
+                {
+                    job.trace = tcast_obs::TraceId::fresh();
+                }
                 let shared = conn.shared.clone();
                 self.submit(slot, request_id, job, shared);
             }
@@ -806,6 +864,22 @@ impl IoThread {
                     &self.counters,
                     conn,
                     &Frame::MetricsText { request_id, text },
+                );
+            }
+            Frame::TraceExport {
+                request_id,
+                max_traces,
+            } => {
+                // Bound one answer to what comfortably fits the default
+                // payload cap; the rest stays queued for the next poll.
+                let traces = match &self.collector {
+                    Some(c) => c.take(max_traces.min(64) as usize),
+                    None => Vec::new(),
+                };
+                queue_frame(
+                    &self.counters,
+                    conn,
+                    &Frame::TraceData { request_id, traces },
                 );
             }
             Frame::Goodbye => conn.peer_done = true,

@@ -15,7 +15,7 @@ use tcast_net::crc::crc32;
 use tcast_net::frame::{HEADER_LEN, MAGIC};
 use tcast_net::{
     ErrorCode, Frame, FrameReader, NetClient, NetClientConfig, NetError, NetServer,
-    NetServerConfig, TenantAuth, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V3,
+    NetServerConfig, TenantAuth, DEFAULT_MAX_PAYLOAD, PROTOCOL_V1, PROTOCOL_V3, PROTOCOL_V4,
 };
 use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
 use tcast_tenant::{auth_mac, TenantRegistry, TenantSpec};
@@ -108,7 +108,7 @@ fn authenticated_submit_round_trips() {
         client_config(Some(TenantAuth::new("alice", KEY_A))),
     )
     .expect("authenticated connect");
-    assert_eq!(client.negotiated_version(), PROTOCOL_V3);
+    assert_eq!(client.negotiated_version(), PROTOCOL_V4);
 
     let report = client
         .submit_one(sample_job())

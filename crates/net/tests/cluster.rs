@@ -462,6 +462,74 @@ fn load_aware_routing_degrades_to_rendezvous_on_stale_signals() {
     }
 }
 
+/// SLO-health biasing: a shard carrying a fresh health penalty (burning
+/// its error budget or emitting anomalies) sheds placements exactly
+/// like a loaded one, the penalty composes with the queue-wait signal,
+/// and a stale penalty decays back to pure rendezvous.
+#[test]
+fn slo_health_penalty_sheds_load_off_a_burning_shard() {
+    let servers: Vec<_> = (0..3).map(|_| start_server(1)).collect();
+    let addrs: Vec<_> = servers.iter().map(|(s, _)| s.local_addr()).collect();
+    let plain = ShardedClient::connect(addrs.clone(), ClusterConfig::default()).expect("connect");
+    let sick = ShardedClient::connect(
+        addrs,
+        ClusterConfig::default()
+            .with_load_aware(true)
+            .with_slo_penalty(true)
+            .with_load_sample_interval(Duration::from_secs(3600))
+            .with_load_staleness(Duration::from_millis(200)),
+    )
+    .expect("connect");
+
+    let jobs = job_mix(600, 0x510_BAD);
+    let share = |cluster: &ShardedClient, shard: usize| -> f64 {
+        let hits = jobs
+            .iter()
+            .filter(|j| cluster.route_of(j) == Some(shard))
+            .count();
+        hits as f64 / jobs.len() as f64
+    };
+
+    // Before any signal, the penalty-enabled router IS rendezvous.
+    let baseline = share(&plain, 0);
+    assert!(
+        (share(&sick, 0) - baseline).abs() < f64::EPSILON,
+        "no-signal routing must match rendezvous"
+    );
+
+    // A fast-burning shard (penalty ≈ 1 + 14.4 burn) sheds most of its
+    // keys even with no queue-wait signal at all.
+    sick.inject_health_sample(0, 15.4);
+    let penalized = share(&sick, 0);
+    assert!(
+        penalized < baseline / 2.0,
+        "a burning shard must shed placements: kept {penalized:.3} of baseline {baseline:.3}"
+    );
+
+    // The penalty composes with queue wait: loading the same shard on
+    // top of the burn sheds strictly more than the burn alone.
+    sick.inject_load_sample(0, Duration::from_millis(20));
+    let both = share(&sick, 0);
+    assert!(
+        both <= penalized,
+        "burn + load ({both:.3}) must shed at least as much as burn alone ({penalized:.3})"
+    );
+
+    // Once the health sample goes stale the router returns to pure
+    // rendezvous (the load sample above decays on the same clock).
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        (share(&sick, 0) - baseline).abs() < f64::EPSILON,
+        "stale penalties must decay to rendezvous"
+    );
+
+    plain.close();
+    sick.close();
+    for (server, _service) in servers {
+        server.shutdown();
+    }
+}
+
 /// The queue-wait signal the sampler feeds on is actually exposed over
 /// the wire: after a shard executes jobs, its Prometheus dump carries
 /// the `tcast_queue_wait_microseconds` summary the sampler parses.

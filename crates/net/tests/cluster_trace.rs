@@ -1,0 +1,134 @@
+//! The headline observability-plane property: one fan-out query batch
+//! through a three-shard loopback cluster leaves ONE connected trace
+//! tree. The client's root span parents every `cluster.route` span
+//! (thread-local nesting), each route span parents its shard's
+//! `service.execute` span (the V4 `Submit` frame carries the span
+//! context across the wire), and the engine spans nest below — so
+//! every span in the trace walks up to the single client root.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tcast::{ChannelSpec, CollisionModel};
+use tcast_net::{ClusterConfig, NetServer, NetServerConfig, ShardedClient};
+use tcast_obs::{add_sink, MemorySink, Record, RecordKind, Span, TraceId};
+use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
+
+fn start_server(workers: usize) -> (NetServer, Arc<QueryService>) {
+    let service = Arc::new(QueryService::new(ServiceConfig::with_workers(workers)));
+    let server = NetServer::bind("127.0.0.1:0", service.clone(), NetServerConfig::default())
+        .expect("bind ephemeral port");
+    (server, service)
+}
+
+fn traced_job(seed: u64, trace: TraceId) -> QueryJob {
+    QueryJob::new(
+        AlgorithmSpec::TwoTBins,
+        ChannelSpec::ideal(96, 20, CollisionModel::OnePlus).seeded(seed, seed ^ 1),
+        12,
+        seed,
+    )
+    .with_trace(trace)
+}
+
+#[test]
+fn a_fanout_query_forms_one_connected_trace_tree_across_three_shards() {
+    let sink = Arc::new(MemorySink::new());
+    let guard = add_sink(sink.clone());
+
+    let servers: Vec<_> = (0..3).map(|_| start_server(2)).collect();
+    let addrs: Vec<_> = servers.iter().map(|(s, _)| s.local_addr()).collect();
+    let cluster = ShardedClient::connect(addrs, ClusterConfig::default()).expect("connect");
+
+    // Enough distinct jobs that rendezvous spreads them over all three
+    // shards; every job carries the SAME trace — one logical fan-out.
+    let trace = TraceId::fresh();
+    let jobs: Vec<QueryJob> = (0..24).map(|k| traced_job(0xFA2 ^ k, trace)).collect();
+    let shards_hit: std::collections::HashSet<usize> =
+        jobs.iter().filter_map(|j| cluster.route_of(j)).collect();
+    assert_eq!(shards_hit.len(), 3, "job mix must cover every shard");
+
+    let root_id = {
+        let root = Span::enter(trace, "query.fanout");
+        let root_id = root.id();
+        for result in cluster.submit(jobs.clone()).wait() {
+            result.expect("job succeeded");
+        }
+        root_id
+    };
+    tcast_obs::flush();
+
+    let records = sink.for_trace(trace);
+    let starts: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.kind == RecordKind::SpanStart)
+        .collect();
+    let parent_of: HashMap<u64, u64> = starts.iter().map(|r| (r.span, r.parent)).collect();
+
+    // Exactly one root span in the whole trace: the client's fan-out.
+    let roots: Vec<&&Record> = starts.iter().filter(|r| r.parent == 0).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "expected a single root, got {:?}",
+        roots.iter().map(|r| r.name).collect::<Vec<_>>()
+    );
+    assert_eq!(roots[0].name, "query.fanout");
+    assert_eq!(roots[0].span, root_id);
+
+    // One route span per job, all direct children of the fan-out root.
+    let route_ids: std::collections::HashSet<u64> = starts
+        .iter()
+        .filter(|r| r.name == "cluster.route")
+        .map(|r| {
+            assert_eq!(r.parent, root_id, "route span not under the fan-out root");
+            r.span
+        })
+        .collect();
+    assert_eq!(route_ids.len(), jobs.len());
+
+    // Every shard-side service span stitches under SOME route span (the
+    // context crossed the wire), and the engine spans nest below.
+    let service_ids: std::collections::HashSet<u64> = starts
+        .iter()
+        .filter(|r| r.name == "service.execute")
+        .map(|r| {
+            assert!(
+                route_ids.contains(&r.parent),
+                "service.execute parent {} is not a cluster.route span",
+                r.parent
+            );
+            r.span
+        })
+        .collect();
+    assert_eq!(service_ids.len(), jobs.len());
+    for r in starts.iter().filter(|r| r.name == "engine.drive") {
+        assert!(
+            service_ids.contains(&r.parent),
+            "engine.drive parent {} is not a service.execute span",
+            r.parent
+        );
+    }
+
+    // Connectivity: every span in the trace walks up to the one root.
+    for r in &starts {
+        let mut at = r.span;
+        let mut hops = 0;
+        while at != root_id {
+            at = *parent_of
+                .get(&at)
+                .and_then(|p| if *p == 0 { None } else { Some(p) })
+                .unwrap_or_else(|| {
+                    panic!("span {} ({}) is disconnected from the root", r.span, r.name)
+                });
+            hops += 1;
+            assert!(hops < 64, "parent chain cycle at span {}", r.span);
+        }
+    }
+
+    cluster.close();
+    for (server, _service) in servers {
+        server.shutdown();
+    }
+    drop(guard);
+}

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use tcast::{ChannelSpec, CollisionModel};
 use tcast_net::{
     ClusterConfig, NetClient, NetClientConfig, NetServer, NetServerConfig, ShardedClient,
-    PROTOCOL_V3,
+    PROTOCOL_V4,
 };
 use tcast_obs::{add_sink, check_nesting, MemorySink, Record, RecordKind, TraceId};
 use tcast_service::{AlgorithmSpec, QueryJob, QueryService, ServiceConfig};
@@ -40,7 +40,7 @@ fn client_and_server_negotiate_the_latest_protocol() {
     let (server, _service) = start_server(1);
     let client =
         NetClient::connect(server.local_addr(), NetClientConfig::default()).expect("connect");
-    assert_eq!(client.negotiated_version(), PROTOCOL_V3);
+    assert_eq!(client.negotiated_version(), PROTOCOL_V4);
     client.close();
     server.shutdown();
 }
@@ -85,7 +85,7 @@ fn one_query_through_the_cluster_yields_one_correlated_trace() {
     };
     // Exactly one of each cross-tier hop, correlated to the one trace.
     assert_eq!(
-        count("cluster.route", RecordKind::Event),
+        count("cluster.route", RecordKind::SpanStart),
         1,
         "{:?}",
         names_of(&records)
@@ -107,9 +107,9 @@ fn one_query_through_the_cluster_yields_one_correlated_trace() {
             .find(|r| r.name == name && r.kind == kind)
             .unwrap()
     };
-    // The route event names the shard the router actually picked.
+    // The route span names the shard the router actually picked.
     assert_eq!(
-        find("cluster.route", RecordKind::Event).field("shard"),
+        find("cluster.route", RecordKind::SpanStart).field("shard"),
         expected_shard.map(|s| s as u64)
     );
     // All four wire records agree on the request id.
@@ -122,9 +122,17 @@ fn one_query_through_the_cluster_yields_one_correlated_trace() {
             "{name}"
         );
     }
-    // The engine span nests inside the service span, and both measured
-    // real time; the RTT covers the whole submit→response interval.
-    let service_span = find("service.execute", RecordKind::SpanStart).span;
+    // The engine span nests inside the service span, the service span
+    // stitches under the client's route span (carried across the wire
+    // in the V4 submit), and both measured real time; the RTT covers
+    // the whole submit→response interval.
+    let route_span = find("cluster.route", RecordKind::SpanStart).span;
+    let service_start = find("service.execute", RecordKind::SpanStart);
+    assert_eq!(
+        service_start.parent, route_span,
+        "service span did not stitch under the cluster route span"
+    );
+    let service_span = service_start.span;
     assert_eq!(
         find("engine.drive", RecordKind::SpanStart).parent,
         service_span

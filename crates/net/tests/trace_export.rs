@@ -1,0 +1,133 @@
+//! Wire-format properties for the trace-export frames: the
+//! `TraceExport` request and `TraceData` response must round-trip every
+//! span/event shape the collector can produce — empty traces, records
+//! with maximal field payloads, and parent chains as deep as a trace
+//! can nest — and reject any single corrupted byte, matching the
+//! guarantees the `roundtrip` suite pins for the query frames.
+
+use proptest::prelude::*;
+
+use tcast_net::{Frame, FrameReader, DEFAULT_MAX_PAYLOAD};
+use tcast_obs::{ExportedRecord, ExportedTrace, RecordKind, TraceId, MAX_FIELDS};
+
+/// Deterministically expands drawn words into one exported record,
+/// cycling through every kind and field-count arm (including the
+/// `MAX_FIELDS` maximum).
+fn record_from(seed: u64, k: usize, parent: u64) -> ExportedRecord {
+    let kind = match k % 3 {
+        0 => RecordKind::SpanStart,
+        1 => RecordKind::SpanEnd,
+        _ => RecordKind::Event,
+    };
+    let n_fields = (seed as usize).wrapping_add(k) % (MAX_FIELDS + 1);
+    ExportedRecord {
+        kind,
+        name: format!("tier{}.op{}", k % 4, seed % 100),
+        span: seed.wrapping_mul(k as u64 + 1) | 1,
+        parent,
+        t_ns: seed.rotate_left(k as u32),
+        dur_ns: if kind == RecordKind::SpanEnd {
+            seed / 3
+        } else {
+            0
+        },
+        fields: (0..n_fields)
+            .map(|f| (format!("field_{f}"), seed.wrapping_shr(f as u32)))
+            .collect(),
+    }
+}
+
+/// A trace whose spans form one maximally deep parent chain: record k's
+/// span is the parent of record k+1.
+fn max_depth_trace(seed: u64, depth: usize) -> ExportedTrace {
+    let mut records = Vec::with_capacity(depth);
+    let mut parent = 0u64;
+    for k in 0..depth {
+        let mut r = record_from(seed, k, parent);
+        r.kind = RecordKind::SpanStart;
+        parent = r.span;
+        records.push(r);
+    }
+    ExportedTrace {
+        trace: TraceId::fresh(),
+        records,
+    }
+}
+
+fn traces_from(seed: u64, shapes: &[usize]) -> Vec<ExportedTrace> {
+    let mut traces: Vec<ExportedTrace> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| ExportedTrace {
+            trace: TraceId::fresh(),
+            records: (0..len)
+                .map(|k| record_from(seed ^ (i as u64) << 32, k, seed % 7))
+                .collect(),
+        })
+        .collect();
+    // Always include the degenerate and the pathological shapes.
+    traces.push(ExportedTrace {
+        trace: TraceId::fresh(),
+        records: Vec::new(),
+    });
+    traces.push(max_depth_trace(seed, 64));
+    traces
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trace_export_frames_roundtrip_bit_identically(
+        seed in any::<u64>(),
+        max_traces in any::<u32>(),
+        shapes in proptest::collection::vec(0usize..12, 0..6),
+    ) {
+        let frames = [
+            Frame::TraceExport { request_id: seed, max_traces },
+            Frame::TraceData {
+                request_id: seed ^ 1,
+                traces: traces_from(seed, &shapes),
+            },
+        ];
+        for frame in frames {
+            let bytes = frame.to_bytes();
+            let decoded = Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD);
+            prop_assert_eq!(decoded.as_ref(), Ok(&frame));
+            // The incremental reader agrees with the one-shot parser.
+            let mut reader = FrameReader::new();
+            let got = reader
+                .read_from(&mut std::io::Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD)
+                .expect("reader accepts what from_bytes accepts")
+                .expect("complete frame buffered");
+            prop_assert_eq!(&got.0, &frame);
+            prop_assert_eq!(got.1, bytes.len());
+        }
+    }
+
+    #[test]
+    fn any_corrupted_trace_byte_is_rejected(
+        seed in any::<u64>(),
+        corrupt_pos_frac in 0usize..=100,
+        flip in 1u8..=255,
+    ) {
+        let frames = [
+            Frame::TraceExport { request_id: seed, max_traces: (seed >> 32) as u32 },
+            Frame::TraceData {
+                request_id: seed,
+                traces: traces_from(seed, &[3, 1]),
+            },
+        ];
+        for frame in frames {
+            let mut bytes = frame.to_bytes();
+            let pos = (bytes.len() - 1) * corrupt_pos_frac / 100;
+            bytes[pos] ^= flip;
+            prop_assert!(
+                Frame::from_bytes(&bytes, DEFAULT_MAX_PAYLOAD).is_err(),
+                "flip {:#04x} at byte {} slipped through",
+                flip,
+                pos
+            );
+        }
+    }
+}

@@ -44,10 +44,16 @@ use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write as IoWrite};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+pub mod export;
+pub mod slo;
+
+pub use export::{ExportedRecord, ExportedTrace, TraceCollector, TraceCollectorConfig};
+pub use slo::{Objective, SloSignal, SloStatus, SloTracker};
 
 /// Maximum number of `(name, value)` fields a single [`Record`] carries.
 pub const MAX_FIELDS: usize = 8;
@@ -91,6 +97,51 @@ impl TraceId {
 impl fmt::Display for TraceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Propagated span context: the caller-side parent span id plus the
+/// head-sampling decision, carried next to the [`TraceId`] when a job
+/// crosses a queue or the wire.
+///
+/// `parent == 0` means "no remote parent" — the receiving tier's root
+/// span stays a tree root. `sampled == false` is the head-sampling
+/// opt-out: the sender decided this job should not be traced downstream,
+/// so receivers skip span creation entirely (the zero-alloc no-op path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// Span id of the sender-side span this work nests under (0 = none).
+    pub parent: u64,
+    /// Whether downstream tiers should record spans for this work.
+    pub sampled: bool,
+}
+
+impl SpanContext {
+    /// The absent context: no remote parent, tracing allowed. This is
+    /// what jobs carry by default, so behavior without a propagating
+    /// front-end is unchanged.
+    pub const NONE: SpanContext = SpanContext {
+        parent: 0,
+        sampled: true,
+    };
+
+    /// A context nesting downstream spans under `parent`.
+    pub fn child_of(parent: u64) -> SpanContext {
+        SpanContext {
+            parent,
+            sampled: true,
+        }
+    }
+
+    /// `true` when a remote parent span is present.
+    pub fn has_parent(self) -> bool {
+        self.parent != 0
+    }
+}
+
+impl Default for SpanContext {
+    fn default() -> Self {
+        SpanContext::NONE
     }
 }
 
@@ -268,17 +319,79 @@ impl TraceSink for MemorySink {
 /// `{"t_ns":..,"kind":"span_start","name":"..","trace":"%016x",`
 /// `"span":..,"parent":..,"dur_ns":..,"fields":{"bins":4,..}}`
 /// (`dur_ns` only on `span_end`, `fields` only when non-empty).
+///
+/// With [`JsonlSink::with_max_bytes`] the file is size-capped: once the
+/// live file passes the cap it is atomically renamed to `<path>.1`
+/// (replacing any previous rollover) and a fresh file takes its place,
+/// so an unattended soak holds at most two generations on disk instead
+/// of filling it.
 pub struct JsonlSink {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<JsonlWriter>,
+    path: PathBuf,
+    max_bytes: Option<u64>,
+}
+
+struct JsonlWriter {
+    out: BufWriter<File>,
+    written: u64,
 }
 
 impl JsonlSink {
-    /// Create (truncating) `path` and return a sink writing to it.
+    /// Create (truncating) `path` and return a sink writing to it, with
+    /// no size cap.
     pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<JsonlSink> {
+        Self::build(path.as_ref(), None)
+    }
+
+    /// Like [`JsonlSink::create`], but the live file rolls over to
+    /// `<path>.1` once it exceeds `max_bytes` (a cap of 0 rolls on every
+    /// batch). At most one rolled file is kept — rollover replaces it.
+    pub fn with_max_bytes<P: AsRef<Path>>(path: P, max_bytes: u64) -> std::io::Result<JsonlSink> {
+        Self::build(path.as_ref(), Some(max_bytes))
+    }
+
+    fn build(path: &Path, max_bytes: Option<u64>) -> std::io::Result<JsonlSink> {
         let file = File::create(path)?;
         Ok(JsonlSink {
-            out: Mutex::new(BufWriter::new(file)),
+            out: Mutex::new(JsonlWriter {
+                out: BufWriter::new(file),
+                written: 0,
+            }),
+            path: path.to_path_buf(),
+            max_bytes,
         })
+    }
+
+    /// The path rolled-over output moves to: `<path>.1`.
+    pub fn rolled_path(&self) -> PathBuf {
+        let mut os = self.path.clone().into_os_string();
+        os.push(".1");
+        PathBuf::from(os)
+    }
+
+    /// Flushes the live file, renames it to [`Self::rolled_path`]
+    /// (replacing any previous rollover), and starts a fresh live file.
+    /// On any I/O failure the current file stays in place — records are
+    /// never dropped to enforce the cap.
+    fn rollover(&self, w: &mut JsonlWriter) {
+        if w.out.flush().is_err() {
+            return;
+        }
+        if std::fs::rename(&self.path, self.rolled_path()).is_err() {
+            return;
+        }
+        match File::create(&self.path) {
+            Ok(file) => {
+                w.out = BufWriter::new(file);
+                w.written = 0;
+            }
+            Err(_) => {
+                // The old file was renamed away but a new one could not
+                // be created; keep writing to the renamed file via the
+                // existing handle rather than losing records.
+                w.written = 0;
+            }
+        }
     }
 
     fn render(r: &Record, line: &mut String) {
@@ -312,16 +425,23 @@ impl JsonlSink {
 
 impl TraceSink for JsonlSink {
     fn consume(&self, records: &[Record]) {
-        let mut out = self.out.lock().unwrap();
+        let mut w = self.out.lock().unwrap();
         let mut line = String::with_capacity(160);
         for r in records {
             Self::render(r, &mut line);
-            let _ = out.write_all(line.as_bytes());
+            if w.out.write_all(line.as_bytes()).is_ok() {
+                w.written += line.len() as u64;
+            }
+            if let Some(cap) = self.max_bytes {
+                if w.written > cap {
+                    self.rollover(&mut w);
+                }
+            }
         }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let _ = self.out.lock().unwrap().out.flush();
     }
 }
 
@@ -482,7 +602,14 @@ pub fn scoped_trace(trace: TraceId) -> ScopedTrace {
 pub struct Span {
     trace: TraceId,
     id: u64,
+    /// Parent recorded on the span records: the enclosing local span, or
+    /// a propagated remote parent when this span is a local root entered
+    /// via [`Span::enter_remote`].
     parent: u64,
+    /// The enclosing *local* span at entry time — what `CURRENT_SPAN`
+    /// restores to on drop, and what decides the root-close ring drain.
+    /// Equal to `parent` except for remote-parented local roots.
+    local_parent: u64,
     prev_trace: TraceId,
     name: &'static str,
     start_ns: u64,
@@ -490,19 +617,24 @@ pub struct Span {
 }
 
 impl Span {
+    fn inert(trace: TraceId, name: &'static str) -> Span {
+        Span {
+            trace,
+            id: 0,
+            parent: 0,
+            local_parent: 0,
+            prev_trace: trace,
+            name,
+            start_ns: 0,
+            active: false,
+        }
+    }
+
     /// Enter a span of `trace` named `name`. When recording is disabled
     /// this returns an inert guard and records nothing, now or at drop.
     pub fn enter(trace: TraceId, name: &'static str) -> Span {
         if !enabled() {
-            return Span {
-                trace,
-                id: 0,
-                parent: 0,
-                prev_trace: trace,
-                name,
-                start_ns: 0,
-                active: false,
-            };
+            return Span::inert(trace, name);
         }
         Span::enter_fields(trace, name, &[])
     }
@@ -514,19 +646,43 @@ impl Span {
         name: &'static str,
         fields: &[(&'static str, u64)],
     ) -> Span {
+        Span::enter_inner(trace, name, 0, fields)
+    }
+
+    /// Like [`Span::enter_fields`], but when this span is a *local* root
+    /// (no enclosing span on this thread) its recorded parent becomes
+    /// `remote.parent` — the span id propagated from another thread,
+    /// process, or host — so cross-tier trees stitch together. Nested
+    /// use falls back to the enclosing local span, and `remote.sampled
+    /// == false` returns an inert guard (the head-sampling opt-out).
+    pub fn enter_remote(
+        trace: TraceId,
+        name: &'static str,
+        remote: SpanContext,
+        fields: &[(&'static str, u64)],
+    ) -> Span {
+        if !remote.sampled {
+            return Span::inert(trace, name);
+        }
+        Span::enter_inner(trace, name, remote.parent, fields)
+    }
+
+    fn enter_inner(
+        trace: TraceId,
+        name: &'static str,
+        remote_parent: u64,
+        fields: &[(&'static str, u64)],
+    ) -> Span {
         if !enabled() {
-            return Span {
-                trace,
-                id: 0,
-                parent: 0,
-                prev_trace: trace,
-                name,
-                start_ns: 0,
-                active: false,
-            };
+            return Span::inert(trace, name);
         }
         let id = next_span_id();
-        let parent = CURRENT_SPAN.with(|s| s.replace(id));
+        let local_parent = CURRENT_SPAN.with(|s| s.replace(id));
+        let parent = if local_parent == 0 {
+            remote_parent
+        } else {
+            local_parent
+        };
         let prev_trace = CURRENT_TRACE.with(|t| t.replace(trace));
         SPAN_DEPTH.with(|d| d.set(d.get() + 1));
         let start_ns = now_ns();
@@ -546,6 +702,7 @@ impl Span {
             trace,
             id,
             parent,
+            local_parent,
             prev_trace,
             name,
             start_ns,
@@ -582,6 +739,22 @@ impl Span {
         self.trace
     }
 
+    /// This span's id (0 on an inert span). Senders put it in a
+    /// [`SpanContext`] so downstream tiers can nest under this span.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The [`SpanContext`] downstream work should carry to nest under
+    /// this span. On an inert span (recording disabled) the context is
+    /// unsampled, propagating the head-sampling decision.
+    pub fn context(&self) -> SpanContext {
+        SpanContext {
+            parent: self.id,
+            sampled: self.active,
+        }
+    }
+
     /// `true` when the span is actually recording.
     pub fn is_recording(&self) -> bool {
         self.active
@@ -605,12 +778,13 @@ impl Drop for Span {
             fields: [("", 0); MAX_FIELDS],
             n_fields: 0,
         });
-        CURRENT_SPAN.with(|s| s.set(self.parent));
+        CURRENT_SPAN.with(|s| s.set(self.local_parent));
         CURRENT_TRACE.with(|t| t.set(self.prev_trace));
         SPAN_DEPTH.with(|d| d.set(d.get() - 1));
-        // Root-span close = one query's records are complete on this
-        // thread; hand them to the sinks as a batch.
-        if self.parent == 0 {
+        // Local-root close = one query's records are complete on this
+        // thread; hand them to the sinks as a batch. A remote parent does
+        // not change this: the span is still the local root.
+        if self.local_parent == 0 {
             RING.with(|ring| ring.borrow_mut().drain());
         }
     }
@@ -653,13 +827,18 @@ pub fn event_current(name: &'static str, fields: &[(&'static str, u64)]) {
 /// order): every `span_end` must close the innermost open span, parents
 /// must match the enclosing span at emission time, and no span may stay
 /// open. Returns a description of the first violation.
+///
+/// A `span_start` with no open local span may carry *any* parent: local
+/// roots entered via [`Span::enter_remote`] record the span id
+/// propagated from another tier, which is invisible to this
+/// single-thread checker.
 pub fn check_nesting(records: &[Record]) -> Result<(), String> {
     let mut stack: Vec<u64> = Vec::new();
     for r in records {
         let top = stack.last().copied().unwrap_or(0);
         match r.kind {
             RecordKind::SpanStart => {
-                if r.parent != top {
+                if r.parent != top && top != 0 {
                     return Err(format!(
                         "span_start {} has parent {} but enclosing span is {top}",
                         r.name, r.parent
@@ -701,15 +880,7 @@ mod tests {
     fn disabled_records_nothing() {
         // No sink installed by *this* test; other tests may race, so
         // assert on the inert span shape instead of the global flag.
-        let span = Span {
-            trace: TraceId::NONE,
-            id: 0,
-            parent: 0,
-            prev_trace: TraceId::NONE,
-            name: "x",
-            start_ns: 0,
-            active: false,
-        };
+        let span = Span::inert(TraceId::NONE, "x");
         assert!(!span.is_recording());
         span.event("ignored", &[("a", 1)]);
     }
@@ -854,6 +1025,138 @@ mod tests {
         assert!(mine[1].contains("\"fields\":{\"bins\":4,\"retries\":1}"));
         assert!(mine[2].contains("\"dur_ns\":"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn remote_parent_stitches_local_root_and_still_drains() {
+        let sink = Arc::new(MemorySink::new());
+        let guard = add_sink(sink.clone());
+        let trace = TraceId::fresh();
+        let remote_parent = 0xdead_beef_u64;
+        {
+            let root = Span::enter_remote(
+                trace,
+                "remote-root",
+                SpanContext::child_of(remote_parent),
+                &[],
+            );
+            assert!(root.is_recording());
+            {
+                let inner = Span::enter_current("inner");
+                // Nested spans parent on the local enclosing span, not
+                // the remote context.
+                drop(inner);
+            }
+        }
+        // The root close must have drained the ring (no explicit flush).
+        let records = sink.for_trace(trace);
+        assert_eq!(records.len(), 4);
+        assert_eq!(
+            records[0].parent, remote_parent,
+            "local root records the remote parent"
+        );
+        assert_eq!(records[1].parent, records[0].span, "inner nests locally");
+        check_nesting(&records).expect("remote-parented roots pass nesting checks");
+        drop(guard);
+    }
+
+    #[test]
+    fn unsampled_remote_context_records_nothing() {
+        let sink = Arc::new(MemorySink::new());
+        let guard = add_sink(sink.clone());
+        let trace = TraceId::fresh();
+        let ctx = SpanContext {
+            parent: 7,
+            sampled: false,
+        };
+        {
+            let span = Span::enter_remote(trace, "skipped", ctx, &[]);
+            assert!(!span.is_recording());
+            span.event("ignored", &[]);
+        }
+        flush();
+        assert!(sink.for_trace(trace).is_empty());
+        drop(guard);
+    }
+
+    #[test]
+    fn span_context_round_trips_through_span() {
+        let sink = Arc::new(MemorySink::new());
+        let guard = add_sink(sink.clone());
+        let trace = TraceId::fresh();
+        let span = Span::enter(trace, "parent");
+        let ctx = span.context();
+        assert!(ctx.sampled);
+        assert_eq!(ctx.parent, span.id());
+        assert!(ctx.has_parent());
+        drop(span);
+        drop(guard);
+        assert_eq!(SpanContext::default(), SpanContext::NONE);
+        assert!(!SpanContext::NONE.has_parent());
+    }
+
+    #[test]
+    fn jsonl_sink_rolls_over_at_the_byte_cap() {
+        let dir = std::env::temp_dir().join(format!("tcast-obs-roll-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("capped.jsonl");
+        let trace = TraceId::fresh();
+        let cap = 2048u64;
+        let sink = Arc::new(JsonlSink::with_max_bytes(&path, cap).unwrap());
+        let rolled = sink.rolled_path();
+        let _ = std::fs::remove_file(&rolled);
+        {
+            let guard = add_sink(sink.clone());
+            // Far more than the cap's worth of records.
+            for i in 0..400u64 {
+                event(trace, "fill", &[("i", i), ("pad", u64::MAX)]);
+            }
+            flush();
+            drop(guard);
+        }
+        let live = std::fs::metadata(&path).expect("live file exists").len();
+        let old = std::fs::metadata(&rolled)
+            .expect("rollover file exists")
+            .len();
+        // Disk usage is bounded: the live file restarts after each
+        // rollover and the rolled generation is itself one capped file,
+        // so a soak of any length holds at most ~two caps on disk.
+        assert!(
+            live <= cap + 256,
+            "live file {live} bytes exceeds the cap {cap}"
+        );
+        assert!(
+            old <= cap + 256,
+            "rolled file {old} bytes exceeds the cap {cap}"
+        );
+        assert!(live + old > cap, "cap was never crossed: {live} + {old}");
+        // Retention is a contiguous newest suffix: every retained line
+        // parses, the most recent record is present, and no record in
+        // the retained window was skipped.
+        let mut seen = Vec::new();
+        for p in [&rolled, &path] {
+            let text = std::fs::read_to_string(p).unwrap();
+            for line in text.lines().filter(|l| l.contains(&format!("\"{trace}\""))) {
+                assert!(
+                    line.starts_with('{') && line.ends_with('}'),
+                    "bad line: {line}"
+                );
+                let i = line
+                    .split("\"i\":")
+                    .nth(1)
+                    .and_then(|rest| rest.split([',', '}']).next())
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("line lacks an i field: {line}"));
+                seen.push(i);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen.last(), Some(&399), "newest record was lost");
+        for pair in seen.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1, "gap inside the retained window");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rolled);
     }
 
     #[test]

@@ -117,6 +117,13 @@ pub struct QueryJob {
     /// pure scheduling metadata — excluded from
     /// [`QueryJob::cache_key`].
     pub priority: tcast_tenant::Priority,
+    /// Parent span context for cross-tier trace stitching: the
+    /// submitter's enclosing span (e.g. the cluster's route span) plus
+    /// its head-sampling decision. The service's `service.execute` span
+    /// parents under it, so one fan-out query forms a single connected
+    /// tree. Pure observability metadata — excluded from
+    /// [`QueryJob::cache_key`] because it never shapes the report.
+    pub span_parent: tcast_obs::SpanContext,
 }
 
 impl QueryJob {
@@ -137,6 +144,7 @@ impl QueryJob {
             trace: tcast_obs::TraceId::NONE,
             tenant: None,
             priority: tcast_tenant::Priority::Normal,
+            span_parent: tcast_obs::SpanContext::NONE,
         }
     }
 
@@ -168,6 +176,14 @@ impl QueryJob {
     /// service spans, and wire hops will all correlate under it.
     pub fn with_trace(mut self, trace: tcast_obs::TraceId) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns the job carrying the submitter's span context, so the
+    /// executing tier's spans parent under the submitter's (e.g. a
+    /// cluster route span) instead of starting a disconnected tree.
+    pub fn with_parent_span(mut self, parent: tcast_obs::SpanContext) -> Self {
+        self.span_parent = parent;
         self
     }
 
@@ -450,6 +466,13 @@ mod tests {
         assert_eq!(
             base.cache_key(),
             base.with_priority(tcast_tenant::Priority::High).cache_key()
+        );
+        // Nor the parent span context: trace stitching is observability
+        // metadata, same as the trace id.
+        assert_eq!(
+            base.cache_key(),
+            base.with_parent_span(tcast_obs::SpanContext::child_of(42))
+                .cache_key()
         );
     }
 

@@ -392,6 +392,7 @@ pub struct MetricsRegistry {
     net: Mutex<BTreeMap<String, Arc<NetCounters>>>,
     tenants: Mutex<BTreeMap<String, Arc<TenantEntry>>>,
     service: Mutex<ServiceDists>,
+    slo: Mutex<Option<Arc<tcast_obs::SloTracker>>>,
 }
 
 impl Default for MetricsRegistry {
@@ -401,6 +402,7 @@ impl Default for MetricsRegistry {
             net: Mutex::new(BTreeMap::new()),
             tenants: Mutex::new(BTreeMap::new()),
             service: Mutex::new(ServiceDists::default()),
+            slo: Mutex::new(None),
         }
     }
 }
@@ -484,6 +486,15 @@ impl MetricsRegistry {
         if let Some(r) = retries {
             d.retry_hist.record(r);
         }
+        drop(d);
+        if let Some(slo) = self.slo() {
+            slo.observe_latency(micros, failed);
+            if let Ok(JobOutput::Report(report)) = result {
+                // Verdict-trust proxy: a session that raised adversary
+                // anomalies may carry a manipulated verdict.
+                slo.observe(tcast_obs::SloSignal::Verdict, report.anomalies == 0);
+            }
+        }
     }
 
     /// Records one session-cache hit under `label`, alongside the normal
@@ -504,6 +515,36 @@ impl MetricsRegistry {
         let e = Arc::new(TenantEntry::default());
         tenants.insert(tenant.to_string(), e.clone());
         e
+    }
+
+    /// Pre-registers `tenant`'s metric series at zero. Called when a
+    /// tenant first appears (e.g. on a successful auth handshake), so
+    /// its Prometheus series exist — stable, at zero — from the first
+    /// scrape after first sight, rather than flickering in and out with
+    /// activity.
+    pub fn seen_tenant(&self, tenant: &str) {
+        let _ = self.tenant_entry(tenant);
+    }
+
+    /// Attaches an SLO tracker: [`record`](Self::record) feeds its
+    /// latency and verdict objectives from then on, callers may feed
+    /// auth outcomes via [`slo_observe`](Self::slo_observe), and
+    /// snapshots carry its per-objective status rows (exported as the
+    /// `tcast_slo_*` Prometheus series).
+    pub fn attach_slo(&self, tracker: Arc<tcast_obs::SloTracker>) {
+        *self.slo.lock() = Some(tracker);
+    }
+
+    /// The attached SLO tracker, if any.
+    pub fn slo(&self) -> Option<Arc<tcast_obs::SloTracker>> {
+        self.slo.lock().clone()
+    }
+
+    /// Feeds one event to the attached SLO tracker; no-op without one.
+    pub fn slo_observe(&self, signal: tcast_obs::SloSignal, good: bool) {
+        if let Some(slo) = self.slo() {
+            slo.observe(signal, good);
+        }
     }
 
     /// Records one completed job for `tenant`, with its queue wait
@@ -599,6 +640,7 @@ impl MetricsRegistry {
             rows: folded.into_values().collect(),
             net_rows,
             tenant_rows,
+            slo_rows: self.slo().map(|t| t.snapshot()).unwrap_or_default(),
             queue_wait_us,
             queue_wait_hist,
             batch_size,
@@ -690,10 +732,16 @@ pub struct MetricsSnapshot {
     /// front-end registered connections via
     /// [`MetricsRegistry::net_counters`].
     pub net_rows: Vec<NetMetricsRow>,
-    /// Per-tenant rows ordered by tenant name; empty unless tenant jobs
-    /// or quota rejections were recorded (i.e. always empty for a
-    /// single-tenant service), so dumps without tenancy are unchanged.
+    /// Per-tenant rows ordered by tenant name; empty unless a tenant was
+    /// ever seen ([`MetricsRegistry::seen_tenant`]) or recorded against
+    /// (i.e. always empty for a single-tenant service), so dumps without
+    /// tenancy are unchanged. Once a tenant appears its row persists for
+    /// the registry's lifetime — series hold stable zeros through idle
+    /// scrapes instead of vanishing.
     pub tenant_rows: Vec<TenantMetricsRow>,
+    /// Per-objective SLO status rows in objective-declaration order;
+    /// empty unless an [`tcast_obs::SloTracker`] is attached.
+    pub slo_rows: Vec<tcast_obs::SloStatus>,
     /// Service-wide queue wait per executed query job, in microseconds
     /// (all tenants and the default lane folded together). Count 0 until
     /// a query job executes.
@@ -1227,6 +1275,72 @@ impl MetricsSnapshot {
                 out.push_str(&format!(
                     "tcast_tenant_queue_wait_microseconds_count{{tenant=\"{tenant}\"}} {}\n",
                     r.queue_wait_us.count(),
+                ));
+            }
+        }
+        if !self.slo_rows.is_empty() {
+            type SloCounter = fn(&tcast_obs::SloStatus) -> u64;
+            let counters: [(&str, &str, SloCounter); 2] = [
+                (
+                    "tcast_slo_good_total",
+                    "Good events per objective over the long SLO window.",
+                    |r| r.good,
+                ),
+                (
+                    "tcast_slo_bad_total",
+                    "Bad events per objective over the long SLO window.",
+                    |r| r.bad,
+                ),
+            ];
+            for (name, help, get) in counters {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+                for r in &self.slo_rows {
+                    out.push_str(&format!(
+                        "{name}{{objective=\"{}\",signal=\"{}\"}} {}\n",
+                        esc(&r.name),
+                        r.signal,
+                        get(r)
+                    ));
+                }
+            }
+            out.push_str(
+                "# HELP tcast_slo_burn_rate Error-budget burn rate per objective \
+                 (1.0 spends exactly the window's budget).\n\
+                 # TYPE tcast_slo_burn_rate gauge\n",
+            );
+            for r in &self.slo_rows {
+                let objective = esc(&r.name);
+                out.push_str(&format!(
+                    "tcast_slo_burn_rate{{objective=\"{objective}\",window=\"short\"}} {:.6}\n",
+                    r.burn_short,
+                ));
+                out.push_str(&format!(
+                    "tcast_slo_burn_rate{{objective=\"{objective}\",window=\"long\"}} {:.6}\n",
+                    r.burn_long,
+                ));
+            }
+            out.push_str(
+                "# HELP tcast_slo_error_budget_remaining Fraction of the long window's \
+                 error budget left at the current burn.\n\
+                 # TYPE tcast_slo_error_budget_remaining gauge\n",
+            );
+            for r in &self.slo_rows {
+                out.push_str(&format!(
+                    "tcast_slo_error_budget_remaining{{objective=\"{}\"}} {:.6}\n",
+                    esc(&r.name),
+                    r.budget_remaining,
+                ));
+            }
+            out.push_str(
+                "# HELP tcast_slo_fast_burn 1 when the short-window burn rate is at or \
+                 above the objective's paging threshold.\n\
+                 # TYPE tcast_slo_fast_burn gauge\n",
+            );
+            for r in &self.slo_rows {
+                out.push_str(&format!(
+                    "tcast_slo_fast_burn{{objective=\"{}\"}} {}\n",
+                    esc(&r.name),
+                    u8::from(r.fast_burn),
                 ));
             }
         }
@@ -1771,6 +1885,102 @@ tcast_net_io_threads{conn="net/conn-0",generation="1"} 0
         ] {
             assert!(prom.contains(line), "missing {line:?} in:\n{prom}");
         }
+    }
+
+    #[test]
+    fn seen_tenants_hold_stable_zero_series_across_scrapes() {
+        // Regression: tenant series used to appear only once activity
+        // was recorded, so a tenant idle at scrape time had no series at
+        // all — they flickered in and out across scrapes. A tenant seen
+        // once (e.g. at auth) now has stable zero-valued series from
+        // then on, pinned here byte for byte.
+        let m = MetricsRegistry::new();
+        m.seen_tenant("carol");
+        let snap = m.snapshot();
+        assert_eq!(snap.tenant_rows.len(), 1);
+        let prom = snap.to_prometheus();
+        let tenant_section = prom
+            .split_once("# HELP tcast_tenant_jobs_total")
+            .map(|(_, rest)| format!("# HELP tcast_tenant_jobs_total{rest}"))
+            .expect("tenant section present for a seen-but-idle tenant");
+        assert_eq!(
+            tenant_section,
+            "# HELP tcast_tenant_jobs_total Jobs completed per tenant, whatever the outcome.\n\
+             # TYPE tcast_tenant_jobs_total counter\n\
+             tcast_tenant_jobs_total{tenant=\"carol\"} 0\n\
+             # HELP tcast_tenant_quota_rejections_total Jobs rejected at admission because the tenant was over quota.\n\
+             # TYPE tcast_tenant_quota_rejections_total counter\n\
+             tcast_tenant_quota_rejections_total{tenant=\"carol\"} 0\n\
+             # HELP tcast_tenant_queue_wait_microseconds Queue wait (submission to execution start) per completed job.\n\
+             # TYPE tcast_tenant_queue_wait_microseconds summary\n\
+             tcast_tenant_queue_wait_microseconds{tenant=\"carol\",quantile=\"0.5\"} 0.0\n\
+             tcast_tenant_queue_wait_microseconds{tenant=\"carol\",quantile=\"0.9\"} 0.0\n\
+             tcast_tenant_queue_wait_microseconds{tenant=\"carol\",quantile=\"0.99\"} 0.0\n\
+             tcast_tenant_queue_wait_microseconds_sum{tenant=\"carol\"} 0.0\n\
+             tcast_tenant_queue_wait_microseconds_count{tenant=\"carol\"} 0\n"
+        );
+        // A second scrape with zero intervening activity is identical:
+        // no series vanishes between scrapes.
+        assert_eq!(m.snapshot().to_prometheus(), prom);
+    }
+
+    #[test]
+    fn slo_section_exports_burn_budget_and_fast_burn() {
+        let m = MetricsRegistry::new();
+        // Without a tracker the exposition carries no SLO series at all.
+        assert!(!m.snapshot().to_prometheus().contains("tcast_slo_"));
+
+        let slo = Arc::new(tcast_obs::SloTracker::new(vec![
+            tcast_obs::Objective::auth("auth_success", 0.99),
+        ]));
+        m.attach_slo(slo);
+        // 2% auth failures on a 1% budget: burn 2.0, budget exhausted,
+        // but below the 14.4 paging threshold.
+        for k in 0..100 {
+            m.slo_observe(tcast_obs::SloSignal::Auth, k % 50 != 0);
+        }
+        let prom = m.snapshot().to_prometheus();
+        for line in [
+            "tcast_slo_good_total{objective=\"auth_success\",signal=\"auth\"} 98",
+            "tcast_slo_bad_total{objective=\"auth_success\",signal=\"auth\"} 2",
+            "tcast_slo_burn_rate{objective=\"auth_success\",window=\"short\"} 2.000000",
+            "tcast_slo_burn_rate{objective=\"auth_success\",window=\"long\"} 2.000000",
+            "tcast_slo_error_budget_remaining{objective=\"auth_success\"} 0.000000",
+            "tcast_slo_fast_burn{objective=\"auth_success\"} 0",
+        ] {
+            assert!(prom.contains(line), "missing {line:?} in:\n{prom}");
+        }
+    }
+
+    #[test]
+    fn record_feeds_latency_and_verdict_objectives() {
+        let m = MetricsRegistry::new();
+        m.attach_slo(Arc::new(tcast_obs::SloTracker::new(vec![
+            tcast_obs::Objective::latency("e2e", 200.0, 0.99),
+            tcast_obs::Objective::verdicts("trust", 0.999),
+        ])));
+        // Fast success, slow success, failure: latency sees 1 good 2 bad.
+        m.record("x", &report(true, 4, 1), Duration::from_micros(100));
+        m.record("x", &report(true, 4, 1), Duration::from_micros(900));
+        m.record(
+            "x",
+            &Err(JobError::DeadlineExceeded),
+            Duration::from_micros(10),
+        );
+        // An anomalous report marks the verdict objective bad.
+        let mut anomalous = QueryReport::trivial(true);
+        anomalous.anomalies = 3;
+        m.record(
+            "x",
+            &Ok(JobOutput::Report(anomalous)),
+            Duration::from_micros(50),
+        );
+        let rows = m.snapshot().slo_rows;
+        let latency = &rows[0];
+        assert_eq!((latency.good, latency.bad), (2, 2), "{latency:?}");
+        let verdict = &rows[1];
+        // 2 clean reports + 1 anomalous; the failed job never reports.
+        assert_eq!((verdict.good, verdict.bad), (2, 1), "{verdict:?}");
     }
 
     #[test]

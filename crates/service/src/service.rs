@@ -872,15 +872,20 @@ fn execute(inner: &Inner, unit: &WorkUnit, index: usize, runner: &mut BatchRunne
             // the deadline check and the trace agree on the number.
             let queue_wait = unit.submitted_at.elapsed();
             let queue_wait_us = queue_wait.as_micros() as u64;
+            // The job's span context (when the submitter propagated
+            // one) parents this span under the submitter's own — e.g.
+            // the cluster route span — stitching one cross-tier tree.
             let span = match job.tenant {
-                Some(t) => tcast_obs::Span::enter_fields(
+                Some(t) => tcast_obs::Span::enter_remote(
                     job.trace,
                     "service.execute",
+                    job.span_parent,
                     &[("queue_wait_us", queue_wait_us), ("tenant", t.0 as u64)],
                 ),
-                None => tcast_obs::Span::enter_fields(
+                None => tcast_obs::Span::enter_remote(
                     job.trace,
                     "service.execute",
+                    job.span_parent,
                     &[("queue_wait_us", queue_wait_us)],
                 ),
             };
